@@ -1,0 +1,438 @@
+// Package accmos is the public entry point of the AccMoS reproduction: it
+// accelerates the simulation of discrete dataflow (Simulink-style) models
+// by translating them into instrumented native code — with runtime actor
+// information collection, coverage collection (actor, condition, decision,
+// MC/DC) and calculation diagnosis — compiling and executing it, and
+// returning the simulation results (paper: "AccMoS: Accelerating Model
+// Simulation for Simulink via Code Generation", DAC 2024).
+//
+// The typical flow:
+//
+//	m, _ := accmos.LoadModel("model.xml")          // or build one with NewModelBuilder
+//	res, _ := accmos.Simulate(m, accmos.Options{   // code-generated simulation
+//	    Steps:    50_000_000,
+//	    Coverage: true,
+//	    Diagnose: true,
+//	    TestCases: accmos.RandomTestCases(m, 42, -100, 100),
+//	})
+//	fmt.Println(res.CoverageReport(), res.DiagSummary())
+//
+// Interpret runs the same model on the reference step-by-step interpreter
+// (the SSE baseline); both produce bit-identical output hashes, coverage
+// bitmaps and diagnostic findings.
+package accmos
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accmos/internal/actors"
+	"accmos/internal/codegen"
+	"accmos/internal/coverage"
+	"accmos/internal/diagnose"
+	"accmos/internal/harness"
+	"accmos/internal/interp"
+	"accmos/internal/irjson"
+	"accmos/internal/lint"
+	"accmos/internal/model"
+	"accmos/internal/rapid"
+	"accmos/internal/simresult"
+	"accmos/internal/slx"
+	"accmos/internal/testcase"
+)
+
+// Re-exported building blocks, so library users need only this package.
+type (
+	// Model is a dataflow model (actors + relationships).
+	Model = model.Model
+	// ModelBuilder constructs models programmatically.
+	ModelBuilder = model.Builder
+	// TestCases describes the stimulus for every input port.
+	TestCases = testcase.Set
+	// TestSource is one port's stimulus generator.
+	TestSource = testcase.Source
+	// CustomCheck is a user-defined signal diagnosis.
+	CustomCheck = diagnose.CustomCheck
+	// DiagKind names a diagnosable error class.
+	DiagKind = diagnose.Kind
+	// CoverageReport holds the four coverage percentages.
+	CoverageReport = coverage.Report
+)
+
+// Diagnosis kinds (see internal/diagnose for the full catalogue).
+const (
+	WrapOnOverflow   = diagnose.WrapOnOverflow
+	Downcast         = diagnose.Downcast
+	DivisionByZero   = diagnose.DivisionByZero
+	PrecisionLoss    = diagnose.PrecisionLoss
+	IndexOutOfBounds = diagnose.IndexOutOfBounds
+	DomainError      = diagnose.DomainError
+)
+
+// Test-case source kinds.
+const (
+	TestConst   = testcase.Const
+	TestUniform = testcase.Uniform
+	TestRamp    = testcase.Ramp
+	TestSine    = testcase.Sine
+	TestPulse   = testcase.Pulse
+	TestTable   = testcase.Table
+)
+
+// NewModelBuilder starts building a model in code.
+func NewModelBuilder(name string) *ModelBuilder { return model.NewBuilder(name) }
+
+// LoadModel reads a model file: the two-part XML format by default, or
+// the tool-agnostic JSON IR (§5 extensibility) for .json paths.
+func LoadModel(path string) (*Model, error) {
+	if strings.HasSuffix(path, ".json") {
+		return irjson.ReadModelFile(path)
+	}
+	return slx.ReadFile(path)
+}
+
+// SaveModel writes a model file, selecting the format by extension like
+// LoadModel.
+func SaveModel(path string, m *Model) error {
+	if strings.HasSuffix(path, ".json") {
+		return irjson.WriteModelFile(path, m)
+	}
+	return slx.WriteFile(path, m)
+}
+
+// RandomTestCases builds uniform random stimuli over [lo, hi] for every
+// input port of m, seeded deterministically.
+func RandomTestCases(m *Model, seed uint64, lo, hi float64) *TestCases {
+	n := 0
+	for _, a := range m.Actors {
+		if a.Type == "Inport" {
+			n++
+		}
+	}
+	return testcase.NewRandomSet(n, seed, lo, hi)
+}
+
+// Options configures a simulation through the facade.
+type Options struct {
+	// Steps bounds the simulation length (default 1000). Ignored when
+	// Budget is set.
+	Steps int64
+	// Budget bounds wall-clock execution instead of step count.
+	Budget time.Duration
+
+	// Coverage enables actor/condition/decision/MC-DC collection.
+	Coverage bool
+	// Diagnose enables calculation diagnosis.
+	Diagnose bool
+	// Monitor lists actor names whose outputs are recorded each step.
+	Monitor []string
+	// Custom adds user-defined signal diagnoses.
+	Custom []CustomCheck
+	// MaxMonitorSamples bounds recorded samples per monitored actor
+	// (default 16).
+	MaxMonitorSamples int
+	// StopOnDiag stops the run when this diagnosis kind first fires;
+	// StopOnActor optionally narrows it to one actor path.
+	StopOnDiag  DiagKind
+	StopOnActor string
+
+	// TestCases supplies input stimuli; defaults to uniform random [-1,1].
+	TestCases *TestCases
+
+	// WorkDir keeps generated sources and binaries (default: a temp dir
+	// removed after the run).
+	WorkDir string
+}
+
+func (o *Options) steps() int64 {
+	if o.Steps == 0 {
+		return 1000
+	}
+	return o.Steps
+}
+
+// Result is a simulation outcome.
+type Result struct {
+	*simresult.Results
+	layout *coverage.Layout
+}
+
+// CoverageReport computes the four coverage percentages, or a zero report
+// when coverage was not collected.
+func (r *Result) CoverageReport() CoverageReport {
+	if r.Results.Coverage == nil || r.layout == nil {
+		return CoverageReport{}
+	}
+	return r.layout.Report(r.Results.Coverage)
+}
+
+// Uncovered lists the coverage points the run missed, as human-readable
+// lines ("actor M_SUB_ADD2 never executed", "decision ... never false"),
+// or nil when coverage was not collected.
+func (r *Result) Uncovered() []string {
+	if r.Results.Coverage == nil || r.layout == nil {
+		return nil
+	}
+	return r.layout.Uncovered(r.Results.Coverage)
+}
+
+// CSVTestCases loads stimuli from a CSV file (one column per input port,
+// one row per step, cycled).
+func CSVTestCases(path string) (*TestCases, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("accmos: %w", err)
+	}
+	defer f.Close()
+	return testcase.ReadCSV(f)
+}
+
+// Compile elaborates and schedules a model (the model preprocessing step).
+func Compile(m *Model) (*actors.Compiled, error) { return actors.Compile(m) }
+
+// LintFinding is one static model diagnosis.
+type LintFinding = lint.Finding
+
+// Lint runs the static model checks (dead logic, constant branch
+// conditions, downcasts, coupled MC/DC conditions, ...) without
+// simulating.
+func Lint(m *Model) ([]LintFinding, error) {
+	c, err := actors.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Check(c), nil
+}
+
+// GenerateSource returns the instrumented simulation program AccMoS
+// generates for m, without compiling it — useful for inspection.
+func GenerateSource(m *Model, opts Options) (string, error) {
+	c, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return "", err
+	}
+	prog, err := codegen.Generate(c, codegenOptions(opts, tcs))
+	if err != nil {
+		return "", err
+	}
+	return prog.Source, nil
+}
+
+func prepare(m *Model, opts *Options) (*actors.Compiled, *TestCases, error) {
+	c, err := actors.Compile(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcs := opts.TestCases
+	if tcs == nil {
+		tcs = testcase.NewRandomSet(len(c.Inports), 1, -1, 1)
+	}
+	return c, tcs, nil
+}
+
+func codegenOptions(opts Options, tcs *TestCases) codegen.Options {
+	return codegen.Options{
+		Coverage:          opts.Coverage,
+		Diagnose:          opts.Diagnose,
+		Monitor:           opts.Monitor,
+		Custom:            opts.Custom,
+		MaxMonitorSamples: opts.MaxMonitorSamples,
+		StopOnDiag:        opts.StopOnDiag,
+		StopOnActor:       opts.StopOnActor,
+		TestCases:         tcs,
+		DefaultSteps: func() int64 {
+			if opts.Steps > 0 {
+				return opts.Steps
+			}
+			return 1000
+		}(),
+	}
+}
+
+// Simulate runs the full AccMoS pipeline on m: model preprocessing,
+// simulation-oriented instrumentation, simulation code synthesis,
+// compilation, and execution.
+func Simulate(m *Model, opts Options) (*Result, error) {
+	c, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Generate(c, codegenOptions(opts, tcs))
+	if err != nil {
+		return nil, err
+	}
+	dir := opts.WorkDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "accmos-")
+		if err != nil {
+			return nil, fmt.Errorf("accmos: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	res, err := harness.BuildAndRun(prog, dir, harness.RunOptions{
+		Steps:  opts.steps(),
+		Budget: opts.Budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Results: res, layout: prog.Layout}, nil
+}
+
+// SweepResult aggregates a multi-suite coverage sweep.
+type SweepResult struct {
+	// Runs holds each suite's individual results, in seedXors order.
+	Runs   []*Result
+	layout *coverage.Layout
+	merged *coverage.Raw
+}
+
+// MergedCoverage reports coverage accumulated across every suite.
+func (s *SweepResult) MergedCoverage() CoverageReport {
+	if s.merged == nil {
+		return CoverageReport{}
+	}
+	return s.layout.Report(s.merged)
+}
+
+// MergedUncovered lists the points no suite reached.
+func (s *SweepResult) MergedUncovered() []string {
+	if s.merged == nil {
+		return nil
+	}
+	return s.layout.Uncovered(s.merged)
+}
+
+// Sweep compiles the model once and executes it under one random test
+// suite per seedXor (each XORed into the embedded uniform seeds), merging
+// coverage across suites — the test-adequacy workflow the paper motivates:
+// keep adding random suites until the merged coverage stops growing.
+// Coverage is forced on.
+func Sweep(m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
+	if len(seedXors) == 0 {
+		return nil, fmt.Errorf("accmos: Sweep needs at least one seed")
+	}
+	opts.Coverage = true
+	c, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Generate(c, codegenOptions(opts, tcs))
+	if err != nil {
+		return nil, err
+	}
+	dir := opts.WorkDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "accmos-sweep-")
+		if err != nil {
+			return nil, fmt.Errorf("accmos: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	bin, compileTime, err := harness.Build(prog, dir)
+	if err != nil {
+		return nil, err
+	}
+	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
+	for _, xor := range seedXors {
+		res, err := harness.Run(bin, harness.RunOptions{
+			Steps:   opts.steps(),
+			Budget:  opts.Budget,
+			SeedXor: xor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.CompileNanos = compileTime.Nanoseconds()
+		if res.Coverage != nil {
+			if err := sw.merged.Merge(res.Coverage); err != nil {
+				return nil, err
+			}
+		}
+		sw.Runs = append(sw.Runs, &Result{Results: res, layout: prog.Layout})
+	}
+	return sw, nil
+}
+
+// Interpret runs m on the reference interpreted engine (the SSE baseline)
+// with the same functionality: full diagnostics, coverage, monitoring and
+// custom checks.
+func Interpret(m *Model, opts Options) (*Result, error) {
+	c, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return nil, err
+	}
+	e, err := interp.New(c, interp.Options{
+		Coverage:          opts.Coverage,
+		Diagnose:          opts.Diagnose,
+		Monitor:           opts.Monitor,
+		Custom:            opts.Custom,
+		MaxMonitorSamples: opts.MaxMonitorSamples,
+		StopOnDiag:        opts.StopOnDiag,
+		StopOnActor:       opts.StopOnActor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var res *simresult.Results
+	if opts.Budget > 0 {
+		res, err = e.RunFor(tcs, opts.Budget)
+	} else {
+		res, err = e.Run(tcs, opts.steps())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Results: res, layout: e.Layout()}, nil
+}
+
+// Accelerate runs m on the Accelerator-mode baseline (compiled closures,
+// per-step host synchronisation, no diagnostics or coverage).
+func Accelerate(m *Model, opts Options) (*Result, error) {
+	c, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return nil, err
+	}
+	e, err := interp.NewAccel(c)
+	if err != nil {
+		return nil, err
+	}
+	var res *simresult.Results
+	if opts.Budget > 0 {
+		res, err = e.RunFor(tcs, opts.Budget)
+	} else {
+		res, err = e.Run(tcs, opts.steps())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Results: res}, nil
+}
+
+// RapidAccelerate runs m on the Rapid-Accelerator-mode baseline (unboxed
+// precompiled closures, batched host synchronisation, no diagnostics or
+// coverage).
+func RapidAccelerate(m *Model, opts Options) (*Result, error) {
+	c, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return nil, err
+	}
+	e, err := rapid.New(c)
+	if err != nil {
+		return nil, err
+	}
+	var res *simresult.Results
+	if opts.Budget > 0 {
+		res, err = e.RunFor(tcs, opts.Budget)
+	} else {
+		res, err = e.Run(tcs, opts.steps())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Results: res}, nil
+}

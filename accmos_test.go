@@ -1,0 +1,219 @@
+package accmos_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	accmos "accmos"
+	"accmos/internal/benchmodels"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func demoModel() *accmos.Model {
+	return accmos.NewModelBuilder("DEMO").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1")).
+		Add("Acc", "Sum", 2, 1, model.WithOperator("++")).
+		Add("D", "UnitDelay", 1, 1).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("In", "Acc", 0).
+		Wire("D", "Acc", 1).
+		Wire("Acc", "D", 0).
+		Wire("Acc", "Out", 0).
+		MustBuild()
+}
+
+func TestFacadeSimulateMatchesInterpret(t *testing.T) {
+	m := demoModel()
+	opts := accmos.Options{
+		Steps:     3000,
+		Coverage:  true,
+		Diagnose:  true,
+		TestCases: accmos.RandomTestCases(m, 9, 1e5, 2e6),
+	}
+	sim, err := accmos.Simulate(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := accmos.Interpret(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.OutputHash != ref.OutputHash {
+		t.Errorf("hash mismatch: %x vs %x", sim.OutputHash, ref.OutputHash)
+	}
+	if sim.DiagTotal == 0 || sim.DiagTotal != ref.DiagTotal {
+		t.Errorf("diag totals: %d vs %d", sim.DiagTotal, ref.DiagTotal)
+	}
+	simRep, refRep := sim.CoverageReport(), ref.CoverageReport()
+	if simRep != refRep {
+		t.Errorf("coverage reports differ: %+v vs %+v", simRep, refRep)
+	}
+	if simRep.Actor == 0 {
+		t.Error("no actor coverage")
+	}
+}
+
+func TestFacadeFastEngines(t *testing.T) {
+	m := demoModel()
+	opts := accmos.Options{Steps: 1000, TestCases: accmos.RandomTestCases(m, 4, -10, 10)}
+	ref, err := accmos.Interpret(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := accmos.Accelerate(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := accmos.RapidAccelerate(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.OutputHash != ref.OutputHash || rc.OutputHash != ref.OutputHash {
+		t.Errorf("fast engine hashes diverge: ref %x ac %x rac %x",
+			ref.OutputHash, ac.OutputHash, rc.OutputHash)
+	}
+}
+
+func TestFacadeGenerateSource(t *testing.T) {
+	src, err := accmos.GenerateSource(demoModel(), accmos.Options{Coverage: true, Diagnose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package main", "func modelExe", "diagnose_DEMO_Acc"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestFacadeModelFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.xml")
+	m := demoModel()
+	if err := accmos.SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := accmos.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := accmos.Options{Steps: 500, TestCases: accmos.RandomTestCases(m, 2, -5, 5)}
+	a, err := accmos.Interpret(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := accmos.Interpret(loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutputHash != b.OutputHash {
+		t.Error("round-tripped model behaves differently")
+	}
+}
+
+func TestFacadeJSONIRRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.json")
+	m := demoModel()
+	if err := accmos.SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := accmos.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := accmos.Options{Steps: 300, TestCases: accmos.RandomTestCases(m, 8, -5, 5)}
+	a, err := accmos.Interpret(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := accmos.Interpret(loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutputHash != b.OutputHash {
+		t.Error("JSON IR round trip changed behaviour")
+	}
+}
+
+func TestFacadeStopOnDiag(t *testing.T) {
+	m := benchmodels.Figure1Model()
+	opts := accmos.Options{
+		Steps:      1 << 30,
+		Diagnose:   true,
+		StopOnDiag: accmos.WrapOnOverflow,
+		TestCases: &accmos.TestCases{Sources: []accmos.TestSource{
+			{Value: 1e6}, {Value: 1e6}, // Const sources
+		}},
+	}
+	res, err := accmos.Simulate(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDetectOf(accmos.WrapOnOverflow) < 0 {
+		t.Fatal("overflow not detected")
+	}
+	if res.Steps > 1200 {
+		t.Errorf("ran %d steps; expected early stop", res.Steps)
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	// No test cases, no steps: defaults kick in.
+	res, err := accmos.Interpret(demoModel(), accmos.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1000 {
+		t.Errorf("default steps = %d, want 1000", res.Steps)
+	}
+}
+
+func TestSweepMergesCoverage(t *testing.T) {
+	// A model with a rare branch: individual random suites may miss it,
+	// and merged coverage must dominate every individual run.
+	m := accmos.NewModelBuilder("SWEEP").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("Rare", "CompareToConstant", 1, 1, model.WithOperator(">"), model.WithParam("Constant", "99")).
+		Add("Sw", "Switch", 3, 1, model.WithOperator("~=0")).
+		Add("Hi", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithParam("Value", "1")).
+		Add("Lo", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithParam("Value", "2")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("In", "Rare", 0).
+		Wire("Hi", "Sw", 0).
+		Wire("Rare", "Sw", 1).
+		Wire("Lo", "Sw", 2).
+		Wire("Sw", "Out", 0).
+		MustBuild()
+	opts := accmos.Options{
+		Steps:     400,
+		TestCases: accmos.RandomTestCases(m, 77, -100, 100),
+	}
+	sw, err := accmos.Sweep(m, opts, []uint64{0, 0xDEAD, 0xBEEF, 0xF00D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Runs) != 4 {
+		t.Fatalf("runs = %d", len(sw.Runs))
+	}
+	merged := sw.MergedCoverage()
+	hashes := map[uint64]bool{}
+	for _, run := range sw.Runs {
+		rep := run.CoverageReport()
+		if rep.CondCovered > merged.CondCovered || rep.DecCovered > merged.DecCovered {
+			t.Errorf("individual run exceeds merged coverage: %+v vs %+v", rep, merged)
+		}
+		hashes[run.OutputHash] = true
+	}
+	if len(hashes) != 4 {
+		t.Errorf("seed xors must produce distinct suites: %d distinct hashes", len(hashes))
+	}
+	// Seed xor 0 must reproduce the unperturbed suite exactly.
+	base, err := accmos.Interpret(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Runs[0].OutputHash != base.OutputHash {
+		t.Error("seed-xor 0 diverged from the embedded suite")
+	}
+}

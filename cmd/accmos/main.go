@@ -1,0 +1,213 @@
+// Command accmos runs the full AccMoS pipeline on a model file: parse,
+// elaborate, instrument, generate code, compile, execute, and report
+// simulation results (coverage, diagnostics, timing).
+//
+// Usage:
+//
+//	accmos -model m.xml -steps 1000000 -coverage -diagnose
+//	accmos -model m.xml -engine sse          # reference interpreter
+//	accmos -model m.xml -gen > main.go       # inspect generated code
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/diagnose"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file (required)")
+		engine    = flag.String("engine", "accmos", "engine: accmos | sse | accel | rapid")
+		steps     = flag.Int64("steps", 100000, "simulation steps")
+		budgetMS  = flag.Int64("budget-ms", 0, "wall-clock budget in ms (overrides -steps)")
+		coverage  = flag.Bool("coverage", true, "collect coverage")
+		diag      = flag.Bool("diagnose", true, "run calculation diagnosis")
+		monitor   = flag.String("monitor", "", "comma-separated actor names to signal-monitor")
+		stopOn    = flag.String("stop-on", "", "stop when this diagnosis kind first fires (e.g. WrapOnOverflow)")
+		stopActor = flag.String("stop-actor", "", "narrow -stop-on to this actor path")
+		seed      = flag.Uint64("seed", 1, "test-case seed")
+		lo        = flag.Float64("lo", -100, "random stimulus lower bound")
+		hi        = flag.Float64("hi", 100, "random stimulus upper bound")
+		genOnly   = flag.Bool("gen", false, "print the generated simulation program and exit")
+		workDir   = flag.String("workdir", "", "keep generated artifacts in this directory")
+		tcCSV     = flag.String("tc-csv", "", "load test cases from a CSV file (one column per inport)")
+		uncovered = flag.Bool("uncovered", false, "list the coverage points the run missed")
+		jsonOut   = flag.Bool("json", false, "emit the raw results as JSON instead of the summary")
+		verify    = flag.Bool("verify", false, "also run the reference interpreter and cross-check outputs")
+		lintOnly  = flag.Bool("lint", false, "run the static model checks and exit")
+		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "accmos: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	m, err := accmos.LoadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *lintOnly {
+		findings, err := accmos.Lint(m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lint: %d finding(s) in %s\n", len(findings), m.Name)
+		for _, f := range findings {
+			fmt.Println(" ", f)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	tcs := accmos.RandomTestCases(m, *seed, *lo, *hi)
+	if *tcCSV != "" {
+		tcs, err = accmos.CSVTestCases(*tcCSV)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	opts := accmos.Options{
+		Steps:       *steps,
+		Budget:      time.Duration(*budgetMS) * time.Millisecond,
+		Coverage:    *coverage,
+		Diagnose:    *diag,
+		StopOnDiag:  diagnose.Kind(*stopOn),
+		StopOnActor: *stopActor,
+		TestCases:   tcs,
+		WorkDir:     *workDir,
+	}
+	if *monitor != "" {
+		opts.Monitor = strings.Split(*monitor, ",")
+	}
+	if *genOnly {
+		src, err := accmos.GenerateSource(m, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(src)
+		return
+	}
+
+	if *sweep > 0 {
+		xors := make([]uint64, *sweep)
+		for i := range xors {
+			xors[i] = uint64(i) * 0x9E3779B97F4A7C15
+		}
+		sw, err := accmos.Sweep(m, opts, xors)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sweep: %d random suites x %d steps on %s\n", *sweep, opts.Steps, m.Name)
+		for i, run := range sw.Runs {
+			rep := run.CoverageReport()
+			fmt.Printf("  suite %2d: actor %5.1f%%  cond %5.1f%%  dec %5.1f%%  mc/dc %5.1f%%  (%v)\n",
+				i, rep.Actor, rep.Cond, rep.Dec, rep.MCDC, time.Duration(run.ExecNanos))
+		}
+		merged := sw.MergedCoverage()
+		fmt.Printf("  merged:   actor %5.1f%%  cond %5.1f%%  dec %5.1f%%  mc/dc %5.1f%%\n",
+			merged.Actor, merged.Cond, merged.Dec, merged.MCDC)
+		if *uncovered {
+			missed := sw.MergedUncovered()
+			fmt.Printf("uncovered by every suite: %d\n", len(missed))
+			for _, line := range missed {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		return
+	}
+
+	var res *accmos.Result
+	switch *engine {
+	case "accmos":
+		res, err = accmos.Simulate(m, opts)
+	case "sse":
+		res, err = accmos.Interpret(m, opts)
+	case "accel":
+		res, err = accmos.Accelerate(m, opts)
+	case "rapid":
+		res, err = accmos.RapidAccelerate(m, opts)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(res.Results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		os.Stdout.Write([]byte("\n"))
+		return
+	}
+
+	st := m.Stats()
+	fmt.Printf("model:    %s (%d actors, %d subsystems)\n", m.Name, st.Actors, st.Subsystems)
+	fmt.Printf("engine:   %s\n", res.Engine)
+	fmt.Printf("steps:    %d\n", res.Steps)
+	fmt.Printf("exec:     %v\n", time.Duration(res.ExecNanos))
+	if res.CompileNanos > 0 {
+		fmt.Printf("compile:  %v\n", time.Duration(res.CompileNanos))
+	}
+	fmt.Printf("out hash: %016x\n", res.OutputHash)
+	if res.Results.Coverage != nil {
+		rep := res.CoverageReport()
+		fmt.Printf("coverage: actor %.1f%%  condition %.1f%%  decision %.1f%%  MC/DC %.1f%%\n",
+			rep.Actor, rep.Cond, rep.Dec, rep.MCDC)
+	}
+	if res.DiagTotal > 0 {
+		fmt.Printf("diagnostics: %d findings\n", res.DiagTotal)
+		for _, line := range res.DiagSummary() {
+			fmt.Printf("  %s\n", line)
+		}
+	} else if *diag && *engine != "accel" && *engine != "rapid" {
+		fmt.Println("diagnostics: none")
+	}
+	for name, samples := range res.Monitor {
+		fmt.Printf("monitor %s (%d hits):\n", name, res.MonitorHits[name])
+		for _, s := range samples {
+			fmt.Printf("  step %d: %s\n", s.Step, s.Value)
+		}
+	}
+	if *uncovered {
+		missed := res.Uncovered()
+		fmt.Printf("uncovered points: %d\n", len(missed))
+		for _, line := range missed {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	if *verify && *engine != "sse" {
+		ref, err := accmos.Interpret(m, opts)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case ref.OutputHash != res.OutputHash:
+			fatal(fmt.Errorf("VERIFY FAILED: interpreter hash %016x != %016x", ref.OutputHash, res.OutputHash))
+		case ref.Steps != res.Steps:
+			fatal(fmt.Errorf("VERIFY FAILED: interpreter ran %d steps vs %d", ref.Steps, res.Steps))
+		case ref.DiagTotal != res.DiagTotal && *diag && *engine == "accmos":
+			fatal(fmt.Errorf("VERIFY FAILED: interpreter found %d diagnostics vs %d", ref.DiagTotal, res.DiagTotal))
+		default:
+			fmt.Printf("verify:   interpreter agrees (%d steps, hash %016x, %v)\n",
+				ref.Steps, ref.OutputHash, time.Duration(ref.ExecNanos))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accmos:", err)
+	os.Exit(1)
+}

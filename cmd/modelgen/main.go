@@ -1,0 +1,55 @@
+// Command modelgen materialises the benchmark suite as model files: the
+// ten Table-1 models, the Figure-1 motivating model, and the CSEV
+// error-injection variant of the case study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"accmos/internal/benchmodels"
+	"accmos/internal/slx"
+)
+
+func main() {
+	var (
+		outDir     = flag.String("out", "models", "output directory")
+		chargeRate = flag.Int64("charge-rate", 10000, "CSEV injected charge rate per step")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range benchmodels.Names() {
+		m, err := benchmodels.Build(name)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, name+".xml")
+		if err := slx.WriteFile(path, m); err != nil {
+			fatal(err)
+		}
+		st := m.Stats()
+		fmt.Printf("%-22s %4d actors %3d subsystems  %s\n", path, st.Actors, st.Subsystems,
+			benchmodels.Description(name))
+	}
+	fig1 := benchmodels.Figure1Model()
+	if err := slx.WriteFile(filepath.Join(*outDir, "FIG1.xml"), fig1); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %4d actors (Figure 1 motivating model)\n",
+		filepath.Join(*outDir, "FIG1.xml"), len(fig1.Actors))
+	inj := benchmodels.CSEVInjected(*chargeRate)
+	if err := slx.WriteFile(filepath.Join(*outDir, "CSEVINJ.xml"), inj); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %4d actors (CSEV with injected errors, overflow at step %d)\n",
+		filepath.Join(*outDir, "CSEVINJ.xml"), len(inj.Actors), benchmodels.OverflowStepOf(*chargeRate))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelgen:", err)
+	os.Exit(1)
+}

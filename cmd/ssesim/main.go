@@ -1,0 +1,58 @@
+// Command ssesim runs the reference step-by-step interpreted simulation
+// (the SSE baseline) on a model file. It exists as a separate tool so the
+// baseline can be scripted exactly like the accelerated pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	accmos "accmos"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file (required)")
+		steps     = flag.Int64("steps", 100000, "simulation steps")
+		budgetMS  = flag.Int64("budget-ms", 0, "wall-clock budget in ms (overrides -steps)")
+		coverage  = flag.Bool("coverage", true, "collect coverage")
+		diag      = flag.Bool("diagnose", true, "run calculation diagnosis")
+		seed      = flag.Uint64("seed", 1, "test-case seed")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "ssesim: -model is required")
+		os.Exit(2)
+	}
+	m, err := accmos.LoadModel(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := accmos.Interpret(m, accmos.Options{
+		Steps:     *steps,
+		Budget:    time.Duration(*budgetMS) * time.Millisecond,
+		Coverage:  *coverage,
+		Diagnose:  *diag,
+		TestCases: accmos.RandomTestCases(m, *seed, -100, 100),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model: %s  steps: %d  exec: %v  hash: %016x\n",
+		m.Name, res.Steps, time.Duration(res.ExecNanos), res.OutputHash)
+	if res.Results.Coverage != nil {
+		rep := res.CoverageReport()
+		fmt.Printf("coverage: actor %.1f%% condition %.1f%% decision %.1f%% MC/DC %.1f%%\n",
+			rep.Actor, rep.Cond, rep.Dec, rep.MCDC)
+	}
+	for _, line := range res.DiagSummary() {
+		fmt.Println(" ", line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssesim:", err)
+	os.Exit(1)
+}

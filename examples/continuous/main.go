@@ -1,0 +1,58 @@
+// Continuous-model extension (the paper's §5 future work): a first-order
+// thermal lag dx/dt = (u - x)/τ resolved by fixed-step numerical solvers.
+// The example simulates the same plant under every solver through the
+// AccMoS code-generation pipeline and compares the final state against the
+// analytic solution x(t) = u + (x0-u)e^(-t/τ).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strconv"
+
+	accmos "accmos"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func main() {
+	const (
+		tau   = 2.0  // time constant
+		dt    = 0.05 // solver step
+		u     = 10.0 // constant input
+		steps = 200  // t = 10
+	)
+	exact := u * (1 - math.Exp(-float64(steps)*dt/tau))
+	fmt.Printf("plant: dx/dt = (u - x)/%.1f, u = %.0f, dt = %g, t_end = %g\n", tau, u, dt, float64(steps)*dt)
+	fmt.Printf("analytic x(t_end) = %.9f\n\n", exact)
+
+	for _, solver := range []string{"euler", "heun", "adams", "rk4"} {
+		m := accmos.NewModelBuilder("RC_"+solver).
+			Add("U", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithParam("Value", strconv.FormatFloat(u, 'g', -1, 64))).
+			Add("Plant", "FirstOrderLag", 1, 1,
+				model.WithOperator(solver),
+				model.WithParam("TimeConstant", strconv.FormatFloat(tau, 'g', -1, 64)),
+				model.WithParam("Dt", strconv.FormatFloat(dt, 'g', -1, 64))).
+			Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+			Chain("U", "Plant", "Out").
+			MustBuild()
+
+		res, err := accmos.Simulate(m, accmos.Options{
+			Steps:             steps + 1,
+			Monitor:           []string{"Plant"},
+			MaxMonitorSamples: steps + 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples := res.Monitor["Plant"]
+		last := samples[len(samples)-1]
+		x, err := strconv.ParseFloat(last.Value, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s x = %.9f   |error| = %.3e\n", solver, x, math.Abs(x-exact))
+	}
+	fmt.Println("\nhigher-order solvers converge on the analytic value, as §5 proposes.")
+}

@@ -1,0 +1,45 @@
+// Coverage racing: reproduce the Table-3 effect on one benchmark model.
+// Both engines get the same wall-clock budget and random test cases; the
+// code-generated simulation executes orders of magnitude more steps, so it
+// reaches rare branches and decision outcomes the interpreter cannot touch
+// in the same time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/benchmodels"
+)
+
+func main() {
+	m := benchmodels.MustBuild("TWC") // train wheel speed controller
+	st := m.Stats()
+	fmt.Printf("model TWC: %d actors, %d subsystems\n", st.Actors, st.Subsystems)
+
+	for _, budget := range []time.Duration{200 * time.Millisecond, 600 * time.Millisecond} {
+		opts := accmos.Options{
+			Budget:    budget,
+			Coverage:  true,
+			Diagnose:  true,
+			TestCases: accmos.RandomTestCases(m, 2024, -100, 100),
+		}
+		sim, err := accmos.Simulate(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := accmos.Interpret(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, s := sim.CoverageReport(), ref.CoverageReport()
+		fmt.Printf("\nbudget %v:\n", budget)
+		fmt.Printf("  steps     AccMoS %12d   SSE %12d\n", sim.Steps, ref.Steps)
+		fmt.Printf("  actor     AccMoS %11.1f%%   SSE %11.1f%%\n", a.Actor, s.Actor)
+		fmt.Printf("  condition AccMoS %11.1f%%   SSE %11.1f%%\n", a.Cond, s.Cond)
+		fmt.Printf("  decision  AccMoS %11.1f%%   SSE %11.1f%%\n", a.Dec, s.Dec)
+		fmt.Printf("  MC/DC     AccMoS %11.1f%%   SSE %11.1f%%\n", a.MCDC, s.MCDC)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a small model in code, simulate it with the AccMoS
+// code-generation pipeline, and cross-check the result against the
+// reference interpreter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func main() {
+	// A thermostat-ish model: measured temperature is filtered, compared
+	// against a setpoint, and a heater switch drives an accumulating
+	// room-temperature state.
+	m := accmos.NewModelBuilder("THERMO").
+		Add("Setpoint", "Constant", 0, 1, model.WithParam("Value", "21.5")).
+		Add("Outside", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("Room", "UnitDelay", 1, 1, model.WithParam("InitialCondition", "15")).
+		Add("Filter", "DiscreteFilter", 1, 1, model.WithParam("A", "0.95"), model.WithParam("B", "0.05")).
+		Add("TooCold", "RelationalOperator", 2, 1, model.WithOperator("<")).
+		Add("Heater", "Switch", 3, 1, model.WithOperator("~=0")).
+		Add("HeatGain", "Constant", 0, 1, model.WithParam("Value", "0.8")).
+		Add("NoHeat", "Constant", 0, 1, model.WithParam("Value", "0")).
+		Add("Leak", "Sum", 2, 1, model.WithOperator("+-")).
+		Add("LeakGain", "Gain", 1, 1, model.WithParam("Gain", "0.01")).
+		Add("Next", "Sum", 3, 1, model.WithOperator("+++")).
+		Add("Temp", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("Room", "Filter", 0).
+		Wire("Filter", "TooCold", 0).
+		Wire("Setpoint", "TooCold", 1).
+		Wire("TooCold", "Heater", 1).
+		Wire("HeatGain", "Heater", 0).
+		Wire("NoHeat", "Heater", 2).
+		Wire("Outside", "Leak", 0).
+		Wire("Room", "Leak", 1).
+		Wire("Leak", "LeakGain", 0).
+		Wire("Room", "Next", 0).
+		Wire("Heater", "Next", 1).
+		Wire("LeakGain", "Next", 2).
+		Connect("Next", 0, "Room", 0).
+		Connect("Next", 0, "Temp", 0).
+		MustBuild()
+
+	opts := accmos.Options{
+		Steps:     1_000_000,
+		Coverage:  true,
+		Diagnose:  true,
+		TestCases: accmos.RandomTestCases(m, 7, -10, 25), // outside temperature
+	}
+
+	// AccMoS: generate + compile + execute native code.
+	sim, err := accmos.Simulate(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sim.CoverageReport()
+	fmt.Printf("AccMoS:  %d steps in %v (compile %v)\n",
+		sim.Steps, time.Duration(sim.ExecNanos), time.Duration(sim.CompileNanos))
+	fmt.Printf("coverage: actor %.0f%%, condition %.0f%%, decision %.0f%%, MC/DC %.0f%%\n",
+		rep.Actor, rep.Cond, rep.Dec, rep.MCDC)
+
+	// Reference interpreter on identical stimuli.
+	ref, err := accmos.Interpret(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SSE:     %d steps in %v\n", ref.Steps, time.Duration(ref.ExecNanos))
+	fmt.Printf("speedup: %.1fx\n", float64(ref.ExecNanos)/float64(sim.ExecNanos))
+	if sim.OutputHash == ref.OutputHash {
+		fmt.Printf("outputs: bit-identical (hash %016x)\n", sim.OutputHash)
+	} else {
+		fmt.Printf("outputs: MISMATCH (%016x vs %016x)\n", sim.OutputHash, ref.OutputHash)
+	}
+}

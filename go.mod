@@ -1,0 +1,3 @@
+module accmos
+
+go 1.22

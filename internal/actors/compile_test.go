@@ -1,0 +1,264 @@
+package actors
+
+import (
+	"strings"
+	"testing"
+
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func TestRegistryHasFiftyPlusActorTypes(t *testing.T) {
+	n := len(Types())
+	if n < 50 {
+		t.Fatalf("registry has %d actor types, paper requires > 50", n)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("FluxCapacitor"); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func simpleModel(t *testing.T) *model.Model {
+	t.Helper()
+	return model.NewBuilder("M").
+		Add("In1", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1")).
+		Add("In2", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "2")).
+		Add("Add", "Sum", 2, 1, model.WithOperator("++")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("In1", "Add", 0).
+		Wire("In2", "Add", 1).
+		Wire("Add", "Out", 0).
+		MustBuild()
+}
+
+func TestCompileSimple(t *testing.T) {
+	c, err := Compile(simpleModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Order) != 4 {
+		t.Fatalf("order length %d", len(c.Order))
+	}
+	add := c.Info("Add")
+	if add.OutKind() != types.I32 {
+		t.Errorf("Sum out kind = %v (promotion from i32 inputs)", add.OutKind())
+	}
+	if add.InKinds[0] != types.I32 || add.InKinds[1] != types.I32 {
+		t.Errorf("Sum in kinds = %v", add.InKinds)
+	}
+	if len(c.Inports) != 2 || c.Inports[0].Actor.Name != "In1" {
+		t.Errorf("inports = %v", c.Inports)
+	}
+	if len(c.Outports) != 1 {
+		t.Errorf("outports = %v", c.Outports)
+	}
+	// Schedule must place Add after both inports and before Out.
+	pos := map[string]int{}
+	for i, info := range c.Order {
+		pos[info.Actor.Name] = i
+	}
+	if pos["Add"] < pos["In1"] || pos["Add"] < pos["In2"] || pos["Out"] < pos["Add"] {
+		t.Errorf("bad schedule: %v", pos)
+	}
+}
+
+func TestCompileRejectsUnknownType(t *testing.T) {
+	m := model.NewBuilder("M").Add("X", "Bogus", 0, 1).MustBuild()
+	if _, err := Compile(m); err == nil || !strings.Contains(err.Error(), "unknown actor type") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileRejectsBadOperator(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C", "Constant", 0, 1).
+		Add("L", "Logic", 1, 1, model.WithOperator("XAND")).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "L", "T").
+		MustBuild()
+	if _, err := Compile(m); err == nil || !strings.Contains(err.Error(), "operator") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileRejectsBadPortCount(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C", "Constant", 0, 1).
+		Add("S", "Switch", 1, 1). // Switch needs 3 inputs
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "S", "T").
+		MustBuild()
+	if _, err := Compile(m); err == nil || !strings.Contains(err.Error(), "inputs") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileAlgebraicLoopRejected(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64)).
+		Add("A", "Sum", 2, 1, model.WithOperator("++"), model.WithOutKind(types.F64)).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "0.5")).
+		Add("T", "Terminator", 1, 0).
+		Wire("C", "A", 0).
+		Wire("G", "A", 1).
+		Wire("A", "G", 0).
+		Wire("A", "T", 0).
+		MustBuild()
+	_, err := Compile(m)
+	if err == nil || !strings.Contains(err.Error(), "algebraic loop") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileDelayBreaksLoop(t *testing.T) {
+	// Classic accumulator: Sum feeding a UnitDelay feeding back into Sum.
+	m := model.NewBuilder("M").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1")).
+		Add("Acc", "Sum", 2, 1, model.WithOperator("++")).
+		Add("D", "UnitDelay", 1, 1).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("In", "Acc", 0).
+		Wire("D", "Acc", 1).
+		Wire("Acc", "D", 0).
+		Wire("Acc", "Out", 0).
+		MustBuild()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Type inference must flow I32 through the loop.
+	if got := c.Info("D").OutKind(); got != types.I32 {
+		t.Errorf("delay kind = %v", got)
+	}
+	if got := c.Info("Acc").OutKind(); got != types.I32 {
+		t.Errorf("sum kind = %v", got)
+	}
+}
+
+func TestCompileTypePropagationThroughChain(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.I16), model.WithParam("Value", "5")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "3")).
+		Add("Cv", "DataTypeConversion", 1, 1, model.WithOutKind(types.F32)).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "G", "Cv", "T").
+		MustBuild()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Info("G").OutKind(); got != types.I16 {
+		t.Errorf("gain inherits input kind: %v", got)
+	}
+	if got := c.Info("Cv").OutKind(); got != types.F32 {
+		t.Errorf("conversion kind = %v", got)
+	}
+	if got := c.Info("T").InKinds[0]; got != types.F32 {
+		t.Errorf("terminator in kind = %v", got)
+	}
+}
+
+func TestCompileWidthPropagation(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C1", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithOutWidth(3), model.WithParam("Value", "[1 2 3]")).
+		Add("C2", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithParam("Value", "9")).
+		Add("Mx", "Mux", 2, 1).
+		Add("Sel", "Selector", 1, 1, model.WithParam("Indices", "[1 4]")).
+		Add("T", "Terminator", 1, 0).
+		Wire("C1", "Mx", 0).
+		Wire("C2", "Mx", 1).
+		Wire("Mx", "Sel", 0).
+		Wire("Sel", "T", 0).
+		MustBuild()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Info("Mx").OutWidth(); got != 4 {
+		t.Errorf("mux width = %d", got)
+	}
+	if got := c.Info("Sel").OutWidth(); got != 2 {
+		t.Errorf("selector width = %d", got)
+	}
+}
+
+func TestCompileSelectorIndexValidation(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C1", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithOutWidth(2), model.WithParam("Value", "[1 2]")).
+		Add("Sel", "Selector", 1, 1, model.WithParam("Indices", "[3]")).
+		Add("T", "Terminator", 1, 0).
+		Chain("C1", "Sel", "T").
+		MustBuild()
+	if _, err := Compile(m); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileDataTypeConversionRequiresTarget(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C", "Constant", 0, 1).
+		Add("Cv", "DataTypeConversion", 1, 1).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "Cv", "T").
+		MustBuild()
+	if _, err := Compile(m); err == nil {
+		t.Fatal("DataTypeConversion without OutDataType must be rejected")
+	}
+}
+
+func TestInfoCoveragePredicates(t *testing.T) {
+	m := model.NewBuilder("M").
+		Add("C1", "Constant", 0, 1, model.WithOutKind(types.Bool), model.WithParam("Value", "true")).
+		Add("C2", "Constant", 0, 1, model.WithOutKind(types.Bool), model.WithParam("Value", "false")).
+		Add("And", "Logic", 2, 1, model.WithOperator("AND")).
+		Add("Not", "Logic", 1, 1, model.WithOperator("NOT")).
+		Add("Sw", "Switch", 3, 1).
+		Add("T1", "Terminator", 1, 0).
+		Add("T2", "Terminator", 1, 0).
+		Add("T3", "Terminator", 1, 0).
+		Wire("C1", "And", 0).
+		Wire("C2", "And", 1).
+		Wire("C1", "Not", 0).
+		Wire("C1", "Sw", 0).
+		Wire("And", "Sw", 1).
+		Wire("C2", "Sw", 2).
+		Wire("And", "T1", 0).
+		Wire("Not", "T2", 0).
+		Wire("Sw", "T3", 0).
+		MustBuild()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, not, sw := c.Info("And"), c.Info("Not"), c.Info("Sw")
+	if !and.ContainsBooleanLogic() || !and.IsCombinationCondition() {
+		t.Error("AND must be boolean logic + combination condition")
+	}
+	if !not.ContainsBooleanLogic() || not.IsCombinationCondition() {
+		t.Error("NOT is boolean logic but not a combination condition")
+	}
+	if !sw.IsBranchActor() || sw.Branches() != 2 {
+		t.Errorf("Switch branch info: branch=%v n=%d", sw.IsBranchActor(), sw.Branches())
+	}
+	if and.IsBranchActor() {
+		t.Error("Logic is not a branch actor")
+	}
+}
+
+func TestCompilePathsAndIndex(t *testing.T) {
+	c, err := Compile(simpleModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range c.Order {
+		if info.Index != i {
+			t.Errorf("Index mismatch at %d: %d", i, info.Index)
+		}
+		if !strings.HasPrefix(info.Path, "M_") {
+			t.Errorf("path %q missing model prefix", info.Path)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package actors
+
+import (
+	"math"
+	"testing"
+
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func TestIntegratorAccumulates(t *testing.T) {
+	r := newRig(t, "Integrator", "euler", []types.Kind{types.F64},
+		model.WithParam("Dt", "0.5"), model.WithParam("InitialCondition", "1"))
+	out, _ := r.eval(0, f64v(4))
+	if out.F != 1 {
+		t.Errorf("initial = %v", out)
+	}
+	r.update(f64v(4))
+	out, _ = r.eval(1, f64v(4))
+	if out.F != 3 { // 1 + 0.5*4
+		t.Errorf("after one step = %v", out)
+	}
+}
+
+// lagSim integrates the first-order lag for n steps with constant input.
+func lagSim(t *testing.T, solver string, dt float64, n int) float64 {
+	t.Helper()
+	r := newRig(t, "FirstOrderLag", solver, []types.Kind{types.F64},
+		model.WithParam("Dt", formatF(dt)),
+		model.WithParam("TimeConstant", "1"),
+		model.WithParam("InitialCondition", "0"))
+	u := f64v(1)
+	for i := 0; i < n; i++ {
+		r.eval(int64(i), u)
+		r.update(u)
+	}
+	out, _ := r.eval(int64(n), u)
+	return out.F
+}
+
+func formatF(f float64) string {
+	return types.FloatVal(types.F64, f).String()
+}
+
+// TestLagSolverAccuracyOrdering checks each solver against the analytic
+// step response x(t) = 1 - e^-t (τ=1, u=1, x0=0): higher-order solvers
+// must be strictly more accurate at the same step size.
+func TestLagSolverAccuracyOrdering(t *testing.T) {
+	const dt = 0.1
+	const n = 10 // t = 1
+	exact := 1 - math.Exp(-1)
+	errOf := func(solver string) float64 {
+		return math.Abs(lagSim(t, solver, dt, n) - exact)
+	}
+	euler := errOf("euler")
+	heun := errOf("heun")
+	rk4 := errOf("rk4")
+	adams := errOf("adams")
+	if euler < 1e-4 {
+		t.Errorf("euler suspiciously accurate: %g", euler)
+	}
+	if !(rk4 < heun && heun < euler) {
+		t.Errorf("accuracy ordering violated: euler %g, heun %g, rk4 %g", euler, heun, rk4)
+	}
+	if !(adams < euler) {
+		t.Errorf("adams %g should beat euler %g", adams, euler)
+	}
+	if rk4 > 1e-6 {
+		t.Errorf("rk4 error %g too large for dt=0.1", rk4)
+	}
+}
+
+// TestLagSolverConvergence: halving the step size must shrink the error by
+// roughly the solver's order.
+func TestLagSolverConvergence(t *testing.T) {
+	exact := 1 - math.Exp(-1)
+	cases := []struct {
+		solver   string
+		minRatio float64 // error(dt) / error(dt/2) lower bound
+	}{
+		{"euler", 1.8}, // first order: ~2
+		{"heun", 3.5},  // second order: ~4
+		{"adams", 3.0}, // second order after bootstrap
+	}
+	for _, c := range cases {
+		eCoarse := math.Abs(lagSim(t, c.solver, 0.1, 10) - exact)
+		eFine := math.Abs(lagSim(t, c.solver, 0.05, 20) - exact)
+		if eFine == 0 {
+			continue
+		}
+		if ratio := eCoarse / eFine; ratio < c.minRatio {
+			t.Errorf("%s convergence ratio %g < %g (coarse %g, fine %g)",
+				c.solver, ratio, c.minRatio, eCoarse, eFine)
+		}
+	}
+}
+
+func TestContinuousValidation(t *testing.T) {
+	b := model.NewBuilder("BAD").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64)).
+		Add("L", "FirstOrderLag", 1, 1, model.WithParam("Dt", "-1")).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "L", "T")
+	if _, err := Compile(b.MustBuild()); err == nil {
+		t.Error("negative Dt must be rejected")
+	}
+	b2 := model.NewBuilder("BAD2").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64)).
+		Add("L", "FirstOrderLag", 1, 1, model.WithParam("TimeConstant", "0")).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "L", "T")
+	if _, err := Compile(b2.MustBuild()); err == nil {
+		t.Error("zero time constant must be rejected")
+	}
+	b3 := model.NewBuilder("BAD3").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64)).
+		Add("L", "Integrator", 1, 1, model.WithOperator("rk9")).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "L", "T")
+	if _, err := Compile(b3.MustBuild()); err == nil {
+		t.Error("unknown solver must be rejected")
+	}
+}
+
+func TestLagStepAdamsBootstrap(t *testing.T) {
+	// First call (no history) must match Euler exactly.
+	x1a, f1 := LagStep("adams", 0, 1, 0.1, 1, 0, false)
+	x1e, _ := LagStep("euler", 0, 1, 0.1, 1, 0, false)
+	if x1a != x1e {
+		t.Errorf("adams bootstrap %g != euler %g", x1a, x1e)
+	}
+	// Second call uses the stored derivative.
+	x2, _ := LagStep("adams", x1a, 1, 0.1, 1, f1, true)
+	want := x1a + 0.1*(1.5*(1-x1a)-0.5*f1)
+	if x2 != want {
+		t.Errorf("adams step 2 = %g, want %g", x2, want)
+	}
+}

@@ -1,0 +1,78 @@
+package actors
+
+import "accmos/internal/types"
+
+// State is the per-actor persistent interpreter state. Vals holds generic
+// state slots (initial conditions, hysteresis flags as 0/1 values); Ring
+// and Pos implement delay lines; Seed holds PRNG state.
+type State struct {
+	Vals []types.Value
+	Ring []types.Value
+	Pos  int
+	Seed uint64
+}
+
+// DataStoreAccess lets data-store read/write actors reach the engine's
+// named stores.
+type DataStoreAccess interface {
+	DSRead(name string) types.Value
+	DSWrite(name string, v types.Value)
+}
+
+// EvalCtx is the per-invocation context an actor's Eval/Update receives.
+// The engine resets the per-step fields (Flags, Branch, Decision, Conds)
+// before each Eval.
+type EvalCtx struct {
+	Info *Info
+	Step int64
+
+	In   []types.Value // current input values, index = input port
+	Outs []types.Value // outputs to fill, index = output port
+
+	// ExternalIn carries the test-case value for Inport actors.
+	ExternalIn types.Value
+
+	State *State
+	DS    DataStoreAccess
+
+	// Diagnosis flags raised by the computation.
+	Flags types.OpResult
+
+	// Coverage reporting.
+	Branch   int    // branch index executed (-1 none)
+	Decision int8   // -1 none, 0 decision false, 1 decision true
+	Conds    []bool // condition input values for MC/DC
+}
+
+// Reset clears the per-step reporting fields.
+func (ec *EvalCtx) Reset(step int64) {
+	ec.Step = step
+	ec.Flags = types.OpResult{}
+	ec.Branch = -1
+	ec.Decision = -1
+	ec.Conds = ec.Conds[:0]
+}
+
+// SetOut assigns output port 0 — the common case.
+func (ec *EvalCtx) SetOut(v types.Value) { ec.Outs[0] = v }
+
+// Out returns output port 0.
+func (ec *EvalCtx) Out() types.Value { return ec.Outs[0] }
+
+// setDecision records the boolean outcome for decision coverage.
+func (ec *EvalCtx) setDecision(b bool) {
+	if b {
+		ec.Decision = 1
+	} else {
+		ec.Decision = 0
+	}
+}
+
+// convertOut converts v to the actor's output kind, accumulating conversion
+// flags, and assigns output 0.
+func (ec *EvalCtx) convertOut(v types.Value) {
+	out, res := types.Convert(v, ec.Info.OutKind())
+	ec.Flags.OutOfRange = ec.Flags.OutOfRange || res.OutOfRange
+	ec.Flags.PrecisionLoss = ec.Flags.PrecisionLoss || res.PrecisionLoss
+	ec.Outs[0] = out
+}

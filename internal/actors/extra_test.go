@@ -1,0 +1,61 @@
+package actors
+
+import (
+	"math"
+	"testing"
+
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func TestEvalPIDController(t *testing.T) {
+	r := newRig(t, "PIDController", "", []types.Kind{types.F64},
+		model.WithParam("Kp", "2"), model.WithParam("Ki", "0.5"), model.WithParam("Kd", "1"))
+	// Step 0: e=3 -> u = 2*3 + 0 + 1*(3-0) = 9; then I += 0.5*3 = 1.5.
+	out, _ := r.eval(0, f64v(3))
+	if out.F != 9 {
+		t.Errorf("pid step0 = %v", out)
+	}
+	r.update(f64v(3))
+	// Step 1: e=1 -> u = 2*1 + 1.5 + 1*(1-3) = 1.5.
+	out, _ = r.eval(1, f64v(1))
+	if out.F != 1.5 {
+		t.Errorf("pid step1 = %v", out)
+	}
+}
+
+func TestEvalMovingAverage(t *testing.T) {
+	r := newRig(t, "MovingAverage", "", []types.Kind{types.F64}, model.WithParam("Window", "3"))
+	ins := []float64{3, 6, 9, 12}
+	wants := []float64{1, 3, 6, 9} // window includes current, zeros before start
+	for i := range ins {
+		out, _ := r.eval(int64(i), f64v(ins[i]))
+		if out.F != wants[i] {
+			t.Errorf("ma@%d = %v, want %g", i, out, wants[i])
+		}
+		r.update(f64v(ins[i]))
+	}
+}
+
+func TestEvalAtan2(t *testing.T) {
+	r := newRig(t, "Atan2", "", []types.Kind{types.F64, types.F64})
+	out, _ := r.eval(0, f64v(1), f64v(1))
+	if out.F != math.Pi/4 {
+		t.Errorf("atan2(1,1) = %v", out)
+	}
+	out, _ = r.eval(0, f64v(-1), f64v(0))
+	if out.F != -math.Pi/2 {
+		t.Errorf("atan2(-1,0) = %v", out)
+	}
+}
+
+func TestMovingAverageWindowValidation(t *testing.T) {
+	b := model.NewBuilder("BAD").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64)).
+		Add("M", "MovingAverage", 1, 1, model.WithParam("Window", "0")).
+		Add("T", "Terminator", 1, 0).
+		Chain("C", "M", "T")
+	if _, err := Compile(b.MustBuild()); err == nil {
+		t.Error("zero window must be rejected")
+	}
+}

@@ -1,0 +1,87 @@
+package actors
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"accmos/internal/types"
+)
+
+// paramF64 parses a float64 actor parameter with a default.
+func paramF64(in *Info, name string, def float64) (float64, error) {
+	s := in.Actor.Param(name, "")
+	if s == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q: %v", name, s, err)
+	}
+	return f, nil
+}
+
+// paramI64 parses an int64 actor parameter with a default.
+func paramI64(in *Info, name string, def int64) (int64, error) {
+	s := in.Actor.Param(name, "")
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q: %v", name, s, err)
+	}
+	return v, nil
+}
+
+// paramValue parses a typed value parameter in kind k with a default
+// literal.
+func paramValue(in *Info, name string, k types.Kind, def string) (types.Value, error) {
+	s := in.Actor.Param(name, def)
+	v, err := types.ParseValue(k, s)
+	if err != nil {
+		return types.Value{}, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// paramF64Slice parses a "[a b c]" style float list.
+func paramF64Slice(in *Info, name string) ([]float64, error) {
+	s := strings.TrimSpace(in.Actor.Param(name, ""))
+	if s == "" {
+		return nil, fmt.Errorf("parameter %s is required", name)
+	}
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("parameter %s is empty", name)
+	}
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s element %d: %v", name, i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// f64Lit formats a float64 as an exactly round-tripping Go literal.
+func f64Lit(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "math.NaN()"
+	case math.IsInf(f, 1):
+		return "math.Inf(1)"
+	case math.IsInf(f, -1):
+		return "math.Inf(-1)"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package actors
+
+import (
+	"testing"
+
+	"accmos/internal/model"
+)
+
+// TestRegistryInvariants sweeps every registered spec for structural
+// soundness: the contracts the engines and the code generator rely on.
+func TestRegistryInvariants(t *testing.T) {
+	for _, name := range Types() {
+		spec, err := Lookup(model.ActorType(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if spec.Eval == nil {
+			t.Errorf("%s: no Eval", name)
+		}
+		if spec.Gen == nil {
+			t.Errorf("%s: no Gen", name)
+		}
+		if spec.MinIn < 0 || (spec.MaxIn >= 0 && spec.MaxIn < spec.MinIn) {
+			t.Errorf("%s: inconsistent port bounds [%d, %d]", name, spec.MinIn, spec.MaxIn)
+		}
+		if spec.Branch && spec.BranchCount == nil {
+			t.Errorf("%s: branch actor without BranchCount", name)
+		}
+		if !spec.Branch && spec.BranchCount != nil {
+			t.Errorf("%s: BranchCount on a non-branch actor", name)
+		}
+		if spec.Combination && !spec.BooleanOut {
+			t.Errorf("%s: combination condition without boolean output", name)
+		}
+		seen := map[string]bool{}
+		for _, op := range spec.Operators {
+			if op == "" {
+				t.Errorf("%s: empty operator in list", name)
+			}
+			if seen[op] {
+				t.Errorf("%s: duplicate operator %q", name, op)
+			}
+			seen[op] = true
+		}
+		if spec.DefaultOperator != "" && !spec.FreeOperator && !spec.operatorAllowed(spec.DefaultOperator) {
+			t.Errorf("%s: default operator %q not in operator list", name, spec.DefaultOperator)
+		}
+		if spec.Stateful && spec.Update == nil && spec.Type != "Counter" {
+			// Stateful actors normally commit state in Update; Counter
+			// does too, so flag anything without one.
+			if spec.Update == nil {
+				t.Errorf("%s: stateful actor without Update", name)
+			}
+		}
+		if spec.Update != nil && spec.Init == nil {
+			t.Errorf("%s: Update without Init (state would be nil)", name)
+		}
+	}
+}
+
+// TestRegistryEverySpecCompiles instantiates each actor type in a minimal
+// model with default-ish wiring and requires elaboration to succeed — a
+// smoke gate that no registered type has an unusable default
+// configuration.
+func TestRegistryEverySpecCompiles(t *testing.T) {
+	// Per-type minimal parameters where defaults alone don't elaborate.
+	minIn := map[string]int{"BitwiseOperator": 2}
+	params := map[string]map[string]string{
+		"Selector":           {"Indices": "[1]"},
+		"DataTypeConversion": {"OutDataType": "int32"},
+		"Lookup1D":           {"BreakPoints": "[0 1]", "Table": "[0 1]"},
+		"LookupDirect":       {"Table": "[1 2 3]"},
+		"Polynomial":         {"Coeffs": "[1 0]"},
+		"DataStoreRead":      {"Store": "s"},
+		"DataStoreWrite":     {"Store": "s"},
+		"DataStoreMemory":    {"Store": "s"},
+	}
+	intOnly := map[string]bool{"BitwiseOperator": true, "Shift": true}
+	for _, name := range Types() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, _ := Lookup(model.ActorType(name))
+			b := model.NewBuilder("REG")
+			nIn := spec.MinIn
+			if n, ok := minIn[name]; ok {
+				nIn = n
+			}
+			nOut := spec.NumOut
+			if spec.VariableOut {
+				nOut = 1
+			}
+			opts := []model.ActorOpt{}
+			for k, v := range params[name] {
+				opts = append(opts, model.WithParam(k, v))
+			}
+			b.Add("X", model.ActorType(name), nIn, nOut, opts...)
+			srcKind := "double"
+			if intOnly[name] {
+				srcKind = "int32"
+			}
+			for i := 0; i < nIn; i++ {
+				c := "C" + string(rune('0'+i))
+				b.Add(c, "Constant", 0, 1,
+					model.WithParam("OutDataType", srcKind), model.WithParam("Value", "1"))
+				b.Wire(c, "X", i)
+			}
+			if name == "DataStoreRead" || name == "DataStoreWrite" {
+				b.Add("DSM", "DataStoreMemory", 0, 0, model.WithParam("Store", "s"))
+			}
+			for o := 0; o < nOut; o++ {
+				tn := "T" + string(rune('0'+o))
+				b.Add(tn, "Terminator", 1, 0)
+				b.Connect("X", o, tn, 0)
+			}
+			if _, err := Compile(b.MustBuild()); err != nil {
+				t.Fatalf("minimal %s model does not elaborate: %v", name, err)
+			}
+		})
+	}
+}

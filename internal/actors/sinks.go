@@ -1,0 +1,31 @@
+package actors
+
+import "accmos/internal/model"
+
+// Sink actors: signal consumers. Outport feeds the model's external
+// outputs (result hashing); the others only matter when placed on a
+// collect list for signal monitoring.
+
+func init() {
+	register(&Spec{
+		Type: "Outport", MinIn: 1, MaxIn: 1, NumOut: 0,
+		Eval: func(ec *EvalCtx) {},
+		Gen: func(gc *GenCtx) error {
+			gc.Prog.BindOutput(gc.Info, gc.In[0])
+			return nil
+		},
+	})
+
+	for _, t := range []model.ActorType{"Terminator", "Scope", "Display", "ToWorkspace"} {
+		register(&Spec{
+			Type: t, MinIn: 1, MaxIn: 1, NumOut: 0,
+			Eval: func(ec *EvalCtx) {},
+			Gen: func(gc *GenCtx) error {
+				// Reference the input so generated signal variables feeding
+				// only this sink do not trip Go's unused-variable check.
+				gc.L("_ = %s", gc.In[0])
+				return nil
+			},
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package benchmodels
+
+import (
+	"fmt"
+
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+// Figure1Model reconstructs the paper's motivating example (Figure 1): a
+// sample model that accumulates its two inputs and combines the results,
+// so the combining Sum actor wraps on overflow only after long simulation.
+func Figure1Model() *model.Model {
+	return model.NewBuilder("FIG1").
+		Add("InA", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1")).
+		Add("InB", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "2")).
+		Add("AccA", "Sum", 2, 1, model.WithOperator("++")).
+		Add("DelayA", "UnitDelay", 1, 1).
+		Add("AccB", "Sum", 2, 1, model.WithOperator("++")).
+		Add("DelayB", "UnitDelay", 1, 1).
+		Add("Sum", "Sum", 2, 1, model.WithOperator("++")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("InA", "AccA", 0).
+		Wire("DelayA", "AccA", 1).
+		Wire("AccA", "DelayA", 0).
+		Wire("InB", "AccB", 0).
+		Wire("DelayB", "AccB", 1).
+		Wire("AccB", "DelayB", 0).
+		Wire("AccA", "Sum", 0).
+		Wire("AccB", "Sum", 1).
+		Wire("Sum", "Out", 0).
+		MustBuild()
+}
+
+// CSEVInjected builds the CSEV model with the two manually injected
+// errors of the paper's case study (§4):
+//
+//  1. wrap on overflow in the int32 "quantity" data store, which
+//     accumulates chargeRate every step without the production model's
+//     saturation guard — it manifests only after ~2^31/chargeRate steps;
+//  2. wrap on overflow through a downcast: the charging-power product's
+//     output type is int16 while rated voltage and current are int32, so
+//     U*I wraps immediately.
+//
+// chargeRate tunes how long error 1 stays latent; the paper charges for
+// hundreds of seconds before detection.
+func CSEVInjected(chargeRate int64) *model.Model {
+	p := profiles["CSEV"]
+	p.Name = "CSEVINJ"
+	s := newSynth(p)
+	outs := s.boundary()
+	coreCSEV(s, true, fmt.Sprint(chargeRate))
+	s.fill()
+	return s.finish(outs)
+}
+
+// Synthesize builds a purely synthetic model from an arbitrary profile
+// (no domain core). Randomized cross-engine equivalence tests use it to
+// sweep model shapes beyond the fixed benchmark suite.
+func Synthesize(p Profile) *model.Model {
+	s := newSynth(p)
+	outs := s.boundary()
+	s.fill()
+	return s.finish(outs)
+}
+
+// OverflowStepOf predicts the step at which CSEVInjected's quantity store
+// first wraps: the store starts at 0 and gains chargeRate per step.
+func OverflowStepOf(chargeRate int64) int64 {
+	// The store holds (k+1)*chargeRate after step k; the first wrapped
+	// addition happens when that product exceeds MaxInt32.
+	return (1<<31 - 1) / chargeRate
+}

@@ -1,0 +1,625 @@
+// Package benchmodels defines the benchmark suite: deterministic
+// reconstructions of the paper's ten industrial models (Table 1) with the
+// published actor and subsystem counts and the computation-vs-control mix
+// the paper's analysis describes, plus the Figure-1 motivating model and
+// the CSEV error-injection variants of the case study (§4).
+//
+// Each model combines a hand-written domain core (the characteristic
+// structure: charging accumulators, dispatch switches, control loops) with
+// deterministically synthesised filler logic that brings the model to the
+// exact published size. All synthesis is seeded and reproducible.
+package benchmodels
+
+import (
+	"fmt"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+// Profile describes one benchmark model's published shape.
+type Profile struct {
+	Name        string
+	Actors      int     // Table 1 #Actor
+	Subsystems  int     // Table 1 #SubSystem
+	ComputeFrac float64 // fraction of synthesised actors that are computational
+	Seed        uint64
+	Inports     int
+	Outports    int
+}
+
+// sigRef is a pooled signal: an actor output usable as a wiring source.
+type sigRef struct {
+	actor string
+	port  int
+}
+
+// synth carries synthesis state.
+type synth struct {
+	b      *model.Builder
+	p      Profile
+	n      int // actors added so far
+	nameID int
+	rng    uint64
+
+	f64      []sigRef // scalar float64 signals
+	i32      []sigRef // scalar int32 signals
+	bool_    []sigRef // scalar boolean signals
+	rareBool []sigRef // booleans that fire rarely (gate enabled blocks)
+
+	// consumed tracks which float signals already feed something, so the
+	// synthesiser can prefer dangling ones — keeping the model connected
+	// the way real controllers are (almost every block influences an
+	// output).
+	consumed map[sigRef]bool
+
+	subs []string
+	subI int
+}
+
+func newSynth(p Profile) *synth {
+	s := &synth{
+		b:        model.NewBuilder(p.Name),
+		p:        p,
+		rng:      p.Seed*2862933555777941757 + 3037000493,
+		consumed: make(map[sigRef]bool),
+	}
+	for i := 0; i < p.Subsystems; i++ {
+		s.subs = append(s.subs, fmt.Sprintf("S%02d", i+1))
+	}
+	return s
+}
+
+// next returns a deterministic pseudo-random value in [0, n).
+func (s *synth) next(n int) int {
+	s.rng = actors.LCGNext(s.rng)
+	return int((s.rng >> 33) % uint64(n))
+}
+
+// chance returns true with probability p.
+func (s *synth) chance(p float64) bool {
+	s.rng = actors.LCGNext(s.rng)
+	return actors.LCGFloat(s.rng) < p
+}
+
+// name allocates a unique actor name with the given stem.
+func (s *synth) name(stem string) string {
+	s.nameID++
+	return fmt.Sprintf("%s%d", stem, s.nameID)
+}
+
+// sub returns the next subsystem label round-robin, so every label is
+// populated.
+func (s *synth) sub() string {
+	if len(s.subs) == 0 {
+		return ""
+	}
+	l := s.subs[s.subI%len(s.subs)]
+	s.subI++
+	return l
+}
+
+// add registers an actor, counting it and placing it in a subsystem.
+func (s *synth) add(name string, t model.ActorType, nIn, nOut int, opts ...model.ActorOpt) string {
+	s.b.InSubsystem(s.sub())
+	s.b.Add(name, t, nIn, nOut, opts...)
+	s.n++
+	return name
+}
+
+// addRoot registers an actor at the model root (for boundary actors).
+func (s *synth) addRoot(name string, t model.ActorType, nIn, nOut int, opts ...model.ActorOpt) string {
+	s.b.InSubsystem("")
+	s.b.Add(name, t, nIn, nOut, opts...)
+	s.n++
+	return name
+}
+
+// pools
+
+// pickF64 prefers dangling (not yet consumed) signals, falling back to a
+// recency-biased random pick. Filler logic then forms one connected flow
+// whose ancestry covers most of the model, so the outports wired at
+// finish() observe nearly everything — like a real controller, where
+// almost all blocks influence some output. The result is marked consumed.
+func (s *synth) pickF64() sigRef {
+	var ref sigRef
+	switch {
+	case s.chance(0.7) && s.anyDangling():
+		ref = s.pickDangling()
+	case len(s.f64) > 10 && s.chance(0.5):
+		ref = s.f64[len(s.f64)-10+s.next(10)]
+	default:
+		ref = s.f64[s.next(len(s.f64))]
+	}
+	s.consumed[ref] = true
+	return ref
+}
+
+func (s *synth) anyDangling() bool {
+	for _, r := range s.f64 {
+		if !s.consumed[r] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *synth) pickDangling() sigRef {
+	var d []sigRef
+	for _, r := range s.f64 {
+		if !s.consumed[r] {
+			d = append(d, r)
+		}
+	}
+	return d[s.next(len(d))]
+}
+func (s *synth) pickI32() sigRef { return s.i32[s.next(len(s.i32))] }
+
+// pickBool prefers dangling booleans for the same connectivity reason as
+// pickF64.
+func (s *synth) pickBool() sigRef {
+	var d []sigRef
+	for _, r := range s.bool_ {
+		if !s.consumed[r] {
+			d = append(d, r)
+		}
+	}
+	var ref sigRef
+	if len(d) > 0 && s.chance(0.8) {
+		ref = d[s.next(len(d))]
+	} else {
+		ref = s.bool_[s.next(len(s.bool_))]
+	}
+	s.consumed[ref] = true
+	return ref
+}
+
+// danglingBools counts booleans nothing consumes yet.
+func (s *synth) danglingBools() int {
+	n := 0
+	for _, r := range s.bool_ {
+		if !s.consumed[r] {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *synth) pushF64(a string)  { s.f64 = append(s.f64, sigRef{a, 0}) }
+func (s *synth) pushI32(a string)  { s.i32 = append(s.i32, sigRef{a, 0}) }
+func (s *synth) pushBool(a string) { s.bool_ = append(s.bool_, sigRef{a, 0}) }
+
+// boundary creates the model's inports (float stimuli) and outports
+// (wired at finish).
+func (s *synth) boundary() []string {
+	for i := 0; i < s.p.Inports; i++ {
+		name := s.addRoot(fmt.Sprintf("In%d", i+1), "Inport", 0, 1,
+			model.WithOutKind(types.F64), model.WithParam("Port", fmt.Sprint(i+1)))
+		s.pushF64(name)
+	}
+	outs := make([]string, s.p.Outports)
+	for i := range outs {
+		outs[i] = s.addRoot(fmt.Sprintf("Out%d", i+1), "Outport", 1, 0,
+			model.WithParam("Port", fmt.Sprint(i+1)))
+	}
+	return outs
+}
+
+// fill synthesises actors until the exact published count is reached,
+// maintaining a connectivity invariant as it goes: whenever too many
+// signals dangle unconsumed, collector logic (OR-reduction over booleans,
+// If-selection into the float flow, Sum-reduction over floats) folds them
+// back in. The result is a model where — like a production controller —
+// almost every block influences some model output.
+func (s *synth) fill() {
+	const tail = 16 // worst-case actors the final absorption can need
+	for s.n < s.p.Actors-tail {
+		if s.danglingBools() >= 8 && s.absorbBools() {
+			continue
+		}
+		if s.danglingF64() >= 12 {
+			s.absorbF64()
+			continue
+		}
+		budget := s.p.Actors - tail - s.n
+		if s.chance(s.p.ComputeFrac) {
+			s.addCompute(budget)
+		} else {
+			s.addControl(budget)
+		}
+	}
+	// Final absorption: every residual boolean, then the float leftovers.
+	for s.danglingBools() > 0 && s.n < s.p.Actors {
+		s.collIf()
+	}
+	for s.danglingF64() > 1 && s.n < s.p.Actors {
+		s.absorbF64()
+	}
+	// Exact fill: pass-through gains extend the dangling trunk without
+	// ever abandoning it, so exactly one dangling signal remains for the
+	// outports.
+	for s.n < s.p.Actors {
+		s.padGain()
+	}
+}
+
+// padGain appends one gain that always consumes the current dangling
+// trunk (never a random signal), preserving the single-trunk invariant.
+func (s *synth) padGain() {
+	var src sigRef
+	found := false
+	for _, r := range s.f64 {
+		if !s.consumed[r] {
+			src = r
+			found = true
+		}
+	}
+	if !found {
+		src = s.f64[len(s.f64)-1]
+	}
+	s.consumed[src] = true
+	a := s.add(s.name("Pad"), "Gain", 1, 1, model.WithParam("Gain", "1.03125"))
+	s.b.Connect(src.actor, src.port, a, 0)
+	s.pushF64(a)
+}
+
+// danglingF64 counts float signals nothing consumes yet.
+func (s *synth) danglingF64() int {
+	n := 0
+	for _, r := range s.f64 {
+		if !s.consumed[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// absorbBools OR-reduces up to eight dangling booleans and routes the
+// result into the float flow through an If selector (2 actors).
+func (s *synth) absorbBools() bool {
+	var d []sigRef
+	for _, r := range s.bool_ {
+		if !s.consumed[r] {
+			d = append(d, r)
+		}
+	}
+	if len(d) < 2 {
+		return false
+	}
+	k := len(d)
+	if k > 8 {
+		k = 8
+	}
+	a := s.add(s.name("CollB"), "Logic", k, 1, model.WithOperator("OR"))
+	for p := 0; p < k; p++ {
+		s.consumed[d[p]] = true
+		s.b.Connect(d[p].actor, d[p].port, a, p)
+	}
+	s.pushBool(a)
+	s.consumed[sigRef{a, 0}] = true
+	iff := s.add(s.name("CollIf"), "If", 3, 1)
+	x, y := s.pickF64(), s.pickF64()
+	s.b.Connect(a, 0, iff, 0)
+	s.b.Connect(x.actor, x.port, iff, 1)
+	s.b.Connect(y.actor, y.port, iff, 2)
+	s.pushF64(iff)
+	return true
+}
+
+// collIf routes one residual boolean into the float flow (1 actor).
+func (s *synth) collIf() {
+	var en sigRef
+	found := false
+	for _, r := range s.bool_ {
+		if !s.consumed[r] {
+			en = r
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	s.consumed[en] = true
+	a := s.add(s.name("CollIf"), "If", 3, 1)
+	x, y := s.pickF64(), s.pickF64()
+	s.b.Connect(en.actor, en.port, a, 0)
+	s.b.Connect(x.actor, x.port, a, 1)
+	s.b.Connect(y.actor, y.port, a, 2)
+	s.pushF64(a)
+}
+
+// absorbF64 Sum-reduces up to eight dangling float signals (1 actor).
+func (s *synth) absorbF64() {
+	var d []sigRef
+	for _, r := range s.f64 {
+		if !s.consumed[r] {
+			d = append(d, r)
+		}
+	}
+	if len(d) < 2 {
+		return
+	}
+	k := len(d)
+	if k > 8 {
+		k = 8
+	}
+	ops := ""
+	for i := 0; i < k; i++ {
+		ops += "+"
+	}
+	a := s.add(s.name("CollF"), "Sum", k, 1, model.WithOperator(ops))
+	for p := 0; p < k; p++ {
+		s.consumed[d[p]] = true
+		s.b.Connect(d[p].actor, d[p].port, a, p)
+	}
+	s.pushF64(a)
+}
+
+// fillerMathOps keeps filler outputs bounded so synthesised value flows do
+// not diverge to infinity under long random stimulation.
+var fillerMathOps = []string{"sin", "cos", "tanh"}
+
+// addCompute adds one computational actor (the kind the paper credits for
+// the largest code-generation speedups).
+func (s *synth) addCompute(budget int) {
+	switch s.next(10) {
+	case 0, 1: // Sum of 2-3 float signals
+		nIn := 2 + s.next(2)
+		var ops string
+		if nIn == 2 {
+			ops = []string{"++", "+-"}[s.next(2)]
+		} else {
+			ops = []string{"++-", "+-+", "+++"}[s.next(3)]
+		}
+		a := s.add(s.name("Add"), "Sum", nIn, 1, model.WithOperator(ops))
+		for p := 0; p < nIn; p++ {
+			src := s.pickF64()
+			s.b.Connect(src.actor, src.port, a, p)
+		}
+		s.pushF64(a)
+	case 2: // Product
+		op := []string{"**", "*/"}[s.next(2)]
+		a := s.add(s.name("Mul"), "Product", 2, 1, model.WithOperator(op))
+		x, y := s.pickF64(), s.pickF64()
+		s.b.Connect(x.actor, x.port, a, 0)
+		s.b.Connect(y.actor, y.port, a, 1)
+		s.pushF64(a)
+	case 3: // Gain
+		g := fmt.Sprintf("%g", []float64{0.5, 1.25, 2, -0.75, 3.5}[s.next(5)])
+		a := s.add(s.name("Gain"), "Gain", 1, 1, model.WithParam("Gain", g))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 4: // Math unary
+		op := fillerMathOps[s.next(len(fillerMathOps))]
+		a := s.add(s.name("Fn"), "Math", 1, 1, model.WithOperator(op))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 5: // Bias
+		a := s.add(s.name("Bias"), "Bias", 1, 1, model.WithParam("Bias", "0.125"))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 6: // Abs
+		a := s.add(s.name("Abs"), "Abs", 1, 1)
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 7: // leaky accumulator: Gain(0.99) closed through UnitDelay
+		if budget < 3 {
+			s.addSimpleCompute()
+			return
+		}
+		sum := s.add(s.name("AccS"), "Sum", 2, 1, model.WithOperator("++"))
+		gn := s.add(s.name("AccG"), "Gain", 1, 1, model.WithParam("Gain", "0.96875"))
+		dl := s.add(s.name("AccD"), "UnitDelay", 1, 1)
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, sum, 0)
+		s.b.Connect(dl, 0, sum, 1)
+		s.b.Connect(sum, 0, gn, 0)
+		s.b.Connect(gn, 0, dl, 0)
+		s.pushF64(sum)
+		s.pushF64(gn)
+	case 8: // first-order filter
+		a := s.add(s.name("Filt"), "DiscreteFilter", 1, 1,
+			model.WithParam("A", "0.875"), model.WithParam("B", "0.125"))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 9: // Polynomial
+		a := s.add(s.name("Poly"), "Polynomial", 1, 1, model.WithParam("Coeffs", "[0.01 -0.2 1.5 0.25]"))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	}
+}
+
+// addSimpleCompute is the budget-1 fallback.
+func (s *synth) addSimpleCompute() {
+	a := s.add(s.name("Gain"), "Gain", 1, 1, model.WithParam("Gain", "1.5"))
+	src := s.pickF64()
+	s.b.Connect(src.actor, src.port, a, 0)
+	s.pushF64(a)
+}
+
+// addControl adds one control-logic actor (branching / boolean logic),
+// which the paper notes benefits less from compiled execution.
+func (s *synth) addControl(budget int) {
+	if len(s.bool_) < 2 {
+		// Seed the boolean pool first.
+		s.addComparator()
+		return
+	}
+	switch s.next(11) {
+	case 0: // Switch
+		a := s.add(s.name("Sw"), "Switch", 3, 1,
+			model.WithOperator(">="), model.WithParam("Threshold", "0"))
+		x, c, y := s.pickF64(), s.pickF64(), s.pickF64()
+		s.b.Connect(x.actor, x.port, a, 0)
+		s.b.Connect(c.actor, c.port, a, 1)
+		s.b.Connect(y.actor, y.port, a, 2)
+		s.pushF64(a)
+	case 1: // Logic over boolean pool
+		nIn := 2 + s.next(2)
+		op := []string{"AND", "OR", "XOR", "NAND"}[s.next(4)]
+		a := s.add(s.name("Lg"), "Logic", nIn, 1, model.WithOperator(op))
+		for p := 0; p < nIn; p++ {
+			src := s.pickBool()
+			s.b.Connect(src.actor, src.port, a, p)
+		}
+		s.pushBool(a)
+	case 2:
+		if s.danglingBools() >= 3 {
+			// Plenty of unconsumed conditions: absorb them with logic
+			// instead of minting more.
+			nIn := 2 + s.next(2)
+			op := []string{"AND", "OR", "XOR"}[s.next(3)]
+			a := s.add(s.name("Lg"), "Logic", nIn, 1, model.WithOperator(op))
+			for p := 0; p < nIn; p++ {
+				src := s.pickBool()
+				s.b.Connect(src.actor, src.port, a, p)
+			}
+			s.pushBool(a)
+			return
+		}
+		s.addComparator()
+	case 3: // If selection driven by a boolean
+		a := s.add(s.name("If"), "If", 3, 1)
+		c, x, y := s.pickBool(), s.pickF64(), s.pickF64()
+		s.b.Connect(c.actor, c.port, a, 0)
+		s.b.Connect(x.actor, x.port, a, 1)
+		s.b.Connect(y.actor, y.port, a, 2)
+		s.pushF64(a)
+	case 4: // Saturation
+		a := s.add(s.name("Sat"), "Saturation", 1, 1,
+			model.WithParam("Min", "-100"), model.WithParam("Max", "100"))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 5: // Relay
+		a := s.add(s.name("Rly"), "Relay", 1, 1,
+			model.WithParam("OnPoint", "1"), model.WithParam("OffPoint", "-1"),
+			model.WithParam("OnValue", "1"), model.WithParam("OffValue", "0"))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 6: // DeadZone
+		a := s.add(s.name("Dz"), "DeadZone", 1, 1,
+			model.WithParam("Start", "-0.5"), model.WithParam("End", "0.5"))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushF64(a)
+	case 7: // MultiportSwitch driven by an int index
+		if len(s.i32) == 0 || budget < 2 {
+			s.addComparator()
+			return
+		}
+		a := s.add(s.name("Mps"), "MultiportSwitch", 4, 1)
+		idx := s.pickI32()
+		s.b.Connect(idx.actor, idx.port, a, 0)
+		for p := 1; p <= 3; p++ {
+			src := s.pickF64()
+			s.b.Connect(src.actor, src.port, a, p)
+		}
+		s.pushF64(a)
+	case 8: // rare-event threshold: this decision's true outcome needs
+		// many random samples, so coverage keeps climbing with step count
+		// — the effect Table 3 measures.
+		thr := []string{"99.9", "99.99", "99.999", "-99.9", "-99.99"}[s.next(5)]
+		op := ">"
+		if thr[0] == '-' {
+			op = "<"
+		}
+		a := s.add(s.name("Rare"), "CompareToConstant", 1, 1,
+			model.WithOperator(op), model.WithParam("Constant", thr))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushBool(a)
+		s.rareBool = append(s.rareBool, sigRef{a, 0})
+	case 9: // time-gated switch: its second branch executes only after a
+		// long horizon (Step source flips late), again rewarding engines
+		// that execute more steps per unit time.
+		if budget < 2 {
+			s.addComparator()
+			return
+		}
+		stepTime := []string{"5000", "50000", "500000", "5000000"}[s.next(4)]
+		gate := s.add(s.name("Gate"), "Step", 0, 1,
+			model.WithParam("StepTime", stepTime),
+			model.WithParam("Before", "0"), model.WithParam("After", "1"))
+		sw := s.add(s.name("GSw"), "Switch", 3, 1,
+			model.WithOperator("~=0"))
+		x, y := s.pickF64(), s.pickF64()
+		s.b.Connect(x.actor, x.port, sw, 0)
+		s.b.Connect(gate, 0, sw, 1)
+		s.b.Connect(y.actor, y.port, sw, 2)
+		s.pushF64(sw)
+	case 10: // conditionally executed block (enabled-subsystem shape):
+		// the gated actors only execute — and only count as covered —
+		// while their enable signal is true, which is what keeps the
+		// Table 3 actor-coverage column climbing with step count.
+		if budget < 2 {
+			s.addComparator()
+			return
+		}
+		var en sigRef
+		if len(s.rareBool) > 0 && s.chance(0.6) {
+			en = s.rareBool[s.next(len(s.rareBool))]
+		} else {
+			en = s.pickBool()
+		}
+		g := s.add(s.name("EnG"), "Gain", 1, 1,
+			model.WithParam("Gain", "1.5"), model.WithParam("EnabledBy", en.actor))
+		ig := s.add(s.name("EnI"), "DiscreteIntegrator", 1, 1,
+			model.WithParam("Gain", "0.01"), model.WithParam("EnabledBy", en.actor))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, g, 0)
+		s.b.Connect(g, 0, ig, 0)
+		s.pushF64(g)
+		s.pushF64(ig)
+	}
+}
+
+// addComparator seeds the boolean pool from a float signal.
+func (s *synth) addComparator() {
+	if s.chance(0.5) {
+		a := s.add(s.name("Cmp"), "CompareToZero", 1, 1,
+			model.WithOperator([]string{">", ">=", "<"}[s.next(3)]))
+		src := s.pickF64()
+		s.b.Connect(src.actor, src.port, a, 0)
+		s.pushBool(a)
+		return
+	}
+	a := s.add(s.name("Rel"), "RelationalOperator", 2, 1,
+		model.WithOperator([]string{">", "<=", ">="}[s.next(3)]))
+	x, y := s.pickF64(), s.pickF64()
+	s.b.Connect(x.actor, x.port, a, 0)
+	s.b.Connect(y.actor, y.port, a, 1)
+	s.pushBool(a)
+}
+
+// finish wires the outports to the remaining dangling signals first (so
+// as few chains as possible end unobserved), then to the pool tail, and
+// builds the model.
+func (s *synth) finish(outs []string) *model.Model {
+	var dangling []sigRef
+	for _, r := range s.f64 {
+		if !s.consumed[r] {
+			dangling = append(dangling, r)
+		}
+	}
+	for i, out := range outs {
+		var src sigRef
+		if i < len(dangling) {
+			src = dangling[len(dangling)-1-i] // latest dangling first
+		} else {
+			src = s.f64[len(s.f64)-1-(i%len(s.f64))]
+		}
+		s.consumed[src] = true
+		s.b.Connect(src.actor, src.port, out, 0)
+	}
+	return s.b.MustBuild()
+}

@@ -1,0 +1,91 @@
+package codegen_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/benchmodels"
+	"accmos/internal/codegen"
+	"accmos/internal/diagnose"
+	"accmos/internal/testcase"
+	"accmos/internal/types"
+)
+
+// TestGeneratedSourceParsesForAllBenchmarks parses (go/parser) the program
+// generated for every benchmark model with every feature enabled — a fast,
+// compiler-free syntactic gate over the full template surface.
+func TestGeneratedSourceParsesForAllBenchmarks(t *testing.T) {
+	for _, name := range benchmodels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := actors.Compile(benchmodels.MustBuild(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pick a monitorable scalar actor and a custom-checkable one.
+			var mon []string
+			var customs []diagnose.CustomCheck
+			for _, info := range c.Order {
+				if len(info.Actor.Outputs) == 1 && info.OutWidth() == 1 {
+					mon = []string{info.Actor.Name}
+					customs = []diagnose.CustomCheck{{
+						Actor: info.Actor.Name, Name: "probe",
+						Kind: diagnose.RangeCheck, Lo: -1e9, Hi: 1e9,
+					}}
+					break
+				}
+			}
+			prog, err := codegen.Generate(c, codegen.Options{
+				Coverage:   true,
+				Diagnose:   true,
+				Monitor:    mon,
+				Custom:     customs,
+				StopOnDiag: diagnose.WrapOnOverflow,
+				TestCases:  testcase.NewRandomSet(len(c.Inports), 1, -10, 10),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, "main.go", prog.Source, 0); err != nil {
+				t.Fatalf("generated source does not parse: %v", err)
+			}
+		})
+	}
+}
+
+// TestGenerateOptionValidation pins the generator's input checks.
+func TestGenerateOptionValidation(t *testing.T) {
+	c, err := actors.Compile(benchmodels.Figure1Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testcase.NewRandomSet(len(c.Inports), 1, -1, 1)
+
+	if _, err := codegen.Generate(c, codegen.Options{
+		TestCases: set,
+		Monitor:   []string{"NoSuchActor"},
+	}); err == nil {
+		t.Error("unknown monitor actor must fail")
+	}
+	if _, err := codegen.Generate(c, codegen.Options{
+		TestCases: set,
+		Custom: []diagnose.CustomCheck{{
+			Actor: "Sum", Name: "cb", Kind: diagnose.CallbackCheck,
+			Callback: func(int64, types.Value) (bool, string) { return false, "" },
+		}},
+	}); err == nil {
+		t.Error("callback custom check is interpreter-only and must fail in codegen")
+	}
+	if _, err := codegen.Generate(c, codegen.Options{
+		TestCases: set,
+		Custom: []diagnose.CustomCheck{{
+			Actor: "NoSuch", Name: "r", Kind: diagnose.RangeCheck,
+		}},
+	}); err == nil {
+		t.Error("unknown custom-check actor must fail")
+	}
+}

@@ -1,0 +1,304 @@
+// Package codegen is the paper's primary contribution: simulation-oriented
+// code generation for dataflow models. It translates a compiled model into
+// a self-contained Go program instrumented for runtime actor information
+// collection (signal monitor), coverage collection (actor / condition /
+// decision / MC/DC bitmaps), and calculation diagnosis (generated
+// diagnostic functions per actor type and operator), then synthesises the
+// simulation main function with test-case import and result output —
+// the three-step pipeline of the paper's Figure 2 and Algorithm 1.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accmos/internal/actors"
+	"accmos/internal/coverage"
+	"accmos/internal/diagnose"
+	"accmos/internal/testcase"
+	"accmos/internal/types"
+)
+
+// Options configures generation, mirroring interp.Options so experiments
+// can run both engines with identical functionality enabled.
+type Options struct {
+	Coverage bool
+	Diagnose bool
+	// Monitor lists actor names whose outputs are signal-monitored (the
+	// collectList of Algorithm 1). Monitored actors must have scalar
+	// outputs.
+	Monitor []string
+	// Custom lists custom signal diagnoses. CallbackCheck is not
+	// supported in generated code (a Go closure cannot be serialised);
+	// use RangeCheck or DeltaCheck.
+	Custom []diagnose.CustomCheck
+	// MaxDiagRecords bounds verbatim diagnostic records (default 64).
+	MaxDiagRecords int
+	// MaxMonitorSamples bounds per-actor monitor samples (default 16).
+	MaxMonitorSamples int
+	// StopOnDiag stops the simulation loop at the end of the step in
+	// which this diagnosis kind first fires. StopOnActor optionally
+	// narrows the trigger to one actor path.
+	StopOnDiag  diagnose.Kind
+	StopOnActor string
+	// TestCases embeds the stimulus generators; required.
+	TestCases *testcase.Set
+	// DefaultSteps is the -steps default baked into the binary.
+	DefaultSteps int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxDiagRecords == 0 {
+		o.MaxDiagRecords = 64
+	}
+	if o.MaxMonitorSamples == 0 {
+		o.MaxMonitorSamples = 16
+	}
+	if o.DefaultSteps == 0 {
+		o.DefaultSteps = 1000
+	}
+}
+
+// Program is a generated simulation program.
+type Program struct {
+	Source string
+	Model  string
+	Layout *coverage.Layout
+}
+
+// Generator drives one generation run and implements actors.ProgramSink.
+type Generator struct {
+	c    *actors.Compiled
+	opts Options
+
+	layout *coverage.Layout
+
+	imports map[string]bool
+	globals []string
+	inits   []string
+	updates []string
+
+	// outVar names each actor output's generated variable.
+	outVar map[string][]string
+
+	// outBindings maps outport order position -> bound input expression.
+	outBindings map[string]string
+
+	storeVars  map[string]string
+	storeKinds map[string]types.Kind
+
+	// diag slot assignment: key "actor|kind" -> slot.
+	diagSlots map[string]int
+	diagNames []string // slot -> "path|kind"
+	diagStop  []bool
+
+	// monitor slot assignment.
+	monSlots []string // slot -> actor name
+	monPaths []string // slot -> path
+
+	rules map[string][]diagnose.Kind
+
+	// gateCond is the enable condition of the actor currently being
+	// instrumented ("" when unconditional); UpdateStmt wraps state commits
+	// with it so disabled actors freeze their state.
+	gateCond string
+
+	body      *strings.Builder
+	diagFuncs strings.Builder
+}
+
+// Generate produces the instrumented simulation program for a compiled
+// model.
+func Generate(c *actors.Compiled, opts Options) (*Program, error) {
+	opts.fillDefaults()
+	if opts.TestCases == nil {
+		return nil, fmt.Errorf("codegen: Options.TestCases is required")
+	}
+	if len(opts.TestCases.Sources) != len(c.Inports) {
+		return nil, fmt.Errorf("codegen: %d test-case sources for %d inports",
+			len(opts.TestCases.Sources), len(c.Inports))
+	}
+	if err := opts.TestCases.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		c:           c,
+		opts:        opts,
+		body:        &strings.Builder{},
+		layout:      coverage.NewLayout(c),
+		imports:     map[string]bool{"flag": true, "fmt": true, "os": true, "time": true, "encoding/json": true},
+		outVar:      make(map[string][]string),
+		outBindings: make(map[string]string),
+		storeVars:   make(map[string]string),
+		storeKinds:  make(map[string]types.Kind),
+		diagSlots:   make(map[string]int),
+		rules:       make(map[string][]diagnose.Kind),
+	}
+	if err := g.prepare(); err != nil {
+		return nil, err
+	}
+	if err := g.instrumentActors(); err != nil {
+		return nil, err
+	}
+	src, err := g.synthesize()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Source: src, Model: c.Model.Name, Layout: g.layout}, nil
+}
+
+// prepare assigns data-store variables, diagnosis slots, monitor slots and
+// validates custom checks.
+func (g *Generator) prepare() error {
+	for _, ds := range g.c.DataStores {
+		name := actors.StoreName(ds)
+		if _, dup := g.storeVars[name]; dup {
+			return fmt.Errorf("codegen: duplicate data store %q", name)
+		}
+		v := fmt.Sprintf("ds_%s", sanitize(name))
+		g.storeVars[name] = v
+		k := actors.StoreKind(ds)
+		g.storeKinds[name] = k
+		g.globals = append(g.globals, fmt.Sprintf("var %s %s", v, k.GoType()))
+		g.inits = append(g.inits, fmt.Sprintf("%s = %s", v, actors.StoreInit(ds).GoLiteral()))
+	}
+
+	allocSlot := func(info *actors.Info, kind diagnose.Kind) {
+		key := info.Actor.Name + "|" + string(kind)
+		if _, dup := g.diagSlots[key]; dup {
+			return
+		}
+		g.diagSlots[key] = len(g.diagNames)
+		g.diagNames = append(g.diagNames, info.Path+"|"+string(kind))
+		stop := g.opts.StopOnDiag != "" && kind == g.opts.StopOnDiag &&
+			(g.opts.StopOnActor == "" || info.Path == g.opts.StopOnActor)
+		g.diagStop = append(g.diagStop, stop)
+	}
+	if g.opts.Diagnose {
+		for _, info := range g.c.Order {
+			rs := diagnose.RulesFor(info)
+			if len(rs) > 0 {
+				g.rules[info.Actor.Name] = rs
+				for _, k := range rs {
+					allocSlot(info, k)
+				}
+			}
+		}
+	}
+	for i := range g.opts.Custom {
+		chk := &g.opts.Custom[i]
+		if err := chk.Validate(); err != nil {
+			return err
+		}
+		if chk.Kind == diagnose.CallbackCheck {
+			return fmt.Errorf("codegen: custom check %q: CallbackCheck is interpreter-only", chk.Name)
+		}
+		info := g.c.Info(chk.Actor)
+		if info == nil {
+			return fmt.Errorf("codegen: custom check %q references unknown actor %q", chk.Name, chk.Actor)
+		}
+		if len(info.Actor.Outputs) == 0 || info.OutWidth() > 1 {
+			return fmt.Errorf("codegen: custom check %q: actor %q must have a scalar output", chk.Name, chk.Actor)
+		}
+		allocSlot(info, diagnose.Custom)
+	}
+	for _, name := range g.opts.Monitor {
+		info := g.c.Info(name)
+		if info == nil {
+			return fmt.Errorf("codegen: monitor references unknown actor %q", name)
+		}
+		if len(info.Actor.Outputs) == 0 {
+			return fmt.Errorf("codegen: monitored actor %q has no output", name)
+		}
+		g.monSlots = append(g.monSlots, name)
+		g.monPaths = append(g.monPaths, info.Path)
+	}
+	return nil
+}
+
+// sanitize turns an arbitrary identifier-ish string into a Go identifier
+// fragment.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// ---- actors.ProgramSink implementation ----
+
+// Global registers a package-level declaration.
+func (g *Generator) Global(decl string) { g.globals = append(g.globals, decl) }
+
+// InitStmt registers a modelInit statement.
+func (g *Generator) InitStmt(stmt string) { g.inits = append(g.inits, stmt) }
+
+// UpdateStmt registers an end-of-step statement, gated by the current
+// actor's enable condition when it executes conditionally.
+func (g *Generator) UpdateStmt(stmt string) {
+	if g.gateCond != "" {
+		stmt = fmt.Sprintf("if %s { %s }", g.gateCond, stmt)
+	}
+	g.updates = append(g.updates, stmt)
+}
+
+// Import requests an import.
+func (g *Generator) Import(pkg string) { g.imports[pkg] = true }
+
+// ExternalInput returns the stimulus expression for an Inport, converted
+// from the raw float64 test-case value to the port kind — the same path
+// the interpreter takes through types.Convert.
+func (g *Generator) ExternalInput(info *actors.Info) string {
+	for i, ip := range g.c.Inports {
+		if ip == info {
+			return actors.Cast(fmt.Sprintf("tcIn%d", i), types.F64, info.OutKind())
+		}
+	}
+	return "0 /* unbound inport */"
+}
+
+// BindOutput records an Outport's source expression for hashing.
+func (g *Generator) BindOutput(info *actors.Info, expr string) {
+	g.outBindings[info.Actor.Name] = expr
+}
+
+// DataStoreVar returns the variable name of a named store.
+func (g *Generator) DataStoreVar(name string) string { return g.storeVars[name] }
+
+// DataStoreKind returns the declared kind of a named store.
+func (g *Generator) DataStoreKind(name string) types.Kind { return g.storeKinds[name] }
+
+// DiagSlotFor returns the report slot for (actor, kind), or -1.
+func (g *Generator) DiagSlotFor(actor string, kind diagnose.Kind) int {
+	if slot, ok := g.diagSlots[actor+"|"+string(kind)]; ok {
+		return slot
+	}
+	return -1
+}
+
+// DiagSlot implements actors.ProgramSink for actor templates.
+func (g *Generator) DiagSlot(info *actors.Info, kind string) int {
+	return g.DiagSlotFor(info.Actor.Name, diagnose.Kind(kind))
+}
+
+// varName returns the generated variable for an actor's output port.
+func (g *Generator) varName(info *actors.Info, port int) string {
+	return fmt.Sprintf("v%d_%d", info.Index, port)
+}
+
+// sortedImports returns the import list, sorted.
+func (g *Generator) sortedImports() []string {
+	out := make([]string, 0, len(g.imports))
+	for p := range g.imports {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package codegen
+
+// runtimeSrc is the static support code embedded in every generated
+// program: deterministic conversions (matching types.Convert), the FNV-1a
+// output hash (matching simresult.HashU64), value formatting (matching
+// types.Value.String), the bounded diagnosis reporter, the signal monitor
+// (the paper's outputCollect), and 1-D table interpolation (matching
+// actors.Lookup1DInterp — keep in sync).
+const runtimeSrc = `
+// b2i converts a bool to 0/1.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// b2f converts a bool to 0/1 as float64.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cvtF2I is the deterministic float->int64 conversion: NaN -> 0,
+// out-of-range saturates at the int64 bounds, otherwise truncation.
+func cvtF2I(f float64) int64 {
+	switch {
+	case f != f: // NaN
+		return 0
+	case f >= 9223372036854775807:
+		return 9223372036854775807
+	case f <= -9223372036854775808:
+		return -9223372036854775808
+	default:
+		return int64(f)
+	}
+}
+
+// cvtF2U is the deterministic float->uint64 conversion.
+func cvtF2U(f float64) uint64 {
+	switch {
+	case f != f: // NaN
+		return 0
+	case f >= 18446744073709551615:
+		return 18446744073709551615
+	case f < 0:
+		return 0
+	default:
+		return uint64(f)
+	}
+}
+
+// lookup1D is clamped linear interpolation over ascending breakpoints.
+func lookup1D(bp, table []float64, x float64) float64 {
+	n := len(bp)
+	if x <= bp[0] {
+		return table[0]
+	}
+	if x >= bp[n-1] {
+		return table[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bp[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - bp[lo]) / (bp[lo+1] - bp[lo])
+	return table[lo] + t*(table[lo+1]-table[lo])
+}
+
+// hashU64 folds one 64-bit word into the FNV-1a output hash.
+func hashU64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (x >> (8 * uint(i))) & 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+var outputHash uint64 = 14695981039346656037
+
+func hashF64(v float64) { outputHash = hashU64(outputHash, math.Float64bits(v)) }
+func hashF32(v float32) { outputHash = hashU64(outputHash, uint64(math.Float32bits(v))) }
+func hashI(v int64)     { outputHash = hashU64(outputHash, uint64(v)) }
+func hashU(v uint64)    { outputHash = hashU64(outputHash, v) }
+func hashB(v bool)      { outputHash = hashU64(outputHash, uint64(b2i(v))) }
+
+// fmtF64 formats a float like the interpreter's value printer.
+func fmtF64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func fmtI64(v int64) string   { return strconv.FormatInt(v, 10) }
+func fmtU64(v uint64) string  { return strconv.FormatUint(v, 10) }
+func fmtBool(v bool) string   { return strconv.FormatBool(v) }
+
+// Vector formatters mirror the interpreter's "[e1 e2 ...]" rendering.
+func fmtVecF64(v []float64) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmtF64(x)
+	}
+	return s + "]"
+}
+
+func fmtVecF32(v []float32) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmtF64(float64(x))
+	}
+	return s + "]"
+}
+
+func fmtVecI[T int8 | int16 | int32 | int64](v []T) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmtI64(int64(x))
+	}
+	return s + "]"
+}
+
+func fmtVecU[T uint8 | uint16 | uint32 | uint64](v []T) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmtU64(uint64(x))
+	}
+	return s + "]"
+}
+
+func fmtVecB(v []bool) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmtBool(x)
+	}
+	return s + "]"
+}
+
+// diagRecord matches the simresult JSON schema for diagnostics.
+type diagRecord struct {
+	Step   int64  ` + "`json:\"step\"`" + `
+	Actor  string ` + "`json:\"actor\"`" + `
+	Kind   string ` + "`json:\"kind\"`" + `
+	Detail string ` + "`json:\"detail,omitempty\"`" + `
+}
+
+// monitorSample matches the simresult JSON schema for monitor samples.
+type monitorSample struct {
+	Step  int64  ` + "`json:\"step\"`" + `
+	Value string ` + "`json:\"value\"`" + `
+}
+
+var (
+	diagTotal     int64
+	diagRecords   []diagRecord
+	stopRequested bool
+
+	// seedXor perturbs every embedded uniform test-case seed, so one
+	// compiled binary can run many random test suites (-seed-xor).
+	seedXor uint64
+)
+
+// reportDiag records one diagnostic finding in slot's counters.
+func reportDiag(slot int, step int64, detail string) {
+	diagTotal++
+	diagCounts[slot]++
+	if diagFirst[slot] < 0 {
+		diagFirst[slot] = step
+	}
+	if len(diagRecords) < maxDiagRecords {
+		diagRecords = append(diagRecords, diagRecord{
+			Step: step, Actor: diagActors[slot], Kind: diagKinds[slot], Detail: detail,
+		})
+	}
+	if diagStop[slot] {
+		stopRequested = true
+	}
+}
+
+// outputCollect is the signal-monitor instrumentation: it records the
+// actor's output value (bounded) and counts every observation.
+func outputCollect(slot int, step int64, value string) {
+	monHits[slot]++
+	if len(monSamples[slot]) < maxMonitorSamples {
+		monSamples[slot] = append(monSamples[slot], monitorSample{Step: step, Value: value})
+	}
+}
+`

@@ -1,0 +1,339 @@
+// Package coverage implements the four model coverage metrics the paper
+// instruments (§3.2.A): actor coverage, condition coverage, decision
+// coverage, and modified condition/decision coverage (MC/DC, masking
+// semantics). The Layout computed from a compiled model fixes one bitmap
+// slot arrangement shared by the interpreted engine and the generated
+// code, so both report identical percentages from identical executions.
+package coverage
+
+import (
+	"fmt"
+
+	"accmos/internal/actors"
+)
+
+// Group locates one actor's slots inside a metric bitmap.
+type Group struct {
+	Actor string // actor name (not path: engine-side lookups use names)
+	Path  string
+	Base  int // first slot index
+	Count int // number of logical points (branches / conditions)
+}
+
+// Layout is the coverage model of one compiled model.
+type Layout struct {
+	// ActorIndex maps actor name -> actor bitmap slot.
+	ActorIndex map[string]int
+	ActorPaths []string // slot -> path
+
+	// Cond groups: one slot per branch.
+	Cond      []Group
+	CondIndex map[string]int // actor name -> index into Cond
+	CondBits  int
+
+	// Dec groups: two slots per decision (true outcome, false outcome).
+	Dec      []Group
+	DecIndex map[string]int
+	DecBits  int
+
+	// MCDC groups: two slots per condition (determined-while-true,
+	// determined-while-false).
+	MCDC      []Group
+	MCDCIndex map[string]int
+	MCDCBits  int
+}
+
+// NewLayout derives the coverage model from a compiled model, walking
+// actors in execution order so slot assignment is deterministic.
+func NewLayout(c *actors.Compiled) *Layout {
+	l := &Layout{
+		ActorIndex: make(map[string]int, len(c.Order)),
+		CondIndex:  make(map[string]int),
+		DecIndex:   make(map[string]int),
+		MCDCIndex:  make(map[string]int),
+	}
+	for _, info := range c.Order {
+		name := info.Actor.Name
+		l.ActorIndex[name] = len(l.ActorPaths)
+		l.ActorPaths = append(l.ActorPaths, info.Path)
+
+		if info.IsBranchActor() {
+			n := info.Branches()
+			l.CondIndex[name] = len(l.Cond)
+			l.Cond = append(l.Cond, Group{Actor: name, Path: info.Path, Base: l.CondBits, Count: n})
+			l.CondBits += n
+		}
+		if info.ContainsBooleanLogic() {
+			l.DecIndex[name] = len(l.Dec)
+			l.Dec = append(l.Dec, Group{Actor: name, Path: info.Path, Base: l.DecBits, Count: 1})
+			l.DecBits += 2
+		}
+		if info.IsCombinationCondition() {
+			n := info.NumIn()
+			l.MCDCIndex[name] = len(l.MCDC)
+			l.MCDC = append(l.MCDC, Group{Actor: name, Path: info.Path, Base: l.MCDCBits, Count: n})
+			l.MCDCBits += 2 * n
+		}
+	}
+	return l
+}
+
+// CondBase returns the condition bitmap base for an actor, or -1.
+func (l *Layout) CondBase(actor string) int {
+	if i, ok := l.CondIndex[actor]; ok {
+		return l.Cond[i].Base
+	}
+	return -1
+}
+
+// DecBase returns the decision bitmap base for an actor, or -1.
+func (l *Layout) DecBase(actor string) int {
+	if i, ok := l.DecIndex[actor]; ok {
+		return l.Dec[i].Base
+	}
+	return -1
+}
+
+// MCDCBase returns the MC/DC bitmap base for an actor, or -1.
+func (l *Layout) MCDCBase(actor string) int {
+	if i, ok := l.MCDCIndex[actor]; ok {
+		return l.MCDC[i].Base
+	}
+	return -1
+}
+
+// Raw holds the four bitmaps. Slots are bytes (0 or 1): the paper's
+// actorBitmap[actorID] = 1 instrumentation, one byte per point.
+type Raw struct {
+	Actor []byte `json:"actor"`
+	Cond  []byte `json:"cond"`
+	Dec   []byte `json:"dec"`
+	MCDC  []byte `json:"mcdc"`
+}
+
+// NewRaw allocates zeroed bitmaps sized for the layout.
+func (l *Layout) NewRaw() *Raw {
+	return &Raw{
+		Actor: make([]byte, len(l.ActorPaths)),
+		Cond:  make([]byte, l.CondBits),
+		Dec:   make([]byte, l.DecBits),
+		MCDC:  make([]byte, l.MCDCBits),
+	}
+}
+
+// Merge ors other's bits into r (for aggregating across runs).
+func (r *Raw) Merge(other *Raw) error {
+	if len(r.Actor) != len(other.Actor) || len(r.Cond) != len(other.Cond) ||
+		len(r.Dec) != len(other.Dec) || len(r.MCDC) != len(other.MCDC) {
+		return fmt.Errorf("coverage: merging incompatible bitmaps")
+	}
+	or := func(dst, src []byte) {
+		for i, b := range src {
+			if b != 0 {
+				dst[i] = 1
+			}
+		}
+	}
+	or(r.Actor, other.Actor)
+	or(r.Cond, other.Cond)
+	or(r.Dec, other.Dec)
+	or(r.MCDC, other.MCDC)
+	return nil
+}
+
+// Report holds the four percentages (0..100) plus raw point counts.
+type Report struct {
+	Actor float64 `json:"actor"`
+	Cond  float64 `json:"cond"`
+	Dec   float64 `json:"dec"`
+	MCDC  float64 `json:"mcdc"`
+
+	ActorCovered, ActorTotal int
+	CondCovered, CondTotal   int
+	DecCovered, DecTotal     int
+	MCDCCovered, MCDCTotal   int
+}
+
+// Report computes metric percentages from raw bitmaps.
+//
+//   - Actor: executed actors / all actors.
+//   - Condition: executed branches / all branches.
+//   - Decision: observed boolean outcomes / (2 × decisions).
+//   - MC/DC: conditions shown to independently determine their decision
+//     (both determinations observed) / all conditions.
+func (l *Layout) Report(r *Raw) Report {
+	var rep Report
+	rep.ActorTotal = len(l.ActorPaths)
+	for _, b := range r.Actor {
+		if b != 0 {
+			rep.ActorCovered++
+		}
+	}
+	rep.CondTotal = l.CondBits
+	for _, b := range r.Cond {
+		if b != 0 {
+			rep.CondCovered++
+		}
+	}
+	rep.DecTotal = l.DecBits
+	for _, b := range r.Dec {
+		if b != 0 {
+			rep.DecCovered++
+		}
+	}
+	for _, g := range l.MCDC {
+		rep.MCDCTotal += g.Count
+		for ci := 0; ci < g.Count; ci++ {
+			if r.MCDC[g.Base+2*ci] != 0 && r.MCDC[g.Base+2*ci+1] != 0 {
+				rep.MCDCCovered++
+			}
+		}
+	}
+	pct := func(cov, tot int) float64 {
+		if tot == 0 {
+			return 100
+		}
+		return 100 * float64(cov) / float64(tot)
+	}
+	rep.Actor = pct(rep.ActorCovered, rep.ActorTotal)
+	rep.Cond = pct(rep.CondCovered, rep.CondTotal)
+	rep.Dec = pct(rep.DecCovered, rep.DecTotal)
+	rep.MCDC = pct(rep.MCDCCovered, rep.MCDCTotal)
+	return rep
+}
+
+// Uncovered lists the coverage points a run missed, as human-readable
+// "metric path detail" lines — what a developer reads to write the next
+// test case. The order is deterministic (layout order).
+func (l *Layout) Uncovered(r *Raw) []string {
+	var out []string
+	for i, b := range r.Actor {
+		if b == 0 && i < len(l.ActorPaths) {
+			out = append(out, fmt.Sprintf("actor    %s never executed", l.ActorPaths[i]))
+		}
+	}
+	for _, g := range l.Cond {
+		for k := 0; k < g.Count; k++ {
+			if g.Base+k < len(r.Cond) && r.Cond[g.Base+k] == 0 {
+				out = append(out, fmt.Sprintf("cond     %s branch %d never taken", g.Path, k))
+			}
+		}
+	}
+	for _, g := range l.Dec {
+		if g.Base < len(r.Dec) && r.Dec[g.Base] == 0 {
+			out = append(out, fmt.Sprintf("decision %s never true", g.Path))
+		}
+		if g.Base+1 < len(r.Dec) && r.Dec[g.Base+1] == 0 {
+			out = append(out, fmt.Sprintf("decision %s never false", g.Path))
+		}
+	}
+	for _, g := range l.MCDC {
+		for ci := 0; ci < g.Count; ci++ {
+			tSeen := g.Base+2*ci < len(r.MCDC) && r.MCDC[g.Base+2*ci] != 0
+			fSeen := g.Base+2*ci+1 < len(r.MCDC) && r.MCDC[g.Base+2*ci+1] != 0
+			switch {
+			case !tSeen && !fSeen:
+				out = append(out, fmt.Sprintf("mc/dc    %s condition %d never shown to determine the decision", g.Path, ci+1))
+			case !tSeen:
+				out = append(out, fmt.Sprintf("mc/dc    %s condition %d not shown determining while true", g.Path, ci+1))
+			case !fSeen:
+				out = append(out, fmt.Sprintf("mc/dc    %s condition %d not shown determining while false", g.Path, ci+1))
+			}
+		}
+	}
+	return out
+}
+
+// Collector records coverage events from the interpreted engine into a Raw
+// using the same masking MC/DC semantics the generated code inlines.
+type Collector struct {
+	Layout *Layout
+	Raw    *Raw
+}
+
+// NewCollector allocates a collector over a fresh Raw.
+func NewCollector(l *Layout) *Collector {
+	return &Collector{Layout: l, Raw: l.NewRaw()}
+}
+
+// Actor marks the actor-coverage slot for the named actor.
+func (c *Collector) Actor(name string) {
+	if i, ok := c.Layout.ActorIndex[name]; ok {
+		c.Raw.Actor[i] = 1
+	}
+}
+
+// Branch marks branch k of the named branch actor.
+func (c *Collector) Branch(name string, k int) {
+	if i, ok := c.Layout.CondIndex[name]; ok {
+		g := c.Layout.Cond[i]
+		if k >= 0 && k < g.Count {
+			c.Raw.Cond[g.Base+k] = 1
+		}
+	}
+}
+
+// Decision marks the observed boolean outcome of the named decision actor.
+func (c *Collector) Decision(name string, outcome bool) {
+	if i, ok := c.Layout.DecIndex[name]; ok {
+		g := c.Layout.Dec[i]
+		if outcome {
+			c.Raw.Dec[g.Base] = 1
+		} else {
+			c.Raw.Dec[g.Base+1] = 1
+		}
+	}
+}
+
+// MCDC applies the masking determination rule for the actor's operator to
+// one observed evaluation. MCDCDetermines defines the rule; the generated
+// code inlines the same logic per condition.
+func (c *Collector) MCDC(name, op string, conds []bool) {
+	i, ok := c.Layout.MCDCIndex[name]
+	if !ok || len(conds) < 2 {
+		return
+	}
+	g := c.Layout.MCDC[i]
+	n := g.Count
+	if len(conds) < n {
+		n = len(conds)
+	}
+	for ci := 0; ci < n; ci++ {
+		if !MCDCDetermines(op, conds, ci) {
+			continue
+		}
+		if conds[ci] {
+			c.Raw.MCDC[g.Base+2*ci] = 1
+		} else {
+			c.Raw.MCDC[g.Base+2*ci+1] = 1
+		}
+	}
+}
+
+// MCDCDetermines reports whether condition ci independently determines the
+// decision outcome under masking semantics for the given operator:
+//
+//	AND/NAND: ci determines iff every other condition is true.
+//	OR/NOR:   ci determines iff every other condition is false.
+//	XOR/NXOR: every condition always determines.
+func MCDCDetermines(op string, conds []bool, ci int) bool {
+	switch op {
+	case "AND", "NAND":
+		for j, cj := range conds {
+			if j != ci && !cj {
+				return false
+			}
+		}
+		return true
+	case "OR", "NOR":
+		for j, cj := range conds {
+			if j != ci && cj {
+				return false
+			}
+		}
+		return true
+	case "XOR", "NXOR":
+		return true
+	}
+	return false
+}

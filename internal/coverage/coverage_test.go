@@ -1,0 +1,274 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func layoutFixture(t *testing.T) (*actors.Compiled, *Layout) {
+	t.Helper()
+	m := model.NewBuilder("COV").
+		Add("A", "Inport", 0, 1, model.WithOutKind(types.Bool), model.WithParam("Port", "1")).
+		Add("B", "Inport", 0, 1, model.WithOutKind(types.Bool), model.WithParam("Port", "2")).
+		Add("And", "Logic", 2, 1, model.WithOperator("AND")).
+		Add("Not", "Logic", 1, 1, model.WithOperator("NOT")).
+		Add("Sw", "Switch", 3, 1).
+		Add("Sat", "Saturation", 1, 1, model.WithParam("Min", "0"), model.WithParam("Max", "1")).
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithParam("Value", "1")).
+		Add("O1", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Add("O2", "Outport", 1, 0, model.WithParam("Port", "2")).
+		Add("T1", "Terminator", 1, 0).
+		Wire("A", "And", 0).
+		Wire("B", "And", 1).
+		Wire("A", "Not", 0).
+		Wire("C", "Sw", 0).
+		Wire("And", "Sw", 1).
+		Wire("C", "Sw", 2).
+		Wire("Sw", "Sat", 0).
+		Wire("Sat", "O1", 0).
+		Wire("And", "O2", 0).
+		Wire("Not", "T1", 0).
+		MustBuild()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, NewLayout(c)
+}
+
+func TestLayoutShape(t *testing.T) {
+	_, l := layoutFixture(t)
+	if len(l.ActorPaths) != 10 {
+		t.Errorf("actor points = %d", len(l.ActorPaths))
+	}
+	// Branch actors: Switch (2) + Saturation (3) = 5 condition bits.
+	if l.CondBits != 5 {
+		t.Errorf("cond bits = %d, want 5", l.CondBits)
+	}
+	// Boolean logic: And, Not -> 2 decisions, 4 bits.
+	if l.DecBits != 4 {
+		t.Errorf("dec bits = %d, want 4", l.DecBits)
+	}
+	// Combination conditions: And (2 inputs) -> 2 conditions, 4 bits.
+	if l.MCDCBits != 4 {
+		t.Errorf("mcdc bits = %d, want 4", l.MCDCBits)
+	}
+	if l.CondBase("Sw") != 0 || l.CondBase("Sat") != 2 {
+		t.Errorf("cond bases: Sw=%d Sat=%d", l.CondBase("Sw"), l.CondBase("Sat"))
+	}
+	if l.CondBase("And") != -1 || l.DecBase("Sw") != -1 || l.MCDCBase("Not") != -1 {
+		t.Error("absent groups must return -1")
+	}
+}
+
+func TestCollectorAndReport(t *testing.T) {
+	_, l := layoutFixture(t)
+	col := NewCollector(l)
+	col.Actor("And")
+	col.Actor("Sw")
+	col.Branch("Sw", 0)
+	col.Branch("Sat", 2)
+	col.Decision("And", true)
+	col.Decision("And", false)
+	col.Decision("Not", true)
+	col.MCDC("And", "AND", []bool{true, true})  // both determine while true
+	col.MCDC("And", "AND", []bool{false, true}) // cond 0 determines while false
+	rep := l.Report(col.Raw)
+	if rep.ActorCovered != 2 || rep.ActorTotal != 10 {
+		t.Errorf("actor %d/%d", rep.ActorCovered, rep.ActorTotal)
+	}
+	if rep.CondCovered != 2 || rep.CondTotal != 5 {
+		t.Errorf("cond %d/%d", rep.CondCovered, rep.CondTotal)
+	}
+	if rep.DecCovered != 3 || rep.DecTotal != 4 {
+		t.Errorf("dec %d/%d", rep.DecCovered, rep.DecTotal)
+	}
+	// Condition 0: determined true (TT) and false (FT) -> covered.
+	// Condition 1: determined true only -> not covered.
+	if rep.MCDCCovered != 1 || rep.MCDCTotal != 2 {
+		t.Errorf("mcdc %d/%d", rep.MCDCCovered, rep.MCDCTotal)
+	}
+	if rep.Actor != 20 {
+		t.Errorf("actor%% = %g", rep.Actor)
+	}
+}
+
+func TestCollectorIgnoresUnknownAndOutOfRange(t *testing.T) {
+	_, l := layoutFixture(t)
+	col := NewCollector(l)
+	col.Actor("NoSuch")
+	col.Branch("Sw", 99)
+	col.Branch("NoSuch", 0)
+	col.Decision("NoSuch", true)
+	col.MCDC("NoSuch", "AND", []bool{true, true})
+	col.MCDC("And", "AND", []bool{true}) // fewer than 2 conds: ignored
+	rep := l.Report(col.Raw)
+	if rep.ActorCovered != 0 || rep.CondCovered != 0 || rep.DecCovered != 0 || rep.MCDCCovered != 0 {
+		t.Errorf("stray events leaked into coverage: %+v", rep)
+	}
+}
+
+func TestMCDCDetermines(t *testing.T) {
+	cases := []struct {
+		op    string
+		conds []bool
+		ci    int
+		want  bool
+	}{
+		{"AND", []bool{true, true, true}, 0, true},
+		{"AND", []bool{true, false, true}, 0, false},
+		{"AND", []bool{true, false, true}, 1, true},
+		{"NAND", []bool{true, true}, 1, true},
+		{"OR", []bool{false, false}, 0, true},
+		{"OR", []bool{false, true}, 0, false},
+		{"OR", []bool{false, true}, 1, true},
+		{"NOR", []bool{false, false}, 1, true},
+		{"XOR", []bool{true, false, true}, 2, true},
+		{"NXOR", []bool{false, false}, 0, true},
+		{"NOT", []bool{true}, 0, false}, // NOT is not a combination op here
+	}
+	for _, c := range cases {
+		if got := MCDCDetermines(c.op, c.conds, c.ci); got != c.want {
+			t.Errorf("MCDCDetermines(%s, %v, %d) = %v, want %v", c.op, c.conds, c.ci, got, c.want)
+		}
+	}
+}
+
+// Property: for AND, flipping a condition that "determines" must flip the
+// decision outcome — the definition of MC/DC independence.
+func TestQuickMCDCDeterminesFlipsOutcome(t *testing.T) {
+	and := func(cs []bool) bool {
+		out := true
+		for _, c := range cs {
+			out = out && c
+		}
+		return out
+	}
+	f := func(a, b, c bool, pick uint8) bool {
+		conds := []bool{a, b, c}
+		ci := int(pick) % 3
+		if !MCDCDetermines("AND", conds, ci) {
+			return true
+		}
+		flipped := append([]bool(nil), conds...)
+		flipped[ci] = !flipped[ci]
+		return and(conds) != and(flipped)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same for OR.
+func TestQuickMCDCDeterminesFlipsOutcomeOR(t *testing.T) {
+	or := func(cs []bool) bool {
+		out := false
+		for _, c := range cs {
+			out = out || c
+		}
+		return out
+	}
+	f := func(a, b, c bool, pick uint8) bool {
+		conds := []bool{a, b, c}
+		ci := int(pick) % 3
+		if !MCDCDetermines("OR", conds, ci) {
+			return true
+		}
+		flipped := append([]bool(nil), conds...)
+		flipped[ci] = !flipped[ci]
+		return or(conds) != or(flipped)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRawMerge(t *testing.T) {
+	_, l := layoutFixture(t)
+	a, b := l.NewRaw(), l.NewRaw()
+	a.Actor[0] = 1
+	b.Actor[1] = 1
+	b.Cond[2] = 1
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Actor[0] != 1 || a.Actor[1] != 1 || a.Cond[2] != 1 {
+		t.Errorf("merge lost bits: %+v", a)
+	}
+	bad := &Raw{Actor: make([]byte, 1)}
+	if err := a.Merge(bad); err == nil {
+		t.Error("incompatible merge must error")
+	}
+}
+
+func TestReportEmptyMetricIs100(t *testing.T) {
+	m := model.NewBuilder("NONE").
+		Add("C", "Constant", 0, 1).
+		Add("T", "Terminator", 1, 0).
+		Wire("C", "T", 0).
+		MustBuild()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLayout(c)
+	rep := l.Report(l.NewRaw())
+	if rep.Cond != 100 || rep.Dec != 100 || rep.MCDC != 100 {
+		t.Errorf("empty metrics should report 100%%: %+v", rep)
+	}
+	if rep.Actor != 0 {
+		t.Errorf("no actors executed: %g", rep.Actor)
+	}
+}
+
+func TestUncoveredListing(t *testing.T) {
+	_, l := layoutFixture(t)
+	col := NewCollector(l)
+	// Execute everything except the Not actor; take only one Switch branch;
+	// observe only the true outcome of And.
+	for _, a := range []string{"A", "B", "And", "Sw", "Sat", "C", "O1", "O2", "T1"} {
+		col.Actor(a)
+	}
+	col.Branch("Sw", 0)
+	col.Branch("Sat", 0)
+	col.Branch("Sat", 1)
+	col.Branch("Sat", 2)
+	col.Decision("And", true)
+	col.Decision("Not", true)
+	col.Decision("Not", false)
+	col.MCDC("And", "AND", []bool{true, true})
+	missed := l.Uncovered(col.Raw)
+	wantSubstrings := []string{
+		"COV_Not never executed",
+		"COV_Sw branch 1 never taken",
+		"COV_And never false",
+		"condition 1 not shown determining while false",
+		"condition 2 not shown determining while false",
+	}
+	joined := ""
+	for _, m := range missed {
+		joined += m + "\n"
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, m := range missed {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %q in uncovered listing:\n%s", want, joined)
+		}
+	}
+	// Fully-covered points must not appear.
+	for _, m := range missed {
+		if strings.Contains(m, "COV_Sat") {
+			t.Errorf("Sat is fully covered but listed: %s", m)
+		}
+	}
+}

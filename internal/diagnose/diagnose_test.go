@@ -1,0 +1,232 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+// infoFor compiles a tiny model around one actor and returns its info.
+func infoFor(t *testing.T, typ model.ActorType, op string, inKinds []types.Kind, outKind types.Kind, params map[string]string) *actors.Info {
+	t.Helper()
+	b := model.NewBuilder("D")
+	opts := []model.ActorOpt{}
+	if op != "" {
+		opts = append(opts, model.WithOperator(op))
+	}
+	if outKind != types.Invalid {
+		opts = append(opts, model.WithOutKind(outKind))
+	}
+	for k, v := range params {
+		opts = append(opts, model.WithParam(k, v))
+	}
+	b.Add("X", typ, len(inKinds), 1, opts...)
+	for i, k := range inKinds {
+		src := "C" + string(rune('0'+i))
+		val := "1"
+		if k.IsFloat() {
+			val = "1.5"
+		}
+		b.Add(src, "Constant", 0, 1, model.WithOutKind(k), model.WithParam("Value", val))
+		b.Wire(src, "X", i)
+	}
+	b.Add("T", "Terminator", 1, 0)
+	b.Wire("X", "T", 0)
+	c, err := actors.Compile(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Info("X")
+}
+
+func hasKind(ks []Kind, k Kind) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRulesForSum(t *testing.T) {
+	intSum := infoFor(t, "Sum", "++", []types.Kind{types.I32, types.I32}, types.Invalid, nil)
+	ks := RulesFor(intSum)
+	if !hasKind(ks, WrapOnOverflow) {
+		t.Errorf("int Sum rules = %v, want WrapOnOverflow", ks)
+	}
+	if hasKind(ks, DivisionByZero) || hasKind(ks, NaNOrInf) {
+		t.Errorf("int Sum rules = %v", ks)
+	}
+	floatSum := infoFor(t, "Sum", "++", []types.Kind{types.F64, types.F64}, types.Invalid, nil)
+	ks = RulesFor(floatSum)
+	if !hasKind(ks, NaNOrInf) || hasKind(ks, WrapOnOverflow) {
+		t.Errorf("float Sum rules = %v", ks)
+	}
+	// Narrower output than inputs: the paper's downcast condition.
+	narrowSum := infoFor(t, "Sum", "++", []types.Kind{types.I32, types.I32}, types.I16, nil)
+	if !hasKind(RulesFor(narrowSum), Downcast) {
+		t.Error("narrow Sum must have Downcast rule")
+	}
+}
+
+func TestRulesForProductOperatorSensitivity(t *testing.T) {
+	// The paper's example: a Product with "/" diagnoses division by zero,
+	// the same actor with only "*" does not.
+	div := infoFor(t, "Product", "*/", []types.Kind{types.I32, types.I32}, types.Invalid, nil)
+	if !hasKind(RulesFor(div), DivisionByZero) {
+		t.Error(`Product "*/" must diagnose division by zero`)
+	}
+	mul := infoFor(t, "Product", "**", []types.Kind{types.I32, types.I32}, types.Invalid, nil)
+	if hasKind(RulesFor(mul), DivisionByZero) {
+		t.Error(`Product "**" must not diagnose division by zero`)
+	}
+}
+
+func TestRulesForMathOperators(t *testing.T) {
+	log := infoFor(t, "Math", "log", []types.Kind{types.F64}, types.Invalid, nil)
+	if !hasKind(RulesFor(log), DomainError) {
+		t.Error("log must diagnose domain errors")
+	}
+	rec := infoFor(t, "Math", "reciprocal", []types.Kind{types.F64}, types.Invalid, nil)
+	if !hasKind(RulesFor(rec), DivisionByZero) {
+		t.Error("reciprocal must diagnose division by zero")
+	}
+	sin := infoFor(t, "Math", "sin", []types.Kind{types.F64}, types.Invalid, nil)
+	if hasKind(RulesFor(sin), DomainError) {
+		t.Error("sin has no domain error")
+	}
+}
+
+func TestRulesForConversionAndLookup(t *testing.T) {
+	dtc := infoFor(t, "DataTypeConversion", "", []types.Kind{types.F64}, types.I16, nil)
+	ks := RulesFor(dtc)
+	if !hasKind(ks, Downcast) || !hasKind(ks, OutOfRange) || !hasKind(ks, PrecisionLoss) {
+		t.Errorf("F64->I16 conversion rules = %v", ks)
+	}
+	widen := infoFor(t, "DataTypeConversion", "", []types.Kind{types.I16}, types.I64, nil)
+	if len(RulesFor(widen)) != 0 {
+		t.Errorf("widening conversion rules = %v, want none", RulesFor(widen))
+	}
+	ld := infoFor(t, "LookupDirect", "", []types.Kind{types.I32}, types.Invalid,
+		map[string]string{"Table": "[1 2 3]"})
+	if !hasKind(RulesFor(ld), IndexOutOfBounds) {
+		t.Error("LookupDirect must diagnose index out of bounds")
+	}
+}
+
+func TestRulesForAbsAndShift(t *testing.T) {
+	abs := infoFor(t, "Abs", "", []types.Kind{types.I8}, types.Invalid, nil)
+	if !hasKind(RulesFor(abs), WrapOnOverflow) {
+		t.Error("signed Abs must diagnose overflow (abs(MIN))")
+	}
+	absU := infoFor(t, "Abs", "", []types.Kind{types.U8}, types.Invalid, nil)
+	if len(RulesFor(absU)) != 0 {
+		t.Error("unsigned Abs has nothing to diagnose")
+	}
+	shl := infoFor(t, "Shift", "left", []types.Kind{types.I32}, types.Invalid, nil)
+	if !hasKind(RulesFor(shl), WrapOnOverflow) {
+		t.Error("left Shift must diagnose overflow")
+	}
+	shr := infoFor(t, "Shift", "right", []types.Kind{types.I32}, types.Invalid, nil)
+	if len(RulesFor(shr)) != 0 {
+		t.Error("right Shift has nothing to diagnose")
+	}
+}
+
+func TestFlagKindsFilterAndOrder(t *testing.T) {
+	rules := []Kind{WrapOnOverflow, DivisionByZero, NaNOrInf}
+	flags := types.OpResult{Overflow: true, DivByZero: true, DomainErr: true, NaNOrInf: true}
+	got := FlagKinds(rules, flags)
+	want := []Kind{WrapOnOverflow, DivisionByZero, NaNOrInf} // DomainErr filtered (not in rules)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (canonical order)", got, want)
+		}
+	}
+	if len(FlagKinds(nil, flags)) != 0 {
+		t.Error("no rules -> no findings")
+	}
+	if len(FlagKinds(rules, types.OpResult{})) != 0 {
+		t.Error("no flags -> no findings")
+	}
+}
+
+func TestFlagKindsOutOfRangeRouting(t *testing.T) {
+	flags := types.OpResult{OutOfRange: true}
+	got := FlagKinds([]Kind{IndexOutOfBounds}, flags)
+	if len(got) != 1 || got[0] != IndexOutOfBounds {
+		t.Errorf("got %v", got)
+	}
+	got = FlagKinds([]Kind{OutOfRange}, flags)
+	if len(got) != 1 || got[0] != OutOfRange {
+		t.Errorf("got %v", got)
+	}
+	// IndexOutOfBounds takes precedence when both are in the rule set.
+	got = FlagKinds([]Kind{OutOfRange, IndexOutOfBounds}, flags)
+	if len(got) != 1 || got[0] != IndexOutOfBounds {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCustomCheckValidate(t *testing.T) {
+	good := []CustomCheck{
+		{Actor: "X", Name: "r", Kind: RangeCheck, Lo: 0, Hi: 1},
+		{Actor: "X", Name: "d", Kind: DeltaCheck, MaxDelta: 5},
+		{Actor: "X", Name: "c", Kind: CallbackCheck, Callback: func(int64, types.Value) (bool, string) { return false, "" }},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := []CustomCheck{
+		{Name: "no-actor", Kind: RangeCheck},
+		{Actor: "X", Name: "inv-range", Kind: RangeCheck, Lo: 2, Hi: 1},
+		{Actor: "X", Name: "neg-delta", Kind: DeltaCheck, MaxDelta: -1},
+		{Actor: "X", Name: "nil-cb", Kind: CallbackCheck},
+		{Actor: "X", Name: "bad-kind", Kind: CustomKind(99)},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.Name)
+		}
+	}
+}
+
+func TestSinkAggregation(t *testing.T) {
+	s := NewSink(2)
+	for step := int64(0); step < 5; step++ {
+		s.Report(Record{Step: step + 10, Actor: "M_X", Kind: WrapOnOverflow})
+	}
+	s.Report(Record{Step: 3, Actor: "M_Y", Kind: DivisionByZero})
+	if s.Total != 6 {
+		t.Errorf("total = %d", s.Total)
+	}
+	if len(s.Records) != 2 {
+		t.Errorf("records capped at %d, got %d", 2, len(s.Records))
+	}
+	if s.Counts[Key("M_X", WrapOnOverflow)] != 5 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	if s.FirstDetect[Key("M_X", WrapOnOverflow)] != 10 {
+		t.Errorf("first detect = %v", s.FirstDetect)
+	}
+	if s.FirstDetect[Key("M_Y", DivisionByZero)] != 3 {
+		t.Errorf("first detect = %v", s.FirstDetect)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Step: 7, Actor: "M_SUB_ADD2", Kind: WrapOnOverflow, Detail: "x"}
+	s := r.String()
+	if !strings.Contains(s, "WrapOnOverflow") || !strings.Contains(s, "M_SUB_ADD2") ||
+		!strings.Contains(s, "step 7") || !strings.Contains(s, "(x)") {
+		t.Errorf("Record.String() = %q", s)
+	}
+}

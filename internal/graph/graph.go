@@ -1,0 +1,248 @@
+// Package graph implements the directed computation graph used by the
+// schedule-convert stage: deterministic topological sorting (the paper's
+// data-flow labeling method) and algebraic-loop detection via strongly
+// connected components.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digraph is a directed graph over string-identified nodes. Edges are
+// deduplicated; node and edge insertion order does not affect results —
+// all algorithms break ties by node ID so schedules are deterministic.
+type Digraph struct {
+	nodes map[string]bool
+	succ  map[string]map[string]bool
+	pred  map[string]map[string]bool
+}
+
+// New returns an empty graph.
+func New() *Digraph {
+	return &Digraph{
+		nodes: make(map[string]bool),
+		succ:  make(map[string]map[string]bool),
+		pred:  make(map[string]map[string]bool),
+	}
+}
+
+// AddNode ensures the node exists.
+func (g *Digraph) AddNode(id string) {
+	g.nodes[id] = true
+}
+
+// AddEdge adds a directed edge from -> to, creating the nodes as needed.
+func (g *Digraph) AddEdge(from, to string) {
+	g.AddNode(from)
+	g.AddNode(to)
+	if g.succ[from] == nil {
+		g.succ[from] = make(map[string]bool)
+	}
+	if !g.succ[from][to] {
+		g.succ[from][to] = true
+		if g.pred[to] == nil {
+			g.pred[to] = make(map[string]bool)
+		}
+		g.pred[to][from] = true
+	}
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Digraph) HasEdge(from, to string) bool { return g.succ[from][to] }
+
+// Len returns the node count.
+func (g *Digraph) Len() int { return len(g.nodes) }
+
+// Nodes returns all node IDs, sorted.
+func (g *Digraph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CycleError reports the strongly connected components that prevent a
+// topological order — in the modeling domain, algebraic loops.
+type CycleError struct {
+	Cycles [][]string
+}
+
+// Error lists every algebraic loop.
+func (e *CycleError) Error() string {
+	parts := make([]string, len(e.Cycles))
+	for i, c := range e.Cycles {
+		parts[i] = strings.Join(c, " -> ")
+	}
+	return fmt.Sprintf("graph: %d algebraic loop(s): %s", len(e.Cycles), strings.Join(parts, "; "))
+}
+
+// TopoSort returns a deterministic topological order of all nodes (Kahn's
+// algorithm with a sorted ready set). If cycles exist it returns a
+// *CycleError listing every non-trivial strongly connected component.
+func (g *Digraph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	ready := make([]string, 0, len(g.nodes))
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	order := make([]string, 0, len(g.nodes))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		next := make([]string, 0, len(g.succ[n]))
+		for s := range g.succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Strings(next)
+		ready = mergeSorted(ready, next)
+	}
+	if len(order) != len(g.nodes) {
+		cycles := g.nontrivialSCCs()
+		return nil, &CycleError{Cycles: cycles}
+	}
+	return order, nil
+}
+
+// mergeSorted merges two sorted string slices into one sorted slice.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// nontrivialSCCs returns the strongly connected components with more than
+// one node, or single nodes with self-loops, each sorted internally, the
+// list sorted by first element. Uses Tarjan's algorithm iteratively to
+// avoid stack overflow on deep graphs.
+func (g *Digraph) nontrivialSCCs() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	counter := 0
+
+	type frame struct {
+		node string
+		succ []string
+		next int
+	}
+
+	sortedSucc := func(n string) []string {
+		out := make([]string, 0, len(g.succ[n]))
+		for s := range g.succ[n] {
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for _, start := range g.Nodes() {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		callStack := []frame{{node: start, succ: sortedSucc(start)}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if _, seen := index[w]; !seen {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{node: w, succ: sortedSucc(w)})
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// All successors processed: pop and propagate lowlink.
+			v := f.node
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.node] {
+					low[parent.node] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 || g.succ[v][v] {
+					sort.Strings(comp)
+					sccs = append(sccs, comp)
+				}
+			}
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// Reachable returns the set of nodes reachable from the given roots
+// (including the roots), used for dead-actor analysis.
+func (g *Digraph) Reachable(roots ...string) map[string]bool {
+	seen := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] || !g.nodes[n] {
+			continue
+		}
+		seen[n] = true
+		for s := range g.succ[n] {
+			if !seen[s] {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestTopoSortLinear(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	g := New()
+	// b and a are both sources; deterministic order must pick "a" first.
+	g.AddNode("b")
+	g.AddNode("a")
+	g.AddEdge("b", "z")
+	g.AddEdge("a", "z")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "z"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortRespectsAllEdges(t *testing.T) {
+	// Random DAG: edges only from lower to higher index, shuffled insert
+	// order. Verify the returned order satisfies every edge.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		n := 30
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A'+i/26)) + string(rune('a'+i%26))
+		}
+		type edge struct{ from, to string }
+		var edges []edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					edges = append(edges, edge{ids[i], ids[j]})
+				}
+			}
+		}
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for i := range ids {
+			g.AddNode(ids[i])
+		}
+		for _, e := range edges {
+			g.AddEdge(e.from, e.to)
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make(map[string]int)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range edges {
+			if pos[e.from] >= pos[e.to] {
+				t.Fatalf("edge %s->%s violated in %v", e.from, e.to, order)
+			}
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	g.AddEdge("x", "y") // acyclic side component
+	_, err := g.TopoSort()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected CycleError, got %v", err)
+	}
+	if len(ce.Cycles) != 1 || len(ce.Cycles[0]) != 3 {
+		t.Errorf("cycles = %v", ce.Cycles)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "a")
+	_, err := g.TopoSort()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected CycleError, got %v", err)
+	}
+	if len(ce.Cycles) != 1 || len(ce.Cycles[0]) != 1 || ce.Cycles[0][0] != "a" {
+		t.Errorf("cycles = %v", ce.Cycles)
+	}
+}
+
+func TestMultipleCycles(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "c")
+	_, err := g.TopoSort()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected CycleError, got %v", err)
+	}
+	if len(ce.Cycles) != 2 {
+		t.Errorf("cycles = %v", ce.Cycles)
+	}
+	if ce.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestDeepGraphNoStackOverflow(t *testing.T) {
+	// Tarjan is iterative; a 100k-node chain plus a closing edge must not
+	// blow the stack.
+	g := New()
+	const n = 100000
+	prev := "n0000000"
+	g.AddNode(prev)
+	for i := 1; i < n; i++ {
+		id := "n" + pad(i)
+		g.AddEdge(prev, id)
+		prev = id
+	}
+	g.AddEdge(prev, "n0000000")
+	_, err := g.TopoSort()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected CycleError, got %v", err)
+	}
+	if len(ce.Cycles) != 1 || len(ce.Cycles[0]) != n {
+		t.Errorf("got %d cycles, first len %d", len(ce.Cycles), len(ce.Cycles[0]))
+	}
+}
+
+func pad(i int) string {
+	s := ""
+	for d := 1000000; d >= 1; d /= 10 {
+		s += string(rune('0' + (i/d)%10))
+	}
+	return s
+}
+
+func TestHasEdgeAndDedup(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("HasEdge wrong")
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("x", "y")
+	r := g.Reachable("a")
+	if !r["a"] || !r["b"] || !r["c"] || r["x"] {
+		t.Errorf("Reachable = %v", r)
+	}
+	r = g.Reachable("a", "x")
+	if !r["y"] {
+		t.Error("multi-root reachability missed y")
+	}
+	if g.Reachable("missing")["missing"] {
+		t.Error("unknown root must not be reachable")
+	}
+}

@@ -1,0 +1,136 @@
+// Package harness compiles and executes AccMoS-generated simulation
+// programs: it writes the generated source, invokes the Go compiler (the
+// paper's "compile and execute the code" step), runs the binary, and
+// decodes the JSON results into the shared simresult schema.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"accmos/internal/codegen"
+	"accmos/internal/simresult"
+)
+
+// Build compiles a generated program into a binary under dir (created if
+// needed) and returns the binary path plus the compile duration.
+func Build(p *codegen.Program, dir string) (string, time.Duration, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, fmt.Errorf("harness: %w", err)
+	}
+	srcPath := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(srcPath, []byte(p.Source), 0o644); err != nil {
+		return "", 0, fmt.Errorf("harness: writing source: %w", err)
+	}
+	binPath := filepath.Join(dir, "sim_"+sanitizeFile(p.Model))
+	start := time.Now()
+	cmd := exec.Command("go", "build", "-o", binPath, srcPath)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOFLAGS=-mod=mod")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", 0, fmt.Errorf("harness: compiling generated program: %v\n%s", err, annotate(p.Source, stderr.String()))
+	}
+	return binPath, time.Since(start), nil
+}
+
+// sanitizeFile keeps binary names filesystem-safe.
+func sanitizeFile(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// annotate prefixes compiler errors with the offending source lines so
+// generation bugs are debuggable from test failures.
+func annotate(src, errs string) string {
+	if len(errs) > 4096 {
+		errs = errs[:4096] + "\n... (truncated)"
+	}
+	lines := splitLines(src)
+	out := errs + "\n--- generated source (first 120 lines) ---\n"
+	for i, l := range lines {
+		if i >= 120 {
+			out += "...\n"
+			break
+		}
+		out += fmt.Sprintf("%4d| %s\n", i+1, l)
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// RunOptions selects the simulated span for one execution.
+type RunOptions struct {
+	Steps  int64         // -steps (ignored when Budget > 0)
+	Budget time.Duration // wall-clock budget (-budget-ms)
+	// SeedXor perturbs the program's embedded uniform test-case seeds
+	// (-seed-xor), so one binary sweeps many random suites.
+	SeedXor uint64
+}
+
+// Run executes a built simulation binary and decodes its results.
+func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
+	args := []string{}
+	if opts.SeedXor != 0 {
+		args = append(args, fmt.Sprintf("-seed-xor=%d", opts.SeedXor))
+	}
+	if opts.Budget > 0 {
+		args = append(args, fmt.Sprintf("-budget-ms=%d", opts.Budget.Milliseconds()))
+	} else {
+		args = append(args, fmt.Sprintf("-steps=%d", opts.Steps))
+	}
+	cmd := exec.Command(binPath, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("harness: running %s: %v\n%s", binPath, err, stderr.String())
+	}
+	var res simresult.Results
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		return nil, fmt.Errorf("harness: decoding results: %w", err)
+	}
+	return &res, nil
+}
+
+// BuildAndRun is the one-shot pipeline: compile, execute, and record the
+// compile time in the results.
+func BuildAndRun(p *codegen.Program, dir string, opts RunOptions) (*simresult.Results, error) {
+	bin, compileTime, err := Build(p, dir)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(bin, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.CompileNanos = compileTime.Nanoseconds()
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accmos/internal/actors"
+	"accmos/internal/codegen"
+	"accmos/internal/harness"
+	"accmos/internal/model"
+	"accmos/internal/testcase"
+	"accmos/internal/types"
+)
+
+func program(t *testing.T) *codegen.Program {
+	t.Helper()
+	m := model.NewBuilder("H").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "2")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Generate(c, codegen.Options{
+		Coverage: true, TestCases: testcase.NewRandomSet(1, 1, -1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildAndRun(t *testing.T) {
+	p := program(t)
+	res, err := harness.BuildAndRun(p, t.TempDir(), harness.RunOptions{Steps: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 123 || res.Engine != "AccMoS" || res.Model != "H" {
+		t.Errorf("results: %+v", res)
+	}
+	if res.CompileNanos <= 0 {
+		t.Error("compile time not recorded")
+	}
+	if res.Coverage == nil || len(res.Coverage.Actor) != 3 {
+		t.Errorf("coverage bitmaps: %+v", res.Coverage)
+	}
+}
+
+func TestRunReusesBinary(t *testing.T) {
+	p := program(t)
+	bin, compileTime, err := harness.Build(p, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compileTime <= 0 {
+		t.Error("no compile time")
+	}
+	r1, err := harness.Run(bin, harness.RunOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := harness.Run(bin, harness.RunOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.OutputHash != r2.OutputHash {
+		t.Error("same binary, same flags, different outputs")
+	}
+}
+
+func TestRunBudgetMode(t *testing.T) {
+	p := program(t)
+	bin, _, err := harness.Build(p, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(bin, harness.RunOptions{Budget: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("budget mode executed no steps")
+	}
+}
+
+func TestBuildSurfacesCompilerErrors(t *testing.T) {
+	p := &codegen.Program{Model: "BAD", Source: "package main\nfunc main() { undefined() }\n"}
+	_, _, err := harness.Build(p, t.TempDir())
+	if err == nil {
+		t.Fatal("broken source must fail")
+	}
+	if !strings.Contains(err.Error(), "undefined") || !strings.Contains(err.Error(), "generated source") {
+		t.Errorf("error lacks diagnostics: %v", err)
+	}
+}
+
+func TestRunMissingBinary(t *testing.T) {
+	if _, err := harness.Run("/nonexistent/bin", harness.RunOptions{Steps: 1}); err == nil {
+		t.Fatal("missing binary must error")
+	}
+}

@@ -1,0 +1,170 @@
+// Package irjson implements the paper's §5 extensibility proposal: a
+// well-structured intermediate representation that lets other model-driven
+// tools (Ptolemy-II, SCADE, Tsmart, ...) feed the AccMoS pipeline. The IR
+// is a flat JSON document of typed nodes and directed edges; importers for
+// other tools only need to emit this document — everything downstream
+// (scheduling, instrumentation, code generation) is shared.
+package irjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"accmos/internal/model"
+)
+
+// Document is the interchange IR.
+type Document struct {
+	// Name is the model name.
+	Name string `json:"name"`
+	// Nodes are the computation nodes (actors/blocks).
+	Nodes []Node `json:"nodes"`
+	// Edges are the dataflow connections.
+	Edges []Edge `json:"edges"`
+}
+
+// Node is one computation node.
+type Node struct {
+	ID string `json:"id"`
+	// Kind is the actor type in the shared registry vocabulary ("Sum",
+	// "UnitDelay", ...). Importers map their tool's block names onto it.
+	Kind string `json:"kind"`
+	// Op is the optional operator ("+-", "AND", "rk4", ...).
+	Op string `json:"op,omitempty"`
+	// Group is an optional hierarchical grouping label (subsystem,
+	// composite actor, SCADE node).
+	Group string `json:"group,omitempty"`
+	// In and Out are the port counts.
+	In  int `json:"in"`
+	Out int `json:"out"`
+	// Params carries node configuration verbatim.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Edge is one dataflow connection between node ports.
+type Edge struct {
+	From     string `json:"from"`
+	FromPort int    `json:"fromPort"`
+	To       string `json:"to"`
+	ToPort   int    `json:"toPort"`
+}
+
+// FromModel converts a model into the interchange IR.
+func FromModel(m *model.Model) *Document {
+	doc := &Document{Name: m.Name}
+	for _, a := range m.Actors {
+		n := Node{
+			ID:    a.Name,
+			Kind:  string(a.Type),
+			Op:    a.Operator,
+			Group: a.Subsystem,
+			In:    len(a.Inputs),
+			Out:   len(a.Outputs),
+		}
+		if len(a.Params) > 0 {
+			n.Params = make(map[string]string, len(a.Params))
+			for k, v := range a.Params {
+				n.Params[k] = v
+			}
+		}
+		doc.Nodes = append(doc.Nodes, n)
+	}
+	for _, c := range m.Connections {
+		doc.Edges = append(doc.Edges, Edge{
+			From: c.SrcActor, FromPort: c.SrcPort,
+			To: c.DstActor, ToPort: c.DstPort,
+		})
+	}
+	return doc
+}
+
+// ToModel converts the IR into a model ready for actors.Compile.
+func (doc *Document) ToModel() (*model.Model, error) {
+	if doc.Name == "" {
+		return nil, fmt.Errorf("irjson: document has no name")
+	}
+	m := model.New(doc.Name)
+	for _, n := range doc.Nodes {
+		if n.In < 0 || n.Out < 0 || n.In > 1024 || n.Out > 1024 {
+			return nil, fmt.Errorf("irjson: node %q has implausible port counts", n.ID)
+		}
+		a := &model.Actor{
+			Name:      n.ID,
+			Type:      model.ActorType(n.Kind),
+			Operator:  n.Op,
+			Subsystem: n.Group,
+		}
+		for i := 0; i < n.In; i++ {
+			a.Inputs = append(a.Inputs, model.Port{Name: fmt.Sprintf("in%d", i+1)})
+		}
+		for i := 0; i < n.Out; i++ {
+			a.Outputs = append(a.Outputs, model.Port{Name: fmt.Sprintf("out%d", i+1)})
+		}
+		keys := make([]string, 0, len(n.Params))
+		for k := range n.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a.SetParam(k, n.Params[k])
+		}
+		if err := m.AddActor(a); err != nil {
+			return nil, fmt.Errorf("irjson: %w", err)
+		}
+	}
+	for _, e := range doc.Edges {
+		m.Connect(e.From, e.FromPort, e.To, e.ToPort)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("irjson: %w", err)
+	}
+	return m, nil
+}
+
+// Encode writes the IR as indented JSON.
+func Encode(w io.Writer, doc *Document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Decode parses an IR document.
+func Decode(r io.Reader) (*Document, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("irjson: %w", err)
+	}
+	return &doc, nil
+}
+
+// ReadModelFile loads a JSON IR file directly into a model.
+func ReadModelFile(path string) (*model.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("irjson: %w", err)
+	}
+	defer f.Close()
+	doc, err := Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	return doc.ToModel()
+}
+
+// WriteModelFile saves a model as a JSON IR file.
+func WriteModelFile(path string, m *model.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("irjson: %w", err)
+	}
+	defer f.Close()
+	if err := Encode(f, FromModel(m)); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,203 @@
+// Package lint implements static model diagnosis: structural checks that
+// find suspicious model constructs before any simulation runs — the
+// "logical errors, incorrect assumptions, and unintended behaviors" the
+// paper's simulation workflow hunts for, caught where a static pass
+// suffices. It complements the runtime calculation diagnosis in
+// internal/diagnose.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"accmos/internal/actors"
+	"accmos/internal/diagnose"
+	"accmos/internal/graph"
+)
+
+// Severity ranks a finding.
+type Severity string
+
+// Severities.
+const (
+	Warning Severity = "warning"
+	Info    Severity = "info"
+)
+
+// Finding is one static diagnosis.
+type Finding struct {
+	Severity Severity
+	Actor    string // paper-style path
+	Message  string
+}
+
+// String renders the finding as "severity: actor: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Severity, f.Actor, f.Message)
+}
+
+// Check runs every static rule over a compiled model. Findings are sorted
+// by actor path, warnings before infos within an actor.
+func Check(c *actors.Compiled) []Finding {
+	var out []Finding
+	add := func(sev Severity, info *actors.Info, format string, args ...interface{}) {
+		out = append(out, Finding{Severity: sev, Actor: info.Path, Message: fmt.Sprintf(format, args...)})
+	}
+
+	constDriver := func(info *actors.Info, port int) (*actors.Info, bool) {
+		src := info.InSrc[port]
+		if src.Actor == "" {
+			return nil, false
+		}
+		drv := c.Info(src.Actor)
+		if drv != nil && drv.Actor.Type == "Constant" {
+			return drv, true
+		}
+		return nil, false
+	}
+
+	// Reverse reachability from the model's observable effects: outports
+	// and data-store writes. Anything outside influences nothing.
+	rev := graph.New()
+	for _, info := range c.Order {
+		rev.AddNode(info.Actor.Name)
+		for _, src := range info.InSrc {
+			if src.Actor != "" {
+				rev.AddEdge(info.Actor.Name, src.Actor)
+			}
+		}
+		// Enable edges count as influence too.
+		if info.Gated() {
+			rev.AddEdge(info.Actor.Name, info.EnabledBy.Actor)
+		}
+	}
+	var roots []string
+	for _, info := range c.Order {
+		switch info.Actor.Type {
+		case "Outport", "DataStoreWrite", "Scope", "Display", "ToWorkspace":
+			roots = append(roots, info.Actor.Name)
+		}
+	}
+	influences := rev.Reachable(roots...)
+
+	for _, info := range c.Order {
+		a := info.Actor
+
+		// Rule: actor influences no observable output.
+		switch a.Type {
+		case "Outport", "Terminator", "Scope", "Display", "ToWorkspace", "DataStoreWrite", "DataStoreMemory":
+		default:
+			if !influences[a.Name] {
+				add(Warning, info, "influences no model output or data store (dead logic)")
+			}
+		}
+
+		// Rule: dangling outputs (computed but never consumed).
+		for p := range a.Outputs {
+			if len(c.Model.Consumers(a.Name, p)) == 0 {
+				add(Info, info, "output %d is computed but never consumed", p)
+			}
+		}
+
+		// Rule: static downcast (the paper's sizeof-based condition).
+		for _, k := range diagnose.RulesFor(info) {
+			if k == diagnose.Downcast {
+				add(Warning, info, "output type %s is narrower than its inputs (downcast, wrap on overflow possible)", info.OutKind())
+			}
+		}
+
+		// Rule: constant branch conditions — the branch structure can
+		// never be exercised, so condition coverage is capped.
+		switch a.Type {
+		case "Switch":
+			if drv, ok := constDriver(info, 1); ok {
+				add(Warning, info, "control input is the constant %q: one branch is unreachable",
+					drv.Actor.Param("Value", "0"))
+			}
+		case "If":
+			if drv, ok := constDriver(info, 0); ok {
+				add(Warning, info, "condition input is the constant %q: one branch is unreachable",
+					drv.Actor.Param("Value", "0"))
+			}
+		case "MultiportSwitch":
+			if drv, ok := constDriver(info, 0); ok {
+				add(Warning, info, "index input is the constant %q: all other ports are unreachable",
+					drv.Actor.Param("Value", "0"))
+			}
+		}
+
+		// Rule: division by a constant zero.
+		if a.Type == "Product" {
+			signs := info.Operator
+			for p := 0; p < len(signs) && p < info.NumIn(); p++ {
+				if signs[p] != '/' {
+					continue
+				}
+				if drv, ok := constDriver(info, p); ok {
+					if f, err := strconv.ParseFloat(strings.TrimSpace(drv.Actor.Param("Value", "0")), 64); err == nil && f == 0 {
+						add(Warning, info, "divides by the constant zero on input %d", p)
+					}
+				}
+			}
+		}
+
+		// Rule: zero gain wipes its signal.
+		if a.Type == "Gain" {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(a.Param("Gain", "1")), 64); err == nil && f == 0 {
+				add(Warning, info, "gain is zero: the output is constant zero")
+			}
+		}
+
+		// Rule: degenerate saturation.
+		if a.Type == "Saturation" && a.Param("Min", "") != "" && a.Param("Min", "") == a.Param("Max", "") {
+			add(Warning, info, "saturation bounds are equal: the output is the constant %s", a.Param("Min", ""))
+		}
+
+		// Rule: logic over duplicated condition sources — MC/DC can never
+		// demonstrate independence of coupled conditions.
+		if a.Type == "Logic" && info.NumIn() >= 2 {
+			seen := map[string]int{}
+			for p, src := range info.InSrc {
+				key := src.String()
+				if prev, dup := seen[key]; dup {
+					add(Warning, info, "inputs %d and %d share the same source %s: coupled conditions make MC/DC unsatisfiable", prev, p, key)
+				} else {
+					seen[key] = p
+				}
+			}
+		}
+
+		// Rule: constant enable signal — the gate never changes.
+		if info.Gated() {
+			drv := c.Info(info.EnabledBy.Actor)
+			if drv != nil && drv.Actor.Type == "Constant" {
+				add(Warning, info, "enable signal is the constant %q: the actor is permanently %s",
+					drv.Actor.Param("Value", "0"), enabledWord(drv.Actor.Param("Value", "0")))
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Actor != out[j].Actor {
+			return out[i].Actor < out[j].Actor
+		}
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity == Warning
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+func enabledWord(v string) string {
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err == nil && f == 0 {
+		return "disabled"
+	}
+	if b, err := strconv.ParseBool(strings.TrimSpace(v)); err == nil && !b {
+		return "disabled"
+	}
+	return "enabled"
+}

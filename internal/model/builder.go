@@ -1,0 +1,119 @@
+package model
+
+import (
+	"fmt"
+
+	"accmos/internal/types"
+)
+
+// Builder provides a fluent API for constructing models in code. Errors are
+// accumulated and reported once by Build, so construction code stays linear.
+type Builder struct {
+	m    *Model
+	errs []error
+	sub  string
+}
+
+// NewBuilder starts building a model with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{m: New(name)}
+}
+
+// InSubsystem sets the subsystem label applied to subsequently added actors.
+// Pass "" to return to the model root.
+func (b *Builder) InSubsystem(label string) *Builder {
+	b.sub = label
+	return b
+}
+
+// ActorOpt configures an actor being added through the builder.
+type ActorOpt func(*Actor)
+
+// WithOperator sets the actor's operator string.
+func WithOperator(op string) ActorOpt {
+	return func(a *Actor) { a.Operator = op }
+}
+
+// WithParam sets one actor parameter.
+func WithParam(key, value string) ActorOpt {
+	return func(a *Actor) { a.SetParam(key, value) }
+}
+
+// WithOutKind overrides the actor's output data type.
+func WithOutKind(k types.Kind) ActorOpt {
+	return func(a *Actor) { a.SetParam("OutDataType", k.String()) }
+}
+
+// WithOutWidth overrides the actor's output signal width.
+func WithOutWidth(w int) ActorOpt {
+	return func(a *Actor) { a.SetParam("OutWidth", fmt.Sprint(w)) }
+}
+
+// Add creates an actor with the given name, type and port counts, applying
+// opts, and returns the builder for chaining. Port kinds are left to
+// elaboration.
+func (b *Builder) Add(name string, t ActorType, nIn, nOut int, opts ...ActorOpt) *Builder {
+	a := &Actor{Name: name, Type: t, Subsystem: b.sub}
+	for i := 0; i < nIn; i++ {
+		a.Inputs = append(a.Inputs, Port{Name: fmt.Sprintf("in%d", i+1)})
+	}
+	for i := 0; i < nOut; i++ {
+		a.Outputs = append(a.Outputs, Port{Name: fmt.Sprintf("out%d", i+1)})
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	if err := b.m.AddActor(a); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Connect wires src's output port srcPort to dst's input port dstPort.
+func (b *Builder) Connect(src string, srcPort int, dst string, dstPort int) *Builder {
+	b.m.Connect(src, srcPort, dst, dstPort)
+	return b
+}
+
+// Wire is shorthand for connecting output 0 of src to input dstPort of dst.
+func (b *Builder) Wire(src, dst string, dstPort int) *Builder {
+	return b.Connect(src, 0, dst, dstPort)
+}
+
+// Chain wires output 0 of each name to input 0 of the next, forming a
+// pipeline.
+func (b *Builder) Chain(names ...string) *Builder {
+	for i := 0; i+1 < len(names); i++ {
+		b.Connect(names[i], 0, names[i+1], 0)
+	}
+	return b
+}
+
+// Err returns the accumulated construction errors, if any.
+func (b *Builder) Err() error {
+	if len(b.errs) > 0 {
+		return fmt.Errorf("builder: %d errors, first: %w", len(b.errs), b.errs[0])
+	}
+	return nil
+}
+
+// Build validates and returns the model.
+func (b *Builder) Build() (*Model, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	if err := b.m.Validate(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build for construction code where a malformed model is a
+// programming error (benchmark definitions, tests).
+func (b *Builder) MustBuild() *Model {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,271 @@
+// Package model defines the in-memory representation of a dataflow model:
+// actors (blocks), their typed ports, the signal connections between them,
+// and subsystem grouping. It mirrors the two-part structure the paper
+// describes for Simulink model files — an actors part holding per-actor
+// fundamentals (name, type, operator, port counts) and a relationships part
+// holding every signal connection.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accmos/internal/types"
+)
+
+// ActorType names a block type ("Sum", "Product", "UnitDelay", ...). The
+// set of valid types is defined by the actors registry.
+type ActorType string
+
+// Port describes one input or output of an actor. Kind and Width on input
+// ports are resolved during elaboration from the driving actor's output.
+type Port struct {
+	Name  string
+	Kind  types.Kind
+	Width int
+}
+
+// Actor is one block instance. Params carries type-specific configuration
+// as strings exactly as stored in the model file (e.g. "Value" for
+// Constant, "Gain" for Gain, "Limits" for Saturation).
+type Actor struct {
+	Name      string
+	Type      ActorType
+	Operator  string
+	Subsystem string // owning subsystem label; "" for the model root
+	Params    map[string]string
+	Inputs    []Port
+	Outputs   []Port
+}
+
+// Param returns the named parameter or def when absent.
+func (a *Actor) Param(name, def string) string {
+	if v, ok := a.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// SetParam sets a parameter, allocating the map on first use.
+func (a *Actor) SetParam(name, value string) {
+	if a.Params == nil {
+		a.Params = make(map[string]string)
+	}
+	a.Params[name] = value
+}
+
+// PortRef identifies one output port of one actor.
+type PortRef struct {
+	Actor string
+	Port  int
+}
+
+// String renders the reference as "actor:port".
+func (r PortRef) String() string { return fmt.Sprintf("%s:%d", r.Actor, r.Port) }
+
+// Connection is one entry of the relationships part: a directed signal from
+// an output port to an input port.
+type Connection struct {
+	SrcActor string
+	SrcPort  int
+	DstActor string
+	DstPort  int
+}
+
+// Model is a complete flat model. Actors holds stable declaration order;
+// lookup by name goes through Actor().
+type Model struct {
+	Name        string
+	Actors      []*Actor
+	Connections []Connection
+
+	byName map[string]*Actor
+}
+
+// New creates an empty model.
+func New(name string) *Model {
+	return &Model{Name: name, byName: make(map[string]*Actor)}
+}
+
+// AddActor appends a to the model. The actor name must be unique.
+func (m *Model) AddActor(a *Actor) error {
+	if a.Name == "" {
+		return fmt.Errorf("model %s: actor with empty name", m.Name)
+	}
+	if m.byName == nil {
+		m.byName = make(map[string]*Actor)
+	}
+	if _, dup := m.byName[a.Name]; dup {
+		return fmt.Errorf("model %s: duplicate actor name %q", m.Name, a.Name)
+	}
+	m.Actors = append(m.Actors, a)
+	m.byName[a.Name] = a
+	return nil
+}
+
+// Actor returns the named actor or nil.
+func (m *Model) Actor(name string) *Actor {
+	if m.byName == nil {
+		m.rebuildIndex()
+	}
+	return m.byName[name]
+}
+
+func (m *Model) rebuildIndex() {
+	m.byName = make(map[string]*Actor, len(m.Actors))
+	for _, a := range m.Actors {
+		m.byName[a.Name] = a
+	}
+}
+
+// Connect records a signal from srcActor's output port srcPort to dstActor's
+// input port dstPort.
+func (m *Model) Connect(srcActor string, srcPort int, dstActor string, dstPort int) {
+	m.Connections = append(m.Connections, Connection{srcActor, srcPort, dstActor, dstPort})
+}
+
+// Path returns the paper-style unique actor path:
+// MODEL_SUBSYSTEM_ACTOR, or MODEL_ACTOR for root-level actors.
+func (m *Model) Path(a *Actor) string {
+	if a.Subsystem == "" {
+		return m.Name + "_" + a.Name
+	}
+	return m.Name + "_" + a.Subsystem + "_" + a.Name
+}
+
+// Subsystems returns the sorted distinct non-root subsystem labels.
+func (m *Model) Subsystems() []string {
+	seen := make(map[string]bool)
+	for _, a := range m.Actors {
+		if a.Subsystem != "" {
+			seen[a.Subsystem] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActorsOfType returns actors with the given type, in declaration order.
+func (m *Model) ActorsOfType(t ActorType) []*Actor {
+	var out []*Actor
+	for _, a := range m.Actors {
+		if a.Type == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Driver returns the connection feeding the given input port, if any.
+func (m *Model) Driver(actor string, inPort int) (Connection, bool) {
+	for _, c := range m.Connections {
+		if c.DstActor == actor && c.DstPort == inPort {
+			return c, true
+		}
+	}
+	return Connection{}, false
+}
+
+// Consumers returns the connections fed by the given output port.
+func (m *Model) Consumers(actor string, outPort int) []Connection {
+	var out []Connection
+	for _, c := range m.Connections {
+		if c.SrcActor == actor && c.SrcPort == outPort {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: connection endpoints exist,
+// port indices are in range, and every input port has exactly one driver.
+// Type-level validation (port counts per actor type, operator legality)
+// belongs to the actors registry's elaboration.
+func (m *Model) Validate() error {
+	var errs []string
+	if m.byName == nil || len(m.byName) != len(m.Actors) {
+		m.rebuildIndex()
+	}
+	drivers := make(map[[2]interface{}]int)
+	for _, c := range m.Connections {
+		src := m.byName[c.SrcActor]
+		if src == nil {
+			errs = append(errs, fmt.Sprintf("connection references unknown source actor %q", c.SrcActor))
+			continue
+		}
+		dst := m.byName[c.DstActor]
+		if dst == nil {
+			errs = append(errs, fmt.Sprintf("connection references unknown destination actor %q", c.DstActor))
+			continue
+		}
+		if c.SrcPort < 0 || c.SrcPort >= len(src.Outputs) {
+			errs = append(errs, fmt.Sprintf("%s has no output port %d", c.SrcActor, c.SrcPort))
+		}
+		if c.DstPort < 0 || c.DstPort >= len(dst.Inputs) {
+			errs = append(errs, fmt.Sprintf("%s has no input port %d", c.DstActor, c.DstPort))
+		}
+		drivers[[2]interface{}{c.DstActor, c.DstPort}]++
+	}
+	for key, n := range drivers {
+		if n > 1 {
+			errs = append(errs, fmt.Sprintf("input %v:%v has %d drivers", key[0], key[1], n))
+		}
+	}
+	for _, a := range m.Actors {
+		for i := range a.Inputs {
+			if drivers[[2]interface{}{a.Name, i}] == 0 {
+				errs = append(errs, fmt.Sprintf("input %s:%d is unconnected", a.Name, i))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("model %s invalid:\n  %s", m.Name, strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the model, so experiments can mutate a copy
+// (e.g. inject errors) without touching the shared benchmark definition.
+func (m *Model) Clone() *Model {
+	out := New(m.Name)
+	for _, a := range m.Actors {
+		ca := &Actor{
+			Name:      a.Name,
+			Type:      a.Type,
+			Operator:  a.Operator,
+			Subsystem: a.Subsystem,
+			Inputs:    append([]Port(nil), a.Inputs...),
+			Outputs:   append([]Port(nil), a.Outputs...),
+		}
+		if a.Params != nil {
+			ca.Params = make(map[string]string, len(a.Params))
+			for k, v := range a.Params {
+				ca.Params[k] = v
+			}
+		}
+		if err := out.AddActor(ca); err != nil {
+			// Clone of a valid model cannot collide; a collision means the
+			// source was corrupted, which is a programming error.
+			panic(err)
+		}
+	}
+	out.Connections = append([]Connection(nil), m.Connections...)
+	return out
+}
+
+// Stats summarises a model for reports (Table 1 columns).
+type Stats struct {
+	Actors     int
+	Subsystems int
+}
+
+// Stats returns the actor and subsystem counts.
+func (m *Model) Stats() Stats {
+	return Stats{Actors: len(m.Actors), Subsystems: len(m.Subsystems())}
+}

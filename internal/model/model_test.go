@@ -1,0 +1,213 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"accmos/internal/types"
+)
+
+func twoActorModel(t *testing.T) *Model {
+	t.Helper()
+	m := New("M")
+	a := &Actor{Name: "A", Type: "Constant", Outputs: []Port{{Name: "out1"}}}
+	b := &Actor{Name: "B", Type: "Outport", Inputs: []Port{{Name: "in1"}}}
+	if err := m.AddActor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddActor(b); err != nil {
+		t.Fatal(err)
+	}
+	m.Connect("A", 0, "B", 0)
+	return m
+}
+
+func TestAddActorDuplicate(t *testing.T) {
+	m := New("M")
+	if err := m.AddActor(&Actor{Name: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddActor(&Actor{Name: "X"}); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+	if err := m.AddActor(&Actor{}); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	m := twoActorModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateUnknownEndpoints(t *testing.T) {
+	m := twoActorModel(t)
+	m.Connect("Nope", 0, "B", 0)
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown source") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidatePortRange(t *testing.T) {
+	m := twoActorModel(t)
+	m.Connect("A", 5, "B", 0)
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range source port must be rejected")
+	}
+}
+
+func TestValidateMultipleDrivers(t *testing.T) {
+	m := twoActorModel(t)
+	c := &Actor{Name: "C", Type: "Constant", Outputs: []Port{{Name: "out1"}}}
+	if err := m.AddActor(c); err != nil {
+		t.Fatal(err)
+	}
+	m.Connect("C", 0, "B", 0)
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "2 drivers") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateUnconnectedInput(t *testing.T) {
+	m := New("M")
+	if err := m.AddActor(&Actor{Name: "B", Type: "Outport", Inputs: []Port{{Name: "in1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unconnected") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	m := New("MODEL")
+	root := &Actor{Name: "ADD1"}
+	sub := &Actor{Name: "ADD2", Subsystem: "SUBSYSTEM"}
+	if got := m.Path(root); got != "MODEL_ADD1" {
+		t.Errorf("root path = %q", got)
+	}
+	if got := m.Path(sub); got != "MODEL_SUBSYSTEM_ADD2" {
+		t.Errorf("subsystem path = %q", got)
+	}
+}
+
+func TestSubsystemsAndStats(t *testing.T) {
+	m := New("M")
+	for _, spec := range []struct{ name, sub string }{
+		{"a", "S1"}, {"b", "S2"}, {"c", "S1"}, {"d", ""},
+	} {
+		if err := m.AddActor(&Actor{Name: spec.name, Subsystem: spec.sub}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs := m.Subsystems()
+	if len(subs) != 2 || subs[0] != "S1" || subs[1] != "S2" {
+		t.Errorf("Subsystems() = %v", subs)
+	}
+	st := m.Stats()
+	if st.Actors != 4 || st.Subsystems != 2 {
+		t.Errorf("Stats() = %+v", st)
+	}
+}
+
+func TestDriverAndConsumers(t *testing.T) {
+	m := twoActorModel(t)
+	c, ok := m.Driver("B", 0)
+	if !ok || c.SrcActor != "A" {
+		t.Errorf("Driver = %+v, %v", c, ok)
+	}
+	if _, ok := m.Driver("A", 0); ok {
+		t.Error("A has no input driver")
+	}
+	cons := m.Consumers("A", 0)
+	if len(cons) != 1 || cons[0].DstActor != "B" {
+		t.Errorf("Consumers = %+v", cons)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := twoActorModel(t)
+	m.Actor("A").SetParam("Value", "1")
+	c := m.Clone()
+	c.Actor("A").SetParam("Value", "2")
+	c.Actor("A").Outputs[0].Kind = types.F64
+	if m.Actor("A").Param("Value", "") != "1" {
+		t.Error("clone shares params with original")
+	}
+	if m.Actor("A").Outputs[0].Kind != types.Invalid {
+		t.Error("clone shares port slices with original")
+	}
+	c.Connect("A", 0, "B", 0)
+	if len(m.Connections) != 1 {
+		t.Error("clone shares connection slice")
+	}
+}
+
+func TestActorsOfType(t *testing.T) {
+	m := twoActorModel(t)
+	if got := m.ActorsOfType("Constant"); len(got) != 1 || got[0].Name != "A" {
+		t.Errorf("ActorsOfType = %v", got)
+	}
+	if got := m.ActorsOfType("Gain"); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	a := &Actor{Name: "X"}
+	if got := a.Param("Value", "def"); got != "def" {
+		t.Errorf("default = %q", got)
+	}
+	a.SetParam("Value", "42")
+	if got := a.Param("Value", "def"); got != "42" {
+		t.Errorf("set = %q", got)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	m, err := NewBuilder("B").
+		Add("In", "Inport", 0, 1, WithOutKind(types.I32)).
+		Add("G", "Gain", 1, 1, WithParam("Gain", "2")).
+		InSubsystem("S").
+		Add("Out", "Outport", 1, 0).
+		Chain("In", "G", "Out").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Actor("G").Param("Gain", "") != "2" {
+		t.Error("param lost")
+	}
+	if m.Actor("Out").Subsystem != "S" {
+		t.Error("subsystem label lost")
+	}
+	if m.Actor("In").Param("OutDataType", "") != "int32" {
+		t.Error("WithOutKind lost")
+	}
+	if len(m.Connections) != 2 {
+		t.Errorf("connections = %d", len(m.Connections))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	_, err := NewBuilder("B").
+		Add("X", "Constant", 0, 1).
+		Add("X", "Constant", 0, 1).
+		Build()
+	if err == nil {
+		t.Fatal("duplicate actor must surface from Build")
+	}
+}
+
+func TestBuilderMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on invalid model")
+		}
+	}()
+	NewBuilder("B").Add("Out", "Outport", 1, 0).MustBuild()
+}

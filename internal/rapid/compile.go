@@ -1,0 +1,658 @@
+package rapid
+
+import (
+	"math"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+// compileActor translates one actor into closures. Specialized templates
+// cover the hot scalar cases; everything else goes through the boxed
+// bridge, which reuses the registry's Eval/Update and is therefore exact
+// by construction.
+func (e *Engine) compileActor(i int, info *actors.Info) error {
+	switch info.Actor.Type {
+	case "Outport", "Terminator", "Scope", "Display", "ToWorkspace", "DataStoreMemory":
+		return nil // sinks: no computation (Outport is hashed by the run loop)
+	}
+	if e.forceBridge || info.Gated() {
+		// Conditionally executed actors run through the bridge with an
+		// enable gate; the specialization templates stay gate-free.
+		e.bridged++
+		e.bridge(i, info)
+		return nil
+	}
+	if fn, ufn, ok := e.specialize(i, info); ok {
+		e.specialized++
+		if fn != nil {
+			e.steps = append(e.steps, fn)
+		}
+		if ufn != nil {
+			e.updates = append(e.updates, ufn)
+		}
+		return nil
+	}
+	e.bridged++
+	e.bridge(i, info)
+	return nil
+}
+
+// scalarIn returns the register index of input p when it is scalar and of
+// kind k (the same-kind fast path), or ok=false.
+func (e *Engine) scalarIn(info *actors.Info, p int, k types.Kind) (int, bool) {
+	if info.InWidths[p] > 1 || info.InKinds[p] != k {
+		return 0, false
+	}
+	idx, ok := e.scalarSlot[info.InSrc[p]]
+	return idx, ok
+}
+
+// anyScalarIn returns the register index and kind of input p when scalar.
+func (e *Engine) anyScalarIn(info *actors.Info, p int) (int, types.Kind, bool) {
+	if info.InWidths[p] > 1 {
+		return 0, 0, false
+	}
+	idx, ok := e.scalarSlot[info.InSrc[p]]
+	return idx, info.InKinds[p], ok
+}
+
+func (e *Engine) outReg(info *actors.Info) (int, bool) {
+	if info.OutWidth() > 1 {
+		return 0, false
+	}
+	idx, ok := e.scalarSlot[model.PortRef{Actor: info.Actor.Name, Port: 0}]
+	return idx, ok
+}
+
+// allSameKindScalar gathers all input registers when every input is a
+// scalar of kind k.
+func (e *Engine) allSameKindScalar(info *actors.Info, k types.Kind) ([]int, bool) {
+	refs := make([]int, info.NumIn())
+	for p := range refs {
+		idx, ok := e.scalarIn(info, p, k)
+		if !ok {
+			return nil, false
+		}
+		refs[p] = idx
+	}
+	return refs, true
+}
+
+// specialize builds an unboxed closure when a template applies.
+func (e *Engine) specialize(i int, info *actors.Info) (fn, ufn func(int64), ok bool) {
+	k := info.OutKind()
+	o, haveOut := e.outReg(info)
+
+	switch info.Actor.Type {
+	case "Constant":
+		if !haveOut {
+			vi := e.vectorSlot[model.PortRef{Actor: info.Actor.Name, Port: 0}]
+			v := info.Aux.(types.Value)
+			e.resets = append(e.resets, func() { e.vals[vi] = v })
+			return nil, nil, true
+		}
+		bitsVal := encode(info.Aux.(types.Value))
+		e.resets = append(e.resets, func() { e.bits[o] = bitsVal })
+		return nil, nil, true
+
+	case "Inport":
+		if !haveOut {
+			return nil, nil, false
+		}
+		si := -1
+		for idx, ip := range e.c.Inports {
+			if ip == info {
+				si = idx
+			}
+		}
+		if si < 0 {
+			return nil, nil, false
+		}
+		kk := k
+		return func(step int64) {
+			v, _ := types.Convert(types.FloatVal(types.F64, e.streams[si].At(step)), kk)
+			e.bits[o] = encode(v)
+		}, nil, true
+
+	case "Sum":
+		if !haveOut || k == types.Bool {
+			return nil, nil, false
+		}
+		refs, sameKind := e.allSameKindScalar(info, k)
+		if !sameKind {
+			return nil, nil, false
+		}
+		signs := info.Aux.(string)
+		return e.sumClosure(k, o, refs, signs), nil, true
+
+	case "Product":
+		if !haveOut || k == types.Bool {
+			return nil, nil, false
+		}
+		refs, sameKind := e.allSameKindScalar(info, k)
+		if !sameKind {
+			return nil, nil, false
+		}
+		signs := info.Aux.(string)
+		return e.productClosure(k, o, refs, signs), nil, true
+
+	case "Gain", "Bias":
+		if !haveOut || k == types.Bool {
+			return nil, nil, false
+		}
+		in, sameKind := e.scalarIn(info, 0, k)
+		if !sameKind {
+			return nil, nil, false
+		}
+		c := info.Aux.(types.Value)
+		mul := info.Actor.Type == "Gain"
+		return e.affineClosure(k, o, in, c, mul), nil, true
+
+	case "UnitDelay", "Memory":
+		if !haveOut {
+			return nil, nil, false
+		}
+		in, sameKind := e.scalarIn(info, 0, k)
+		if !sameKind {
+			return nil, nil, false
+		}
+		s := len(e.bits)
+		e.bits = append(e.bits, 0)
+		init := encode(info.Aux.(types.Value))
+		e.resets = append(e.resets, func() { e.bits[s] = init })
+		return func(int64) { e.bits[o] = e.bits[s] },
+			func(int64) { e.bits[s] = e.bits[in] },
+			true
+
+	case "Switch":
+		if !haveOut {
+			return nil, nil, false
+		}
+		a, okA := e.scalarIn(info, 0, k)
+		b, okB := e.scalarIn(info, 2, k)
+		ci, ck, okC := e.anyScalarIn(info, 1)
+		if !okA || !okB || !okC {
+			return nil, nil, false
+		}
+		// The threshold lives in the actors package's private aux; re-read
+		// it from the validated parameter instead.
+		thr := 0.0
+		if s := info.Actor.Param("Threshold", "0"); s != "" {
+			v, err := types.ParseValue(types.F64, s)
+			if err == nil {
+				thr = v.F
+			}
+		}
+		op := info.Operator
+		return func(int64) {
+			cf := decode(e.bits[ci], ck).AsFloat()
+			var pass bool
+			switch op {
+			case ">=":
+				pass = cf >= thr
+			case ">":
+				pass = cf > thr
+			default: // "~=0"
+				pass = cf != 0
+			}
+			if pass {
+				e.bits[o] = e.bits[a]
+			} else {
+				e.bits[o] = e.bits[b]
+			}
+		}, nil, true
+
+	case "Logic":
+		if !haveOut {
+			return nil, nil, false
+		}
+		n := info.NumIn()
+		refs := make([]int, n)
+		kinds := make([]types.Kind, n)
+		for p := 0; p < n; p++ {
+			idx, kk, okIn := e.anyScalarIn(info, p)
+			if !okIn {
+				return nil, nil, false
+			}
+			refs[p] = idx
+			kinds[p] = kk
+		}
+		op := info.Operator
+		return func(int64) {
+			out := evalLogic(op, func(j int) bool { return truthy(e.bits[refs[j]], kinds[j]) }, n)
+			if out {
+				e.bits[o] = 1
+			} else {
+				e.bits[o] = 0
+			}
+		}, nil, true
+
+	case "RelationalOperator":
+		if !haveOut {
+			return nil, nil, false
+		}
+		a, ka, okA := e.anyScalarIn(info, 0)
+		b, kb, okB := e.anyScalarIn(info, 1)
+		if !okA || !okB {
+			return nil, nil, false
+		}
+		op := info.Operator
+		return func(int64) {
+			c := types.Compare(decode(e.bits[a], ka), decode(e.bits[b], kb))
+			if relHolds(op, c) {
+				e.bits[o] = 1
+			} else {
+				e.bits[o] = 0
+			}
+		}, nil, true
+
+	case "CompareToZero", "CompareToConstant":
+		if !haveOut {
+			return nil, nil, false
+		}
+		a, ka, okA := e.anyScalarIn(info, 0)
+		if !okA {
+			return nil, nil, false
+		}
+		var ref types.Value
+		if info.Actor.Type == "CompareToZero" {
+			ref = types.Zero(ka)
+		} else {
+			ref = info.Aux.(types.Value)
+		}
+		op := info.Operator
+		return func(int64) {
+			c := types.Compare(decode(e.bits[a], ka), ref)
+			if relHolds(op, c) {
+				e.bits[o] = 1
+			} else {
+				e.bits[o] = 0
+			}
+		}, nil, true
+	}
+	return nil, nil, false
+}
+
+// evalLogic applies a boolean combination operator over n conditions.
+func evalLogic(op string, cond func(int) bool, n int) bool {
+	switch op {
+	case "AND", "NAND":
+		out := true
+		for j := 0; j < n && out; j++ {
+			out = cond(j)
+		}
+		if op == "NAND" {
+			return !out
+		}
+		return out
+	case "OR", "NOR":
+		out := false
+		for j := 0; j < n && !out; j++ {
+			out = cond(j)
+		}
+		if op == "NOR" {
+			return !out
+		}
+		return out
+	case "XOR", "NXOR":
+		out := false
+		for j := 0; j < n; j++ {
+			out = out != cond(j)
+		}
+		if op == "NXOR" {
+			return !out
+		}
+		return out
+	case "NOT":
+		return !cond(0)
+	}
+	return false
+}
+
+// relHolds mirrors the relational semantics of the actors registry
+// (types.Compare returns -2 for NaN-incomparable pairs).
+func relHolds(op string, c int) bool {
+	switch op {
+	case "==":
+		return c == 0
+	case "~=":
+		return c != 0
+	case "<":
+		return c == -1
+	case "<=":
+		return c == -1 || c == 0
+	case ">":
+		return c == 1
+	case ">=":
+		return c == 1 || c == 0
+	}
+	return false
+}
+
+// sumClosure builds the unboxed Sum template for kind k.
+func (e *Engine) sumClosure(k types.Kind, o int, refs []int, signs string) func(int64) {
+	switch {
+	case k.IsSigned():
+		sh := uint(64 - k.Bits())
+		return func(int64) {
+			acc := int64(e.bits[refs[0]])
+			if signs[0] == '-' {
+				acc = (0 - acc) << sh >> sh
+			}
+			for j := 1; j < len(refs); j++ {
+				b := int64(e.bits[refs[j]])
+				if signs[j] == '+' {
+					acc = (acc + b) << sh >> sh
+				} else {
+					acc = (acc - b) << sh >> sh
+				}
+			}
+			e.bits[o] = uint64(acc)
+		}
+	case k.IsUnsigned():
+		mask := maskFor(k)
+		return func(int64) {
+			acc := e.bits[refs[0]]
+			if signs[0] == '-' {
+				acc = (0 - acc) & mask
+			}
+			for j := 1; j < len(refs); j++ {
+				b := e.bits[refs[j]]
+				if signs[j] == '+' {
+					acc = (acc + b) & mask
+				} else {
+					acc = (acc - b) & mask
+				}
+			}
+			e.bits[o] = acc
+		}
+	case k == types.F32:
+		return func(int64) {
+			acc := math.Float32frombits(uint32(e.bits[refs[0]]))
+			if signs[0] == '-' {
+				acc = float32(0 - float64(acc))
+			}
+			for j := 1; j < len(refs); j++ {
+				b := math.Float32frombits(uint32(e.bits[refs[j]]))
+				if signs[j] == '+' {
+					acc = float32(float64(acc) + float64(b))
+				} else {
+					acc = float32(float64(acc) - float64(b))
+				}
+			}
+			e.bits[o] = uint64(math.Float32bits(acc))
+		}
+	default: // F64
+		return func(int64) {
+			acc := math.Float64frombits(e.bits[refs[0]])
+			if signs[0] == '-' {
+				acc = 0 - acc
+			}
+			for j := 1; j < len(refs); j++ {
+				b := math.Float64frombits(e.bits[refs[j]])
+				if signs[j] == '+' {
+					acc += b
+				} else {
+					acc -= b
+				}
+			}
+			e.bits[o] = math.Float64bits(acc)
+		}
+	}
+}
+
+// productClosure builds the unboxed Product template for kind k.
+func (e *Engine) productClosure(k types.Kind, o int, refs []int, signs string) func(int64) {
+	switch {
+	case k.IsSigned():
+		sh := uint(64 - k.Bits())
+		return func(int64) {
+			var acc int64
+			if signs[0] == '*' {
+				acc = int64(e.bits[refs[0]])
+			} else {
+				d := int64(e.bits[refs[0]])
+				if d == 0 {
+					acc = 0
+				} else {
+					acc = (1 / d) << sh >> sh
+				}
+			}
+			for j := 1; j < len(refs); j++ {
+				b := int64(e.bits[refs[j]])
+				if signs[j] == '*' {
+					acc = (acc * b) << sh >> sh
+				} else if b == 0 {
+					acc = 0
+				} else {
+					acc = (acc / b) << sh >> sh
+				}
+			}
+			e.bits[o] = uint64(acc)
+		}
+	case k.IsUnsigned():
+		mask := maskFor(k)
+		return func(int64) {
+			var acc uint64
+			if signs[0] == '*' {
+				acc = e.bits[refs[0]]
+			} else {
+				d := e.bits[refs[0]]
+				if d == 0 {
+					acc = 0
+				} else {
+					acc = (1 / d) & mask
+				}
+			}
+			for j := 1; j < len(refs); j++ {
+				b := e.bits[refs[j]]
+				if signs[j] == '*' {
+					acc = (acc * b) & mask
+				} else if b == 0 {
+					acc = 0
+				} else {
+					acc = (acc / b) & mask
+				}
+			}
+			e.bits[o] = acc
+		}
+	case k == types.F32:
+		return func(int64) {
+			var acc float32
+			if signs[0] == '*' {
+				acc = math.Float32frombits(uint32(e.bits[refs[0]]))
+			} else {
+				acc = float32(float64(float32(1)) / float64(math.Float32frombits(uint32(e.bits[refs[0]]))))
+			}
+			for j := 1; j < len(refs); j++ {
+				b := math.Float32frombits(uint32(e.bits[refs[j]]))
+				if signs[j] == '*' {
+					acc = float32(float64(acc) * float64(b))
+				} else {
+					acc = float32(float64(acc) / float64(b))
+				}
+			}
+			e.bits[o] = uint64(math.Float32bits(acc))
+		}
+	default: // F64
+		return func(int64) {
+			var acc float64
+			if signs[0] == '*' {
+				acc = math.Float64frombits(e.bits[refs[0]])
+			} else {
+				acc = 1 / math.Float64frombits(e.bits[refs[0]])
+			}
+			for j := 1; j < len(refs); j++ {
+				b := math.Float64frombits(e.bits[refs[j]])
+				if signs[j] == '*' {
+					acc *= b
+				} else {
+					acc /= b
+				}
+			}
+			e.bits[o] = math.Float64bits(acc)
+		}
+	}
+}
+
+// affineClosure builds Gain (mul) / Bias (add) for kind k.
+func (e *Engine) affineClosure(k types.Kind, o, in int, c types.Value, mul bool) func(int64) {
+	switch {
+	case k.IsSigned():
+		sh := uint(64 - k.Bits())
+		cv := c.I
+		if mul {
+			return func(int64) { e.bits[o] = uint64((int64(e.bits[in]) * cv) << sh >> sh) }
+		}
+		return func(int64) { e.bits[o] = uint64((int64(e.bits[in]) + cv) << sh >> sh) }
+	case k.IsUnsigned():
+		mask := maskFor(k)
+		cv := c.U
+		if mul {
+			return func(int64) { e.bits[o] = (e.bits[in] * cv) & mask }
+		}
+		return func(int64) { e.bits[o] = (e.bits[in] + cv) & mask }
+	case k == types.F32:
+		cv := float64(float32(c.F))
+		if mul {
+			return func(int64) {
+				e.bits[o] = uint64(math.Float32bits(float32(float64(math.Float32frombits(uint32(e.bits[in]))) * cv)))
+			}
+		}
+		return func(int64) {
+			e.bits[o] = uint64(math.Float32bits(float32(float64(math.Float32frombits(uint32(e.bits[in]))) + cv)))
+		}
+	default:
+		cv := c.F
+		if mul {
+			return func(int64) { e.bits[o] = math.Float64bits(math.Float64frombits(e.bits[in]) * cv) }
+		}
+		return func(int64) { e.bits[o] = math.Float64bits(math.Float64frombits(e.bits[in]) + cv) }
+	}
+}
+
+// maskFor returns the payload mask for an unsigned kind.
+func maskFor(k types.Kind) uint64 {
+	if k.Bits() >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k.Bits())) - 1
+}
+
+// bridge compiles a fallback closure pair around the registry Eval/Update.
+func (e *Engine) bridge(i int, info *actors.Info) {
+	ec := &e.ecs[i]
+	ec.Info = info
+	ec.In = make([]types.Value, info.NumIn())
+	ec.Outs = make([]types.Value, len(info.Actor.Outputs))
+	ec.State = &e.states[i]
+	ec.DS = e
+
+	type inRef struct {
+		scalar bool
+		idx    int
+		kind   types.Kind
+	}
+	ins := make([]inRef, info.NumIn())
+	for p, src := range info.InSrc {
+		if idx, ok := e.scalarSlot[src]; ok {
+			ins[p] = inRef{scalar: true, idx: idx, kind: e.slotKind[src]}
+		} else {
+			ins[p] = inRef{scalar: false, idx: e.vectorSlot[src]}
+		}
+	}
+	type outRef struct {
+		scalar bool
+		idx    int
+	}
+	outs := make([]outRef, len(info.Actor.Outputs))
+	for p := range outs {
+		ref := model.PortRef{Actor: info.Actor.Name, Port: p}
+		if idx, ok := e.scalarSlot[ref]; ok {
+			outs[p] = outRef{scalar: true, idx: idx}
+		} else {
+			outs[p] = outRef{scalar: false, idx: e.vectorSlot[ref]}
+		}
+	}
+
+	fetch := func() {
+		for p := range ins {
+			if ins[p].scalar {
+				ec.In[p] = decode(e.bits[ins[p].idx], ins[p].kind)
+			} else {
+				ec.In[p] = e.vals[ins[p].idx]
+			}
+		}
+	}
+	var si = -1
+	if info.Actor.Type == "Inport" {
+		for idx, ip := range e.c.Inports {
+			if ip == info {
+				si = idx
+			}
+		}
+	}
+
+	// Conditional execution: resolve the enable register and the typed
+	// zero outputs written while disabled.
+	gateIdx := -1
+	var gateKind types.Kind
+	var zeroVals []types.Value
+	if info.Gated() {
+		idx, ok := e.scalarSlot[info.EnabledBy]
+		if !ok {
+			// The enabler is guaranteed scalar by elaboration.
+			panic("rapid: enable signal without scalar register")
+		}
+		gateIdx = idx
+		gateKind = e.slotKind[info.EnabledBy]
+		zeroVals = make([]types.Value, len(outs))
+		for p := range outs {
+			zeroVals[p] = types.ZeroVector(info.OutKinds[p], info.OutWidths[p])
+		}
+	}
+	enabled := func() bool {
+		return gateIdx < 0 || truthy(e.bits[gateIdx], gateKind)
+	}
+
+	e.steps = append(e.steps, func(step int64) {
+		if si >= 0 {
+			// Stimulus streams advance every step regardless of gating, as
+			// in every other engine.
+			ec.ExternalIn = types.FloatVal(types.F64, e.streams[si].At(step))
+		}
+		if !enabled() {
+			for p := range outs {
+				if outs[p].scalar {
+					e.bits[outs[p].idx] = 0
+				} else {
+					e.vals[outs[p].idx] = zeroVals[p]
+				}
+			}
+			return
+		}
+		ec.Step = step
+		ec.Conds = ec.Conds[:0]
+		fetch()
+		info.Spec.Eval(ec)
+		for p := range outs {
+			if outs[p].scalar {
+				e.bits[outs[p].idx] = encode(ec.Outs[p])
+			} else {
+				e.vals[outs[p].idx] = ec.Outs[p]
+			}
+		}
+	})
+	if info.Spec.Update != nil {
+		e.updates = append(e.updates, func(step int64) {
+			if !enabled() {
+				return
+			}
+			ec.Step = step
+			fetch()
+			info.Spec.Update(ec)
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package simresult
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"accmos/internal/diagnose"
+)
+
+func TestHashU64KnownVector(t *testing.T) {
+	// FNV-1a over eight zero bytes from the offset basis.
+	h := HashU64(FNVOffset, 0)
+	if h == FNVOffset || h == 0 {
+		t.Errorf("h = %x", h)
+	}
+	// Determinism and sensitivity.
+	if HashU64(FNVOffset, 1) == HashU64(FNVOffset, 2) {
+		t.Error("collision on trivially different inputs")
+	}
+	if HashU64(FNVOffset, 7) != HashU64(FNVOffset, 7) {
+		t.Error("nondeterministic")
+	}
+}
+
+// Property: chaining is order-sensitive (a stream hash, not a set hash).
+func TestQuickHashOrderSensitive(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return HashU64(HashU64(FNVOffset, a), b) != HashU64(HashU64(FNVOffset, b), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSinkAndQueries(t *testing.T) {
+	s := diagnose.NewSink(8)
+	s.Report(diagnose.Record{Step: 5, Actor: "M_A", Kind: diagnose.WrapOnOverflow})
+	s.Report(diagnose.Record{Step: 9, Actor: "M_B", Kind: diagnose.WrapOnOverflow})
+	s.Report(diagnose.Record{Step: 2, Actor: "M_C", Kind: diagnose.DivisionByZero})
+	var r Results
+	r.FromSink(s)
+	if r.DiagTotal != 3 || len(r.Diags) != 3 {
+		t.Errorf("totals: %d %d", r.DiagTotal, len(r.Diags))
+	}
+	if got := r.FirstDetectOf(diagnose.WrapOnOverflow); got != 5 {
+		t.Errorf("FirstDetectOf overflow = %d", got)
+	}
+	if got := r.FirstDetectOf(diagnose.DivisionByZero); got != 2 {
+		t.Errorf("FirstDetectOf div = %d", got)
+	}
+	if got := r.FirstDetectOf(diagnose.DomainError); got != -1 {
+		t.Errorf("FirstDetectOf missing = %d", got)
+	}
+	sum := r.DiagSummary()
+	if len(sum) != 3 {
+		t.Errorf("summary = %v", sum)
+	}
+	// Deterministic ordering.
+	if sum[0] > sum[1] || sum[1] > sum[2] {
+		t.Errorf("summary not sorted: %v", sum)
+	}
+}
+
+func TestJSONRoundTripExactHash(t *testing.T) {
+	// uint64 hashes must survive JSON exactly (no float64 mangling).
+	orig := Results{Model: "M", Engine: "AccMoS", Steps: 42, OutputHash: ^uint64(0) - 12345}
+	b, err := json.Marshal(&orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OutputHash != orig.OutputHash || back.Steps != orig.Steps {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestSameOutputs(t *testing.T) {
+	a := &Results{Steps: 10, OutputHash: 7}
+	b := &Results{Steps: 10, OutputHash: 7}
+	c := &Results{Steps: 10, OutputHash: 8}
+	d := &Results{Steps: 11, OutputHash: 7}
+	if !SameOutputs(a, b) || SameOutputs(a, c) || SameOutputs(a, d) {
+		t.Error("SameOutputs misbehaves")
+	}
+}

@@ -1,0 +1,165 @@
+// Package slx reads and writes the on-disk model format. The layout
+// deliberately mirrors how the paper describes Simulink's model storage
+// (§3.1): an actors part holding each block's fundamentals — name, type,
+// calculation operator, parameters, and input/output port counts, with no
+// signal connections — and a relationships part holding every data-flow
+// connection between ports. Parsing the actors part is the model parser
+// module; reconstructing port wiring and execution order from the
+// relationships part is the schedule convert module (actors.Compile).
+package slx
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"accmos/internal/model"
+)
+
+// xmlModel is the document root.
+type xmlModel struct {
+	XMLName       xml.Name      `xml:"model"`
+	Name          string        `xml:"name,attr"`
+	Actors        []xmlActor    `xml:"actors>actor"`
+	Relationships []xmlRelation `xml:"relationships>signal"`
+}
+
+// xmlActor is one entry of the actors part.
+type xmlActor struct {
+	Name      string     `xml:"name,attr"`
+	Type      string     `xml:"type,attr"`
+	Operator  string     `xml:"operator,attr,omitempty"`
+	Subsystem string     `xml:"subsystem,attr,omitempty"`
+	NumIn     int        `xml:"in,attr"`
+	NumOut    int        `xml:"out,attr"`
+	Params    []xmlParam `xml:"param"`
+}
+
+// xmlParam is one actor parameter.
+type xmlParam struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// xmlRelation is one entry of the relationships part.
+type xmlRelation struct {
+	From     string `xml:"from,attr"`
+	FromPort int    `xml:"fromPort,attr"`
+	To       string `xml:"to,attr"`
+	ToPort   int    `xml:"toPort,attr"`
+}
+
+// Encode writes a model to w as XML.
+func Encode(w io.Writer, m *model.Model) error {
+	doc := xmlModel{Name: m.Name}
+	for _, a := range m.Actors {
+		xa := xmlActor{
+			Name:      a.Name,
+			Type:      string(a.Type),
+			Operator:  a.Operator,
+			Subsystem: a.Subsystem,
+			NumIn:     len(a.Inputs),
+			NumOut:    len(a.Outputs),
+		}
+		keys := make([]string, 0, len(a.Params))
+		for k := range a.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			xa.Params = append(xa.Params, xmlParam{Key: k, Value: a.Params[k]})
+		}
+		doc.Actors = append(doc.Actors, xa)
+	}
+	for _, c := range m.Connections {
+		doc.Relationships = append(doc.Relationships, xmlRelation{
+			From: c.SrcActor, FromPort: c.SrcPort,
+			To: c.DstActor, ToPort: c.DstPort,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("slx: encoding model %s: %w", m.Name, err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Decode parses a model document from r. The result is structurally
+// validated; semantic validation happens at actors.Compile.
+func Decode(r io.Reader) (*model.Model, error) {
+	var doc xmlModel
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("slx: parsing model file: %w", err)
+	}
+	if doc.Name == "" {
+		return nil, fmt.Errorf("slx: model has no name")
+	}
+	m := model.New(doc.Name)
+	for _, xa := range doc.Actors {
+		if xa.NumIn < 0 || xa.NumOut < 0 || xa.NumIn > 1024 || xa.NumOut > 1024 {
+			return nil, fmt.Errorf("slx: actor %q has implausible port counts (%d in, %d out)",
+				xa.Name, xa.NumIn, xa.NumOut)
+		}
+		a := &model.Actor{
+			Name:      xa.Name,
+			Type:      model.ActorType(xa.Type),
+			Operator:  xa.Operator,
+			Subsystem: xa.Subsystem,
+		}
+		// Port names and data types default here; the schedule convert
+		// stage resolves them from the relationships part.
+		for i := 0; i < xa.NumIn; i++ {
+			a.Inputs = append(a.Inputs, model.Port{Name: fmt.Sprintf("in%d", i+1)})
+		}
+		for i := 0; i < xa.NumOut; i++ {
+			a.Outputs = append(a.Outputs, model.Port{Name: fmt.Sprintf("out%d", i+1)})
+		}
+		for _, p := range xa.Params {
+			if p.Key == "" {
+				return nil, fmt.Errorf("slx: actor %q has a parameter with no key", xa.Name)
+			}
+			a.SetParam(p.Key, p.Value)
+		}
+		if err := m.AddActor(a); err != nil {
+			return nil, fmt.Errorf("slx: %w", err)
+		}
+	}
+	for _, rel := range doc.Relationships {
+		m.Connect(rel.From, rel.FromPort, rel.To, rel.ToPort)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("slx: %w", err)
+	}
+	return m, nil
+}
+
+// WriteFile writes a model to the named file.
+func WriteFile(path string, m *model.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("slx: %w", err)
+	}
+	defer f.Close()
+	if err := Encode(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a model from the named file.
+func ReadFile(path string) (*model.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("slx: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

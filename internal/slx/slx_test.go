@@ -1,0 +1,145 @@
+package slx
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func fixture() *model.Model {
+	return model.NewBuilder("RT").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1")).
+		InSubsystem("CTRL").
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "3"), model.WithOperator("")).
+		Add("Sw", "Switch", 3, 1, model.WithOperator(">="), model.WithParam("Threshold", "0.5")).
+		InSubsystem("").
+		Add("C", "Constant", 0, 1, model.WithOutKind(types.F64), model.WithParam("Value", "2")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Wire("In", "G", 0).
+		Wire("G", "Sw", 0).
+		Wire("C", "Sw", 1).
+		Wire("C", "Sw", 2).
+		Wire("Sw", "Out", 0).
+		MustBuild()
+}
+
+func TestRoundTripPreservesEverything(t *testing.T) {
+	m := fixture()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != m.Name || len(back.Actors) != len(m.Actors) {
+		t.Fatalf("shape lost: %s %d", back.Name, len(back.Actors))
+	}
+	for i, a := range m.Actors {
+		b := back.Actors[i]
+		if a.Name != b.Name || a.Type != b.Type || a.Operator != b.Operator || a.Subsystem != b.Subsystem {
+			t.Errorf("actor %d metadata differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+			t.Errorf("actor %d port counts differ", i)
+		}
+		for k, v := range a.Params {
+			if b.Param(k, "") != v {
+				t.Errorf("actor %s param %s lost", a.Name, k)
+			}
+		}
+	}
+	if len(back.Connections) != len(m.Connections) {
+		t.Fatalf("connections %d vs %d", len(back.Connections), len(m.Connections))
+	}
+	for i := range m.Connections {
+		if back.Connections[i] != m.Connections[i] {
+			t.Errorf("connection %d differs", i)
+		}
+	}
+	// The round-tripped model must compile identically.
+	if _, err := actors.Compile(back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.xml")
+	if err := WriteFile(path, fixture()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "RT" {
+		t.Errorf("name = %q", m.Name)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not xml at all",
+		`<model><actors/></model>`, // no name
+		`<model name="M"><actors><actor name="A" type="Gain" in="-1" out="1"/></actors></model>`,
+		`<model name="M"><actors><actor name="A" type="Gain" in="1" out="1"><param value="x"/></actor></actors></model>`,
+		// Unknown connection endpoint (structural validation).
+		`<model name="M"><actors><actor name="A" type="Constant" in="0" out="1"/></actors>` +
+			`<relationships><signal from="A" fromPort="0" to="B" toPort="0"/></relationships></model>`,
+		// Duplicate actor names.
+		`<model name="M"><actors><actor name="A" type="Constant" in="0" out="1"/>` +
+			`<actor name="A" type="Constant" in="0" out="1"/></actors></model>`,
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.xml")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	m := fixture()
+	var a, b bytes.Buffer
+	if err := Encode(&a, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("encoding is not deterministic (param order?)")
+	}
+}
+
+// FuzzDecode hardens the model parser: arbitrary bytes must either fail
+// cleanly or produce a structurally valid model that elaborates without
+// panicking.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, fixture()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`<model name="M"><actors><actor name="A" type="Constant" in="0" out="1"/></actors></model>`))
+	f.Add([]byte(`not xml`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Elaboration must never panic on parser-accepted input.
+		_, _ = actors.Compile(m)
+	})
+}

@@ -1,0 +1,62 @@
+package types
+
+import "testing"
+
+// Micro-benchmarks for the boxed arithmetic layer — the dominant cost of
+// the interpreted engines, and therefore the denominator of the paper's
+// speedup claims.
+
+func BenchmarkAddI32(b *testing.B) {
+	x, y := IntVal(I32, 123456), IntVal(I32, 654321)
+	for i := 0; i < b.N; i++ {
+		v, _ := Add(I32, x, y)
+		x = v
+	}
+	_ = x
+}
+
+func BenchmarkMulF64(b *testing.B) {
+	x, y := FloatVal(F64, 1.0000001), FloatVal(F64, 0.9999999)
+	for i := 0; i < b.N; i++ {
+		v, _ := Mul(F64, x, y)
+		x = v
+	}
+	_ = x
+}
+
+func BenchmarkDivI64Guarded(b *testing.B) {
+	x, y := IntVal(I64, 1<<40), IntVal(I64, 3)
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		v, _ := Div(I64, x, y)
+		acc += v.I
+	}
+	_ = acc
+}
+
+func BenchmarkConvertF64ToI16(b *testing.B) {
+	v := FloatVal(F64, 1234.5)
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		c, _ := Convert(v, I16)
+		acc += c.I
+	}
+	_ = acc
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x, y := FloatVal(F64, 1.5), IntVal(I32, 2)
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += Compare(x, y)
+	}
+	_ = acc
+}
+
+func BenchmarkMathUnarySin(b *testing.B) {
+	v := FloatVal(F64, 0.7)
+	for i := 0; i < b.N; i++ {
+		v, _ = MathUnary("sin", F64, v)
+	}
+	_ = v
+}

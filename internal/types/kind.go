@@ -1,0 +1,251 @@
+// Package types implements the Simulink-like data-type system shared by all
+// simulation engines: the set of signal kinds (bool, sized integers, floats),
+// a boxed runtime Value, and wrap-on-overflow arithmetic with error detection
+// (wrap on overflow, downcast, precision loss, division by zero).
+package types
+
+import "fmt"
+
+// Kind identifies a signal data type. The zero Kind is invalid so that
+// uninitialised values are caught early.
+type Kind uint8
+
+// Signal data types, matching Simulink's built-in numeric types.
+const (
+	Invalid Kind = iota
+	Bool
+	I8
+	I16
+	I32
+	I64
+	U8
+	U16
+	U32
+	U64
+	F32
+	F64
+)
+
+var kindNames = [...]string{
+	Invalid: "invalid",
+	Bool:    "boolean",
+	I8:      "int8",
+	I16:     "int16",
+	I32:     "int32",
+	I64:     "int64",
+	U8:      "uint8",
+	U16:     "uint16",
+	U32:     "uint32",
+	U64:     "uint64",
+	F32:     "single",
+	F64:     "double",
+}
+
+// goNames maps each kind to the Go type emitted by the code generator.
+var goNames = [...]string{
+	Invalid: "invalid",
+	Bool:    "bool",
+	I8:      "int8",
+	I16:     "int16",
+	I32:     "int32",
+	I64:     "int64",
+	U8:      "uint8",
+	U16:     "uint16",
+	U32:     "uint32",
+	U64:     "uint64",
+	F32:     "float32",
+	F64:     "float64",
+}
+
+// String returns the Simulink-style type name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// GoType returns the Go type name the code generator emits for k.
+func (k Kind) GoType() string {
+	if int(k) < len(goNames) {
+		return goNames[k]
+	}
+	return "invalid"
+}
+
+// ParseKind converts a type name as stored in model files back to a Kind.
+// Both Simulink-style names ("double", "single", "boolean") and Go-style
+// names ("float64", "float32", "bool") are accepted.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "boolean", "bool":
+		return Bool, nil
+	case "int8":
+		return I8, nil
+	case "int16":
+		return I16, nil
+	case "int32":
+		return I32, nil
+	case "int64":
+		return I64, nil
+	case "uint8":
+		return U8, nil
+	case "uint16":
+		return U16, nil
+	case "uint32":
+		return U32, nil
+	case "uint64":
+		return U64, nil
+	case "single", "float32":
+		return F32, nil
+	case "double", "float64":
+		return F64, nil
+	}
+	return Invalid, fmt.Errorf("types: unknown data type %q", s)
+}
+
+// AllKinds lists every valid kind, in declaration order. It is used by
+// property-based tests to sweep the full type lattice.
+func AllKinds() []Kind {
+	return []Kind{Bool, I8, I16, I32, I64, U8, U16, U32, U64, F32, F64}
+}
+
+// IsInteger reports whether k is a signed or unsigned integer type.
+func (k Kind) IsInteger() bool { return k >= I8 && k <= U64 }
+
+// IsSigned reports whether k is a signed integer type.
+func (k Kind) IsSigned() bool { return k >= I8 && k <= I64 }
+
+// IsUnsigned reports whether k is an unsigned integer type.
+func (k Kind) IsUnsigned() bool { return k >= U8 && k <= U64 }
+
+// IsFloat reports whether k is a floating-point type.
+func (k Kind) IsFloat() bool { return k == F32 || k == F64 }
+
+// IsNumeric reports whether k is integer or float.
+func (k Kind) IsNumeric() bool { return k.IsInteger() || k.IsFloat() }
+
+// Bits returns the width of the type in bits (1 for Bool).
+func (k Kind) Bits() int {
+	switch k {
+	case Bool:
+		return 1
+	case I8, U8:
+		return 8
+	case I16, U16:
+		return 16
+	case I32, U32, F32:
+		return 32
+	case I64, U64, F64:
+		return 64
+	}
+	return 0
+}
+
+// SizeBytes returns the storage size in bytes, matching the sizeof()
+// comparisons the paper's generated diagnostic code performs.
+func (k Kind) SizeBytes() int {
+	b := k.Bits()
+	if b == 1 {
+		return 1
+	}
+	return b / 8
+}
+
+// MinInt returns the smallest representable value for a signed integer kind.
+func (k Kind) MinInt() int64 {
+	switch k {
+	case I8:
+		return -1 << 7
+	case I16:
+		return -1 << 15
+	case I32:
+		return -1 << 31
+	case I64:
+		return -1 << 63
+	}
+	return 0
+}
+
+// MaxInt returns the largest representable value for an integer kind,
+// expressed as uint64 so U64's maximum is representable.
+func (k Kind) MaxInt() uint64 {
+	switch k {
+	case Bool:
+		return 1
+	case I8:
+		return 1<<7 - 1
+	case I16:
+		return 1<<15 - 1
+	case I32:
+		return 1<<31 - 1
+	case I64:
+		return 1<<63 - 1
+	case U8:
+		return 1<<8 - 1
+	case U16:
+		return 1<<16 - 1
+	case U32:
+		return 1<<32 - 1
+	case U64:
+		return 1<<64 - 1
+	}
+	return 0
+}
+
+// Wider reports whether k can represent every value of other without loss.
+// It defines the downcast lattice used by the downcast diagnosis.
+func (k Kind) Wider(other Kind) bool {
+	if k == other {
+		return true
+	}
+	switch {
+	case other == Bool:
+		return true
+	case k == F64:
+		// float64 holds all 32-bit-or-narrower integers and float32 exactly;
+		// 64-bit integers may lose precision.
+		return other != I64 && other != U64
+	case k == F32:
+		return other == I8 || other == I16 || other == U8 || other == U16
+	case k.IsSigned() && other.IsSigned():
+		return k.Bits() >= other.Bits()
+	case k.IsUnsigned() && other.IsUnsigned():
+		return k.Bits() >= other.Bits()
+	case k.IsSigned() && other.IsUnsigned():
+		return k.Bits() > other.Bits()
+	}
+	return false
+}
+
+// Promote returns the common computation kind for a binary operation over
+// kinds a and b, approximating Simulink's type propagation: floats dominate,
+// then the wider integer, preferring signedness of the wider operand.
+func Promote(a, b Kind) Kind {
+	if a == b {
+		return a
+	}
+	if a == F64 || b == F64 {
+		return F64
+	}
+	if a == F32 || b == F32 {
+		return F32
+	}
+	if a == Bool {
+		return b
+	}
+	if b == Bool {
+		return a
+	}
+	// Both integers.
+	if a.Bits() == b.Bits() {
+		if a.IsSigned() {
+			return a
+		}
+		return b
+	}
+	if a.Bits() > b.Bits() {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %q -> %v", k, k.String(), got)
+		}
+	}
+}
+
+func TestParseKindGoNames(t *testing.T) {
+	cases := map[string]Kind{
+		"bool": Bool, "float32": F32, "float64": F64,
+		"int8": I8, "uint64": U64,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", s, err)
+		}
+		if got != want {
+			t.Errorf("ParseKind(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseKindUnknown(t *testing.T) {
+	if _, err := ParseKind("fixdt(1,16,4)"); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !I32.IsInteger() || !I32.IsSigned() || I32.IsUnsigned() || I32.IsFloat() {
+		t.Error("I32 predicates wrong")
+	}
+	if !U16.IsUnsigned() || U16.IsSigned() {
+		t.Error("U16 predicates wrong")
+	}
+	if !F32.IsFloat() || F32.IsInteger() {
+		t.Error("F32 predicates wrong")
+	}
+	if Bool.IsNumeric() {
+		t.Error("Bool must not be numeric")
+	}
+	if !F64.IsNumeric() || !U8.IsNumeric() {
+		t.Error("F64/U8 must be numeric")
+	}
+}
+
+func TestKindBitsAndSize(t *testing.T) {
+	cases := []struct {
+		k     Kind
+		bits  int
+		bytes int
+	}{
+		{Bool, 1, 1}, {I8, 8, 1}, {I16, 16, 2}, {I32, 32, 4}, {I64, 64, 8},
+		{U8, 8, 1}, {U32, 32, 4}, {F32, 32, 4}, {F64, 64, 8},
+	}
+	for _, c := range cases {
+		if got := c.k.Bits(); got != c.bits {
+			t.Errorf("%v.Bits() = %d, want %d", c.k, got, c.bits)
+		}
+		if got := c.k.SizeBytes(); got != c.bytes {
+			t.Errorf("%v.SizeBytes() = %d, want %d", c.k, got, c.bytes)
+		}
+	}
+}
+
+func TestKindRanges(t *testing.T) {
+	if I8.MinInt() != -128 || I8.MaxInt() != 127 {
+		t.Errorf("I8 range = [%d, %d]", I8.MinInt(), I8.MaxInt())
+	}
+	if I32.MinInt() != -2147483648 || I32.MaxInt() != 2147483647 {
+		t.Errorf("I32 range = [%d, %d]", I32.MinInt(), I32.MaxInt())
+	}
+	if U8.MaxInt() != 255 || U64.MaxInt() != ^uint64(0) {
+		t.Errorf("unsigned maxima wrong: U8=%d U64=%d", U8.MaxInt(), U64.MaxInt())
+	}
+}
+
+func TestWiderLattice(t *testing.T) {
+	wider := []struct{ a, b Kind }{
+		{I16, I8}, {I32, I16}, {I64, I32},
+		{U16, U8}, {U64, U32},
+		{I16, U8}, {I32, U16}, {I64, U32},
+		{F64, I32}, {F64, U32}, {F64, F32}, {F32, I16}, {F32, U16},
+		{I8, Bool}, {F32, Bool}, {U8, Bool},
+	}
+	for _, c := range wider {
+		if !c.a.Wider(c.b) {
+			t.Errorf("%v should be wider than %v", c.a, c.b)
+		}
+	}
+	narrower := []struct{ a, b Kind }{
+		{I8, I16}, {U8, I8}, {I8, U8}, // same width, different sign: lossy both ways
+		{F32, I32}, {F64, I64}, {F64, U64}, {F32, U32},
+		{U32, I16}, // unsigned cannot hold negatives
+	}
+	for _, c := range narrower {
+		if c.a.Wider(c.b) {
+			t.Errorf("%v must not be wider than %v", c.a, c.b)
+		}
+	}
+	for _, k := range AllKinds() {
+		if !k.Wider(k) {
+			t.Errorf("%v must be wider than itself", k)
+		}
+	}
+}
+
+func TestPromote(t *testing.T) {
+	cases := []struct{ a, b, want Kind }{
+		{I32, I32, I32},
+		{I32, F64, F64},
+		{F32, I64, F32},
+		{I8, I32, I32},
+		{U8, U32, U32},
+		{I32, U32, I32}, // same width: signed wins
+		{I16, U32, U32}, // wider wins
+		{Bool, I32, I32},
+		{Bool, Bool, Bool},
+	}
+	for _, c := range cases {
+		if got := Promote(c.a, c.b); got != c.want {
+			t.Errorf("Promote(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Promote(c.b, c.a); got != c.want {
+			t.Errorf("Promote(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestGoType(t *testing.T) {
+	if F64.GoType() != "float64" || Bool.GoType() != "bool" || U16.GoType() != "uint16" {
+		t.Error("GoType mapping wrong")
+	}
+}

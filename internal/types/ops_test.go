@@ -1,0 +1,274 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddWrapAndOverflowSigned(t *testing.T) {
+	v, res := Add(I8, IntVal(I8, 120), IntVal(I8, 10))
+	if v.I != WrapInt(I8, 130) {
+		t.Errorf("wrap value = %d", v.I)
+	}
+	if !res.Overflow {
+		t.Error("120+10 in i8 must flag overflow")
+	}
+	v, res = Add(I8, IntVal(I8, -100), IntVal(I8, -100))
+	if !res.Overflow || v.I != WrapInt(I8, -200) {
+		t.Errorf("negative overflow: %v %+v", v, res)
+	}
+	_, res = Add(I8, IntVal(I8, 100), IntVal(I8, -100))
+	if res.Overflow {
+		t.Error("mixed signs cannot overflow on add")
+	}
+}
+
+func TestAddOverflowUnsigned(t *testing.T) {
+	v, res := Add(U8, UintVal(U8, 200), UintVal(U8, 100))
+	if v.U != 44 || !res.Overflow {
+		t.Errorf("u8 200+100: %v %+v", v, res)
+	}
+}
+
+func TestSubOverflow(t *testing.T) {
+	_, res := Sub(I32, IntVal(I32, math.MaxInt32), IntVal(I32, -1))
+	if !res.Overflow {
+		t.Error("MaxInt32 - (-1) must overflow")
+	}
+	_, res = Sub(I32, IntVal(I32, 5), IntVal(I32, 3))
+	if res.Overflow {
+		t.Error("5-3 must not overflow")
+	}
+	_, res = Sub(U16, UintVal(U16, 3), UintVal(U16, 5))
+	if !res.Overflow {
+		t.Error("unsigned borrow must flag overflow")
+	}
+}
+
+func TestMulOverflow(t *testing.T) {
+	_, res := Mul(I16, IntVal(I16, 300), IntVal(I16, 300))
+	if !res.Overflow {
+		t.Error("300*300 in i16 must overflow")
+	}
+	v, res := Mul(I16, IntVal(I16, 100), IntVal(I16, 100))
+	if res.Overflow || v.I != 10000 {
+		t.Errorf("100*100: %v %+v", v, res)
+	}
+	_, res = Mul(U32, UintVal(U32, 1<<20), UintVal(U32, 1<<20))
+	if !res.Overflow {
+		t.Error("2^40 in u32 must overflow")
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	v, res := Div(I32, IntVal(I32, 7), IntVal(I32, 0))
+	if !res.DivByZero || v.I != 0 {
+		t.Errorf("int div by zero: %v %+v", v, res)
+	}
+	v, res = Div(F64, FloatVal(F64, 1), FloatVal(F64, 0))
+	if !res.DivByZero || !res.NaNOrInf || !math.IsInf(v.F, 1) {
+		t.Errorf("float div by zero: %v %+v", v, res)
+	}
+}
+
+func TestDivIntMinOverflow(t *testing.T) {
+	_, res := Div(I8, IntVal(I8, -128), IntVal(I8, -1))
+	if !res.Overflow {
+		t.Error("INT8_MIN / -1 must flag overflow")
+	}
+}
+
+func TestMod(t *testing.T) {
+	v, res := Mod(I32, IntVal(I32, 7), IntVal(I32, 3))
+	if v.I != 1 || res.Any() {
+		t.Errorf("7 mod 3: %v %+v", v, res)
+	}
+	_, res = Mod(I32, IntVal(I32, 7), IntVal(I32, 0))
+	if !res.DivByZero {
+		t.Error("mod by zero must flag")
+	}
+	v, _ = Mod(F64, FloatVal(F64, 7.5), FloatVal(F64, 2))
+	if v.F != 1.5 {
+		t.Errorf("float mod = %v", v.F)
+	}
+}
+
+func TestNegAndAbs(t *testing.T) {
+	v, res := Neg(I8, IntVal(I8, -128))
+	if !res.Overflow || v.I != -128 {
+		t.Errorf("-(-128) in i8: %v %+v", v, res)
+	}
+	v, res = Abs(I8, IntVal(I8, -128))
+	if !res.Overflow {
+		t.Error("abs(INT8_MIN) must flag overflow")
+	}
+	v, res = Abs(I8, IntVal(I8, -5))
+	if v.I != 5 || res.Any() {
+		t.Errorf("abs(-5): %v %+v", v, res)
+	}
+	v, _ = Abs(F64, FloatVal(F64, -2.5))
+	if v.F != 2.5 {
+		t.Errorf("abs(-2.5) = %v", v.F)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(IntVal(I32, 1), IntVal(I32, 2)) != -1 {
+		t.Error("1 < 2")
+	}
+	if Compare(FloatVal(F64, 2), IntVal(I32, 2)) != 0 {
+		t.Error("2.0 == 2 across kinds")
+	}
+	if Compare(UintVal(U8, 9), IntVal(I8, 3)) != 1 {
+		t.Error("9 > 3 across signs")
+	}
+	if Compare(FloatVal(F64, math.NaN()), FloatVal(F64, 1)) != -2 {
+		t.Error("NaN compares incomparable")
+	}
+}
+
+func TestMathUnary(t *testing.T) {
+	v, res := MathUnary("sqrt", F64, FloatVal(F64, 9))
+	if v.F != 3 || res.Any() {
+		t.Errorf("sqrt(9): %v %+v", v, res)
+	}
+	_, res = MathUnary("sqrt", F64, FloatVal(F64, -1))
+	if !res.DomainErr {
+		t.Error("sqrt(-1) must flag domain error")
+	}
+	_, res = MathUnary("log", F64, FloatVal(F64, 0))
+	if !res.DomainErr {
+		t.Error("log(0) must flag domain error")
+	}
+	_, res = MathUnary("reciprocal", F64, FloatVal(F64, 0))
+	if !res.DivByZero {
+		t.Error("1/0 must flag div by zero")
+	}
+	v, _ = MathUnary("floor", F64, FloatVal(F64, 2.9))
+	if v.F != 2 {
+		t.Errorf("floor(2.9) = %v", v.F)
+	}
+	_, res = MathUnary("nosuchfn", F64, FloatVal(F64, 1))
+	if !res.DomainErr {
+		t.Error("unknown function must flag domain error")
+	}
+}
+
+func TestMathGoExprCoversInterpretedSet(t *testing.T) {
+	names := []string{"exp", "log", "log10", "log2", "sqrt", "sin", "cos", "tan",
+		"asin", "acos", "atan", "sinh", "cosh", "tanh", "reciprocal", "square",
+		"floor", "ceil", "round", "fix"}
+	for _, n := range names {
+		if MathGoExpr(n, "x") == "" {
+			t.Errorf("no Go expression for %q", n)
+		}
+	}
+	if MathGoExpr("bogus", "x") != "" {
+		t.Error("unknown name must map to empty string")
+	}
+}
+
+func TestVectorBroadcast(t *testing.T) {
+	vec := VectorVal(I32, IntVal(I32, 1), IntVal(I32, 2), IntVal(I32, 3))
+	out, res := Add(I32, vec, IntVal(I32, 10))
+	if !out.IsVector() || out.Width() != 3 {
+		t.Fatalf("broadcast shape: %v", out)
+	}
+	for i, want := range []int64{11, 12, 13} {
+		if out.Elems[i].I != want {
+			t.Errorf("elem %d = %d, want %d", i, out.Elems[i].I, want)
+		}
+	}
+	if res.Any() {
+		t.Errorf("unexpected flags %+v", res)
+	}
+}
+
+func TestBooleanArithmetic(t *testing.T) {
+	v, _ := Add(Bool, BoolVal(true), BoolVal(true))
+	if v.B {
+		t.Error("bool add is XOR: true+true = false")
+	}
+	v, _ = Mul(Bool, BoolVal(true), BoolVal(true))
+	if !v.B {
+		t.Error("bool mul is AND")
+	}
+	_, res := Div(Bool, BoolVal(true), BoolVal(false))
+	if !res.DivByZero {
+		t.Error("bool div by false flags DivByZero")
+	}
+}
+
+// Property: Add result always equals the two's-complement wrap of the wide sum.
+func TestQuickAddMatchesWrap(t *testing.T) {
+	f := func(a, b int32) bool {
+		v, _ := Add(I32, IntVal(I32, int64(a)), IntVal(I32, int64(b)))
+		return v.I == int64(a+b) // Go int32 addition wraps identically
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overflow flag on signed add is set iff the mathematical sum is
+// out of range.
+func TestQuickAddOverflowIffOutOfRange(t *testing.T) {
+	f := func(a, b int16) bool {
+		_, res := Add(I16, IntVal(I16, int64(a)), IntVal(I16, int64(b)))
+		wide := int64(a) + int64(b)
+		out := wide < I16.MinInt() || wide > int64(I16.MaxInt())
+		return res.Overflow == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same for subtraction.
+func TestQuickSubOverflowIffOutOfRange(t *testing.T) {
+	f := func(a, b int16) bool {
+		_, res := Sub(I16, IntVal(I16, int64(a)), IntVal(I16, int64(b)))
+		wide := int64(a) - int64(b)
+		out := wide < I16.MinInt() || wide > int64(I16.MaxInt())
+		return res.Overflow == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same for multiplication.
+func TestQuickMulOverflowIffOutOfRange(t *testing.T) {
+	f := func(a, b int16) bool {
+		_, res := Mul(I16, IntVal(I16, int64(a)), IntVal(I16, int64(b)))
+		wide := int64(a) * int64(b)
+		out := wide < I16.MinInt() || wide > int64(I16.MaxInt())
+		return res.Overflow == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unsigned add overflow flag matches carry-out.
+func TestQuickUnsignedAddOverflow(t *testing.T) {
+	f := func(a, b uint16) bool {
+		_, res := Add(U16, UintVal(U16, uint64(a)), UintVal(U16, uint64(b)))
+		return res.Overflow == (uint64(a)+uint64(b) > U16.MaxInt())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric for non-NaN floats.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := IntVal(I32, int64(a)), IntVal(I32, int64(b))
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

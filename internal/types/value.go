@@ -1,0 +1,438 @@
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is the boxed runtime representation used by the interpreted engines.
+// Exactly one payload field is meaningful, selected by Kind:
+//
+//	Bool              -> B
+//	I8..I64           -> I (already wrapped to the kind's range)
+//	U8..U64           -> U (already wrapped)
+//	F32, F64          -> F (F32 values are rounded through float32)
+//
+// A Value with non-nil Elems is a vector whose element kind is Kind; the
+// scalar payload fields are then unused.
+type Value struct {
+	Kind  Kind
+	B     bool
+	I     int64
+	U     uint64
+	F     float64
+	Elems []Value
+}
+
+// IsVector reports whether v carries a vector payload.
+func (v Value) IsVector() bool { return v.Elems != nil }
+
+// Width returns 1 for scalars and the element count for vectors.
+func (v Value) Width() int {
+	if v.Elems != nil {
+		return len(v.Elems)
+	}
+	return 1
+}
+
+// BoolVal constructs a boolean scalar.
+func BoolVal(b bool) Value { return Value{Kind: Bool, B: b} }
+
+// IntVal constructs a signed-integer scalar of kind k, wrapping i into range.
+func IntVal(k Kind, i int64) Value { return Value{Kind: k, I: WrapInt(k, i)} }
+
+// UintVal constructs an unsigned-integer scalar of kind k, wrapping u.
+func UintVal(k Kind, u uint64) Value { return Value{Kind: k, U: WrapUint(k, u)} }
+
+// FloatVal constructs a floating-point scalar of kind k.
+func FloatVal(k Kind, f float64) Value {
+	if k == F32 {
+		f = float64(float32(f))
+	}
+	return Value{Kind: k, F: f}
+}
+
+// VectorVal constructs a vector of element kind k from elems. The elements
+// are normalised to kind k.
+func VectorVal(k Kind, elems ...Value) Value {
+	out := Value{Kind: k, Elems: make([]Value, len(elems))}
+	for i, e := range elems {
+		c, _ := Convert(e, k)
+		out.Elems[i] = c
+	}
+	return out
+}
+
+// Zero returns the zero value of kind k.
+func Zero(k Kind) Value { return Value{Kind: k} }
+
+// ZeroVector returns a width-element vector of zero values of kind k.
+func ZeroVector(k Kind, width int) Value {
+	if width <= 1 {
+		return Zero(k)
+	}
+	elems := make([]Value, width)
+	for i := range elems {
+		elems[i] = Zero(k)
+	}
+	return Value{Kind: k, Elems: elems}
+}
+
+// WrapInt wraps i into the range of signed kind k (two's-complement wrap).
+func WrapInt(k Kind, i int64) int64 {
+	switch k {
+	case I8:
+		return int64(int8(i))
+	case I16:
+		return int64(int16(i))
+	case I32:
+		return int64(int32(i))
+	default:
+		return i
+	}
+}
+
+// WrapUint wraps u into the range of unsigned kind k.
+func WrapUint(k Kind, u uint64) uint64 {
+	switch k {
+	case U8:
+		return uint64(uint8(u))
+	case U16:
+		return uint64(uint16(u))
+	case U32:
+		return uint64(uint32(u))
+	default:
+		return u
+	}
+}
+
+// AsFloat converts v's scalar payload to float64 regardless of kind.
+func (v Value) AsFloat() float64 {
+	switch {
+	case v.Kind == Bool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case v.Kind.IsSigned():
+		return float64(v.I)
+	case v.Kind.IsUnsigned():
+		return float64(v.U)
+	default:
+		return v.F
+	}
+}
+
+// AsInt converts v's scalar payload to int64, truncating floats toward zero.
+func (v Value) AsInt() int64 {
+	switch {
+	case v.Kind == Bool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case v.Kind.IsSigned():
+		return v.I
+	case v.Kind.IsUnsigned():
+		return int64(v.U)
+	default:
+		return int64(v.F)
+	}
+}
+
+// AsBool converts v to a truth value (non-zero is true), matching Simulink's
+// implicit boolean conversion at logic-actor inputs.
+func (v Value) AsBool() bool {
+	switch {
+	case v.Kind == Bool:
+		return v.B
+	case v.Kind.IsSigned():
+		return v.I != 0
+	case v.Kind.IsUnsigned():
+		return v.U != 0
+	default:
+		return v.F != 0
+	}
+}
+
+// Elem returns element i of a vector, or v itself for scalars (broadcast).
+func (v Value) Elem(i int) Value {
+	if v.Elems == nil {
+		return v
+	}
+	return v.Elems[i]
+}
+
+// ConvertResult carries loss information detected during a type conversion,
+// feeding the downcast / precision-loss / out-of-range diagnoses.
+type ConvertResult struct {
+	OutOfRange    bool // source value not representable; result wrapped/saturated
+	PrecisionLoss bool // fractional part or low-order bits discarded
+}
+
+// Convert converts v to kind k with C-style semantics (wrap on integer
+// overflow, truncation toward zero for float->int) and reports losses.
+func Convert(v Value, k Kind) (Value, ConvertResult) {
+	var res ConvertResult
+	if v.Elems != nil {
+		out := Value{Kind: k, Elems: make([]Value, len(v.Elems))}
+		for i, e := range v.Elems {
+			c, r := Convert(e, k)
+			out.Elems[i] = c
+			res.OutOfRange = res.OutOfRange || r.OutOfRange
+			res.PrecisionLoss = res.PrecisionLoss || r.PrecisionLoss
+		}
+		return out, res
+	}
+	if v.Kind == k {
+		return v, res
+	}
+	switch {
+	case k == Bool:
+		return BoolVal(v.AsBool()), res
+	case k.IsSigned():
+		var i int64
+		switch {
+		case v.Kind == Bool:
+			i = v.AsInt()
+		case v.Kind.IsSigned():
+			i = v.I
+		case v.Kind.IsUnsigned():
+			if v.U > uint64(math.MaxInt64) {
+				res.OutOfRange = true
+			}
+			i = int64(v.U)
+		default:
+			f := v.F
+			if f != math.Trunc(f) && !math.IsNaN(f) {
+				res.PrecisionLoss = true
+			}
+			// Deterministic float->int: NaN maps to 0, out-of-range
+			// saturates at the int64 bounds before the kind-level wrap.
+			// Go's native conversion is implementation-defined out of
+			// range, so both the interpreter and generated code use this
+			// exact rule (see the cvtF2I helper emitted by codegen).
+			switch {
+			case math.IsNaN(f):
+				res.OutOfRange = true
+				i = 0
+			case f >= 9223372036854775807:
+				res.OutOfRange = true
+				i = math.MaxInt64
+			case f <= -9223372036854775808:
+				res.OutOfRange = true
+				i = math.MinInt64
+			default:
+				i = int64(f)
+			}
+		}
+		w := WrapInt(k, i)
+		if w != i {
+			res.OutOfRange = true
+		}
+		return Value{Kind: k, I: w}, res
+	case k.IsUnsigned():
+		var u uint64
+		switch {
+		case v.Kind == Bool:
+			u = uint64(v.AsInt())
+		case v.Kind.IsSigned():
+			if v.I < 0 {
+				res.OutOfRange = true
+			}
+			u = uint64(v.I)
+		case v.Kind.IsUnsigned():
+			u = v.U
+		default:
+			f := v.F
+			if f != math.Trunc(f) && !math.IsNaN(f) {
+				res.PrecisionLoss = true
+			}
+			// Deterministic float->uint, mirroring the cvtF2U helper.
+			switch {
+			case math.IsNaN(f):
+				res.OutOfRange = true
+				u = 0
+			case f >= 18446744073709551615:
+				res.OutOfRange = true
+				u = math.MaxUint64
+			case f < 0:
+				res.OutOfRange = true
+				u = 0
+			default:
+				u = uint64(f)
+			}
+		}
+		w := WrapUint(k, u)
+		if w != u {
+			res.OutOfRange = true
+		}
+		return Value{Kind: k, U: w}, res
+	case k == F32:
+		f := v.AsFloat()
+		g := float64(float32(f))
+		if g != f && !math.IsNaN(f) {
+			res.PrecisionLoss = true
+		}
+		return Value{Kind: F32, F: g}, res
+	default: // F64
+		f := v.AsFloat()
+		if v.Kind == I64 && int64(f) != v.I {
+			res.PrecisionLoss = true
+		}
+		if v.Kind == U64 && uint64(f) != v.U {
+			res.PrecisionLoss = true
+		}
+		return Value{Kind: F64, F: f}, res
+	}
+}
+
+// Equal reports exact payload equality of two values (same kind, same bits).
+func Equal(a, b Value) bool {
+	if a.Kind != b.Kind || (a.Elems == nil) != (b.Elems == nil) {
+		return false
+	}
+	if a.Elems != nil {
+		if len(a.Elems) != len(b.Elems) {
+			return false
+		}
+		for i := range a.Elems {
+			if !Equal(a.Elems[i], b.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case a.Kind == Bool:
+		return a.B == b.B
+	case a.Kind.IsSigned():
+		return a.I == b.I
+	case a.Kind.IsUnsigned():
+		return a.U == b.U
+	default:
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	}
+}
+
+// String renders the value for diagnostics and result logs.
+func (v Value) String() string {
+	if v.Elems != nil {
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range v.Elems {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	}
+	switch {
+	case v.Kind == Bool:
+		return strconv.FormatBool(v.B)
+	case v.Kind.IsSigned():
+		return strconv.FormatInt(v.I, 10)
+	case v.Kind.IsUnsigned():
+		return strconv.FormatUint(v.U, 10)
+	case v.Kind.IsFloat():
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("<%s>", v.Kind)
+	}
+}
+
+// ParseValue parses a literal of kind k as stored in model files.
+func ParseValue(k Kind, s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		fields := strings.Fields(s[1 : len(s)-1])
+		elems := make([]Value, 0, len(fields))
+		for _, f := range fields {
+			e, err := ParseValue(k, f)
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, e)
+		}
+		return Value{Kind: k, Elems: elems}, nil
+	}
+	switch {
+	case k == Bool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			// Accept numeric booleans ("0"/"1.0").
+			f, ferr := strconv.ParseFloat(s, 64)
+			if ferr != nil {
+				return Value{}, fmt.Errorf("types: bad boolean literal %q", s)
+			}
+			b = f != 0
+		}
+		return BoolVal(b), nil
+	case k.IsSigned():
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("types: bad %s literal %q", k, s)
+		}
+		return IntVal(k, i), nil
+	case k.IsUnsigned():
+		u, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("types: bad %s literal %q", k, s)
+		}
+		return UintVal(k, u), nil
+	default:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("types: bad %s literal %q", k, s)
+		}
+		return FloatVal(k, f), nil
+	}
+}
+
+// GoLiteral renders v as a Go expression of kind k's Go type, used by the
+// code generator when materialising constants.
+func (v Value) GoLiteral() string {
+	if v.Elems != nil {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "[%d]%s{", len(v.Elems), v.Kind.GoType())
+		for i, e := range v.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.scalarGoLiteral())
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	}
+	return v.scalarGoLiteral()
+}
+
+func (v Value) scalarGoLiteral() string {
+	switch {
+	case v.Kind == Bool:
+		return strconv.FormatBool(v.B)
+	case v.Kind.IsSigned():
+		return fmt.Sprintf("%s(%d)", v.Kind.GoType(), v.I)
+	case v.Kind.IsUnsigned():
+		return fmt.Sprintf("%s(%d)", v.Kind.GoType(), v.U)
+	default:
+		f := v.F
+		switch {
+		case math.IsNaN(f):
+			return fmt.Sprintf("%s(math.NaN())", v.Kind.GoType())
+		case math.IsInf(f, 1):
+			return fmt.Sprintf("%s(math.Inf(1))", v.Kind.GoType())
+		case math.IsInf(f, -1):
+			return fmt.Sprintf("%s(math.Inf(-1))", v.Kind.GoType())
+		}
+		s := strconv.FormatFloat(f, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return fmt.Sprintf("%s(%s)", v.Kind.GoType(), s)
+	}
+}

@@ -1,0 +1,306 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapInt(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		in   int64
+		want int64
+	}{
+		{I8, 127, 127}, {I8, 128, -128}, {I8, -129, 127},
+		{I16, 40000, 40000 - 65536},
+		{I32, math.MaxInt32 + 1, math.MinInt32},
+		{I64, math.MaxInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := WrapInt(c.k, c.in); got != c.want {
+			t.Errorf("WrapInt(%v, %d) = %d, want %d", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapUint(t *testing.T) {
+	if got := WrapUint(U8, 256); got != 0 {
+		t.Errorf("WrapUint(U8, 256) = %d", got)
+	}
+	if got := WrapUint(U16, 65537); got != 1 {
+		t.Errorf("WrapUint(U16, 65537) = %d", got)
+	}
+}
+
+func TestConvertIntWidening(t *testing.T) {
+	v, res := Convert(IntVal(I8, -5), I32)
+	if v.Kind != I32 || v.I != -5 || res.OutOfRange || res.PrecisionLoss {
+		t.Errorf("widen I8->I32: %v %+v", v, res)
+	}
+}
+
+func TestConvertDowncastFlags(t *testing.T) {
+	v, res := Convert(IntVal(I32, 300), I8)
+	if !res.OutOfRange {
+		t.Error("I32(300)->I8 must flag OutOfRange")
+	}
+	if v.I != WrapInt(I8, 300) {
+		t.Errorf("wrapped value = %d", v.I)
+	}
+	_, res = Convert(IntVal(I32, 100), I8)
+	if res.OutOfRange {
+		t.Error("I32(100)->I8 fits; no flag expected")
+	}
+}
+
+func TestConvertFloatToIntPrecisionLoss(t *testing.T) {
+	v, res := Convert(FloatVal(F64, 3.75), I32)
+	if v.I != 3 || !res.PrecisionLoss {
+		t.Errorf("3.75->I32: %v %+v", v, res)
+	}
+	_, res = Convert(FloatVal(F64, 4.0), I32)
+	if res.PrecisionLoss {
+		t.Error("4.0->I32 must not flag precision loss")
+	}
+}
+
+func TestConvertNegativeToUnsigned(t *testing.T) {
+	v, res := Convert(IntVal(I32, -1), U8)
+	if !res.OutOfRange {
+		t.Error("-1->U8 must flag OutOfRange")
+	}
+	if v.U != 255 {
+		t.Errorf("wrap(-1)->U8 = %d", v.U)
+	}
+}
+
+func TestConvertNaN(t *testing.T) {
+	_, res := Convert(FloatVal(F64, math.NaN()), I32)
+	if !res.OutOfRange {
+		t.Error("NaN->int must flag OutOfRange")
+	}
+}
+
+func TestConvertI64ToF64PrecisionLoss(t *testing.T) {
+	_, res := Convert(IntVal(I64, (1<<53)+1), F64)
+	if !res.PrecisionLoss {
+		t.Error("2^53+1 -> F64 must flag precision loss")
+	}
+	_, res = Convert(IntVal(I64, 1<<53), F64)
+	if res.PrecisionLoss {
+		t.Error("2^53 -> F64 is exact")
+	}
+}
+
+func TestConvertBool(t *testing.T) {
+	v, _ := Convert(IntVal(I32, 42), Bool)
+	if !v.B {
+		t.Error("42 -> bool must be true")
+	}
+	v, _ = Convert(FloatVal(F64, 0), Bool)
+	if v.B {
+		t.Error("0.0 -> bool must be false")
+	}
+}
+
+func TestConvertVector(t *testing.T) {
+	vec := VectorVal(I32, IntVal(I32, 1), IntVal(I32, 300))
+	out, res := Convert(vec, I8)
+	if !out.IsVector() || out.Width() != 2 {
+		t.Fatalf("vector shape lost: %v", out)
+	}
+	if !res.OutOfRange {
+		t.Error("element 300 -> I8 must flag OutOfRange")
+	}
+	if out.Elems[0].I != 1 {
+		t.Errorf("elem 0 = %d", out.Elems[0].I)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if IntVal(I32, -7).AsFloat() != -7 {
+		t.Error("AsFloat(int)")
+	}
+	if UintVal(U32, 9).AsInt() != 9 {
+		t.Error("AsInt(uint)")
+	}
+	if !FloatVal(F64, 0.5).AsBool() {
+		t.Error("AsBool(0.5) must be true")
+	}
+	if BoolVal(true).AsFloat() != 1 {
+		t.Error("AsFloat(true)")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntVal(I32, -4), "-4"},
+		{UintVal(U8, 200), "200"},
+		{BoolVal(true), "true"},
+		{FloatVal(F64, 2.5), "2.5"},
+		{VectorVal(I16, IntVal(I16, 1), IntVal(I16, 2)), "[1 2]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		k Kind
+		s string
+	}{
+		{I32, "-42"}, {U64, "18446744073709551615"}, {Bool, "true"},
+		{F64, "3.14159"}, {I16, "[1 -2 3]"},
+	}
+	for _, c := range cases {
+		v, err := ParseValue(c.k, c.s)
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", c.k, c.s, err)
+		}
+		back, err := ParseValue(c.k, v.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", v.String(), err)
+		}
+		if !Equal(v, back) {
+			t.Errorf("round trip %q -> %v -> %v", c.s, v, back)
+		}
+	}
+}
+
+func TestParseValueNumericBool(t *testing.T) {
+	v, err := ParseValue(Bool, "1")
+	if err != nil || !v.B {
+		t.Errorf("ParseValue(Bool, 1) = %v, %v", v, err)
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(I32, "abc"); err == nil {
+		t.Error("bad int literal must error")
+	}
+	if _, err := ParseValue(F64, "1.2.3"); err == nil {
+		t.Error("bad float literal must error")
+	}
+	if _, err := ParseValue(I8, "[1 bad]"); err == nil {
+		t.Error("bad vector element must error")
+	}
+}
+
+func TestGoLiteral(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntVal(I32, -3), "int32(-3)"},
+		{FloatVal(F64, 2), "float64(2.0)"},
+		{BoolVal(false), "false"},
+		{UintVal(U8, 7), "uint8(7)"},
+		{FloatVal(F64, math.Inf(1)), "float64(math.Inf(1))"},
+	}
+	for _, c := range cases {
+		if got := c.v.GoLiteral(); got != c.want {
+			t.Errorf("GoLiteral() = %q, want %q", got, c.want)
+		}
+	}
+	vec := VectorVal(I8, IntVal(I8, 1), IntVal(I8, 2))
+	if got := vec.GoLiteral(); got != "[2]int8{int8(1), int8(2)}" {
+		t.Errorf("vector GoLiteral = %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(IntVal(I32, 5), IntVal(I32, 5)) {
+		t.Error("equal ints")
+	}
+	if Equal(IntVal(I32, 5), IntVal(I64, 5)) {
+		t.Error("different kinds must not be Equal")
+	}
+	if Equal(IntVal(I32, 5), VectorVal(I32, IntVal(I32, 5))) {
+		t.Error("scalar vs vector must not be Equal")
+	}
+	if !Equal(FloatVal(F64, math.NaN()), FloatVal(F64, math.NaN())) {
+		t.Error("NaN bit-equality expected")
+	}
+}
+
+// Property: converting any int64 to a signed kind and back through int64
+// preserves the wrapped residue (i.e. Convert is consistent with WrapInt).
+func TestQuickConvertSignedConsistency(t *testing.T) {
+	f := func(x int64) bool {
+		for _, k := range []Kind{I8, I16, I32, I64} {
+			v, _ := Convert(IntVal(I64, x), k)
+			if v.I != WrapInt(k, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widening then narrowing via a wider kind is the identity for
+// values already in range.
+func TestQuickWidenNarrowIdentity(t *testing.T) {
+	f := func(x int8) bool {
+		v := IntVal(I8, int64(x))
+		w, _ := Convert(v, I64)
+		back, res := Convert(w, I8)
+		return Equal(v, back) && !res.OutOfRange
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Convert never reports OutOfRange when the target is Wider than
+// the source for integer payloads.
+func TestQuickWiderNeverOutOfRange(t *testing.T) {
+	f := func(x int16) bool {
+		v := IntVal(I16, int64(x))
+		for _, k := range []Kind{I32, I64, F32, F64} {
+			if !k.Wider(I16) {
+				continue
+			}
+			if _, res := Convert(v, k); res.OutOfRange {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzParseValue hardens the literal parser across every kind.
+func FuzzParseValue(f *testing.F) {
+	f.Add(uint8(3), "-42")
+	f.Add(uint8(10), "3.14")
+	f.Add(uint8(1), "true")
+	f.Add(uint8(2), "[1 2 3]")
+	f.Fuzz(func(t *testing.T, kindByte uint8, s string) {
+		kinds := AllKinds()
+		k := kinds[int(kindByte)%len(kinds)]
+		v, err := ParseValue(k, s)
+		if err != nil {
+			return
+		}
+		// Accepted literals must round-trip through String.
+		back, err := ParseValue(k, v.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", v.String(), s, err)
+		}
+		if !Equal(v, back) {
+			t.Fatalf("round trip %q -> %v -> %v", s, v, back)
+		}
+	})
+}

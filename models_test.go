@@ -1,0 +1,68 @@
+package accmos_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	accmos "accmos"
+	"accmos/internal/benchmodels"
+)
+
+// TestShippedModelsMatchGenerator guards the checked-in models/ directory:
+// every shipped file must parse, compile, and be byte-for-byte behaviour-
+// equivalent to what the deterministic generator produces today. A failure
+// means someone changed the synthesizer without regenerating the files
+// (run: go run ./cmd/modelgen -out models).
+func TestShippedModelsMatchGenerator(t *testing.T) {
+	if _, err := os.Stat("models"); err != nil {
+		t.Skip("models/ not present")
+	}
+	for _, name := range benchmodels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			shipped, err := accmos.LoadModel(filepath.Join("models", name+".xml"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			generated := benchmodels.MustBuild(name)
+			if len(shipped.Actors) != len(generated.Actors) ||
+				len(shipped.Connections) != len(generated.Connections) {
+				t.Fatalf("shipped %s out of date: %d/%d actors, %d/%d connections — regenerate models/",
+					name, len(shipped.Actors), len(generated.Actors),
+					len(shipped.Connections), len(generated.Connections))
+			}
+			for i := range generated.Actors {
+				a, b := generated.Actors[i], shipped.Actors[i]
+				if a.Name != b.Name || a.Type != b.Type || a.Operator != b.Operator || a.Subsystem != b.Subsystem {
+					t.Fatalf("shipped %s actor %d differs (%s vs %s) — regenerate models/", name, i, a.Name, b.Name)
+				}
+			}
+			for i := range generated.Connections {
+				if generated.Connections[i] != shipped.Connections[i] {
+					t.Fatalf("shipped %s connection %d differs — regenerate models/", name, i)
+				}
+			}
+			// Behavioural spot check through the facade.
+			opts := accmos.Options{Steps: 300, TestCases: accmos.RandomTestCases(shipped, 3, -50, 50)}
+			a, err := accmos.Interpret(shipped, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := accmos.Interpret(generated, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.OutputHash != b.OutputHash {
+				t.Fatal("shipped model behaves differently from the generator's output")
+			}
+		})
+	}
+	// The special models ship too.
+	for _, f := range []string{"FIG1.xml", "CSEVINJ.xml"} {
+		if _, err := accmos.LoadModel(filepath.Join("models", f)); err != nil {
+			t.Errorf("shipped %s: %v", f, err)
+		}
+	}
+}
