@@ -37,6 +37,7 @@ import (
 	"accmos/internal/irjson"
 	"accmos/internal/lint"
 	"accmos/internal/model"
+	"accmos/internal/obs"
 	"accmos/internal/rapid"
 	"accmos/internal/simresult"
 	"accmos/internal/slx"
@@ -59,7 +60,14 @@ type (
 	DiagKind = diagnose.Kind
 	// CoverageReport holds the four coverage percentages.
 	CoverageReport = coverage.Report
+	// Tracer records pipeline phase spans (see Options.Trace).
+	Tracer = obs.Tracer
+	// Snapshot is one live progress observation (see Options.Progress).
+	Snapshot = obs.Snapshot
 )
+
+// NewTracer starts a pipeline phase tracer for Options.Trace.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Diagnosis kinds (see internal/diagnose for the full catalogue).
 const (
@@ -144,6 +152,29 @@ type Options struct {
 	// WorkDir keeps generated sources and binaries (default: a temp dir
 	// removed after the run).
 	WorkDir string
+
+	// Progress receives live progress snapshots while the simulation
+	// runs: for Simulate these are the generated program's stderr
+	// heartbeats; for the in-process engines, step-loop ticks. Setting it
+	// (or ProgressEvery) also records the Timeline in the Result.
+	Progress func(Snapshot)
+	// ProgressEvery is the snapshot interval (default 500ms).
+	ProgressEvery time.Duration
+	// Trace, when non-nil, records pipeline phase spans
+	// (schedule/instrument/generate/compile/run) for this call.
+	Trace *Tracer
+}
+
+// progressEvery returns the heartbeat interval, or 0 when progress
+// reporting is disabled.
+func (o *Options) progressEvery() time.Duration {
+	if o.Progress == nil && o.ProgressEvery <= 0 {
+		return 0
+	}
+	if o.ProgressEvery > 0 {
+		return o.ProgressEvery
+	}
+	return obs.DefaultInterval
 }
 
 func (o *Options) steps() int64 {
@@ -221,7 +252,9 @@ func GenerateSource(m *Model, opts Options) (string, error) {
 }
 
 func prepare(m *Model, opts *Options) (*actors.Compiled, *TestCases, error) {
+	sp := opts.Trace.Start("schedule")
 	c, err := actors.Compile(m)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -242,6 +275,7 @@ func codegenOptions(opts Options, tcs *TestCases) codegen.Options {
 		StopOnDiag:        opts.StopOnDiag,
 		StopOnActor:       opts.StopOnActor,
 		TestCases:         tcs,
+		Trace:             opts.Trace,
 		DefaultSteps: func() int64 {
 			if opts.Steps > 0 {
 				return opts.Steps
@@ -273,8 +307,11 @@ func Simulate(m *Model, opts Options) (*Result, error) {
 		dir = tmp
 	}
 	res, err := harness.BuildAndRun(prog, dir, harness.RunOptions{
-		Steps:  opts.steps(),
-		Budget: opts.Budget,
+		Steps:     opts.steps(),
+		Budget:    opts.Budget,
+		Heartbeat: opts.progressEvery(),
+		Progress:  opts.Progress,
+		Trace:     opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -333,16 +370,19 @@ func Sweep(m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
-	bin, compileTime, err := harness.Build(prog, dir)
+	bin, compileTime, err := harness.BuildTraced(prog, dir, opts.Trace)
 	if err != nil {
 		return nil, err
 	}
 	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
 	for _, xor := range seedXors {
 		res, err := harness.Run(bin, harness.RunOptions{
-			Steps:   opts.steps(),
-			Budget:  opts.Budget,
-			SeedXor: xor,
+			Steps:     opts.steps(),
+			Budget:    opts.Budget,
+			SeedXor:   xor,
+			Heartbeat: opts.progressEvery(),
+			Progress:  opts.Progress,
+			Trace:     opts.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -374,16 +414,20 @@ func Interpret(m *Model, opts Options) (*Result, error) {
 		MaxMonitorSamples: opts.MaxMonitorSamples,
 		StopOnDiag:        opts.StopOnDiag,
 		StopOnActor:       opts.StopOnActor,
+		Progress:          opts.Progress,
+		ProgressEvery:     opts.progressEvery(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	sp := opts.Trace.Start("run")
 	var res *simresult.Results
 	if opts.Budget > 0 {
 		res, err = e.RunFor(tcs, opts.Budget)
 	} else {
 		res, err = e.Run(tcs, opts.steps())
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -401,12 +445,17 @@ func Accelerate(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if every := opts.progressEvery(); every > 0 {
+		e.SetProgress(every, opts.Progress)
+	}
+	sp := opts.Trace.Start("run")
 	var res *simresult.Results
 	if opts.Budget > 0 {
 		res, err = e.RunFor(tcs, opts.Budget)
 	} else {
 		res, err = e.Run(tcs, opts.steps())
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -425,12 +474,17 @@ func RapidAccelerate(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if every := opts.progressEvery(); every > 0 {
+		e.SetProgress(every, opts.Progress)
+	}
+	sp := opts.Trace.Start("run")
 	var res *simresult.Results
 	if opts.Budget > 0 {
 		res, err = e.RunFor(tcs, opts.Budget)
 	} else {
 		res, err = e.Run(tcs, opts.steps())
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -43,6 +45,9 @@ func main() {
 		verify    = flag.Bool("verify", false, "also run the reference interpreter and cross-check outputs")
 		lintOnly  = flag.Bool("lint", false, "run the static model checks and exit")
 		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
+		progress  = flag.Bool("progress", false, "show a live progress line (steps/sec, coverage) on stderr")
+		traceJSON = flag.String("trace-json", "", "write the pipeline phase trace (parse/schedule/instrument/generate/compile/run) as JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -50,7 +55,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "accmos: pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+	var tracer *accmos.Tracer
+	if *traceJSON != "" {
+		tracer = accmos.NewTracer()
+		defer func() {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tracer.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "accmos: phase trace written to %s\n%s", *traceJSON, tracer.Summary())
+		}()
+	}
+	parseSpan := tracer.Start("parse")
 	m, err := accmos.LoadModel(*modelPath)
+	parseSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -85,9 +114,13 @@ func main() {
 		StopOnActor: *stopActor,
 		TestCases:   tcs,
 		WorkDir:     *workDir,
+		Trace:       tracer,
 	}
 	if *monitor != "" {
 		opts.Monitor = strings.Split(*monitor, ",")
+	}
+	if *progress {
+		opts.Progress = liveProgressLine
 	}
 	if *genOnly {
 		src, err := accmos.GenerateSource(m, opts)
@@ -204,6 +237,21 @@ func main() {
 			fmt.Printf("verify:   interpreter agrees (%d steps, hash %016x, %v)\n",
 				ref.Steps, ref.OutputHash, time.Duration(ref.ExecNanos))
 		}
+	}
+}
+
+// liveProgressLine rewrites one stderr status line per progress snapshot
+// (generated-binary heartbeats, or engine ticks for sse/accel/rapid).
+func liveProgressLine(s accmos.Snapshot) {
+	cov := ""
+	if s.Coverage >= 0 {
+		cov = fmt.Sprintf("  cov %5.1f%%", s.Coverage)
+	}
+	fmt.Fprintf(os.Stderr, "\r%s %s: %d steps  %.3g steps/s%s  diags %d  (%v)   ",
+		s.Engine, s.Model, s.Steps, s.StepsPerSec, cov, s.Diags,
+		s.Elapsed().Round(time.Millisecond))
+	if s.Final {
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

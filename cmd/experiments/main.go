@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -30,8 +32,16 @@ func main() {
 		chargeRate  = flag.Int64("charge-rate", 10_000, "case-study charge rate per step")
 		increment   = flag.Int64("fig1-increment", 100, "Figure 1 per-step accumulation")
 		verbose     = flag.Bool("v", false, "progress logging")
+		metricsJSON = flag.String("metrics-json", "", "write machine-readable benchmark rows (accmos-metrics/v1) to this file")
+		heartbeatMS = flag.Int64("heartbeat-ms", 25, "progress/heartbeat interval for -metrics-json timelines (0 disables)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "experiments: pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	cfg := experiments.Config{
 		Steps:      *steps,
@@ -39,11 +49,19 @@ func main() {
 		ChargeRate: *chargeRate,
 		Verbose:    *verbose,
 	}
+	if *metricsJSON != "" && *heartbeatMS > 0 {
+		cfg.Heartbeat = time.Duration(*heartbeatMS) * time.Millisecond
+	}
 	for _, b := range []float64{5, 15, 60} {
 		cfg.Budgets = append(cfg.Budgets, time.Duration(b*(*budgetScale)*float64(time.Second)))
 	}
 	if *models != "" {
 		cfg.Models = strings.Split(*models, ",")
+	}
+
+	var metrics *experiments.Metrics
+	if *metricsJSON != "" {
+		metrics = experiments.NewMetrics(cfg)
 	}
 
 	want := func(name string) bool { return *run == "all" || *run == name }
@@ -56,6 +74,9 @@ func main() {
 		}
 		experiments.FormatTable2(os.Stdout, rows)
 		fmt.Println()
+		if metrics != nil {
+			metrics.AddTable2(rows)
+		}
 	}
 	if want("table3") {
 		ran = true
@@ -65,6 +86,9 @@ func main() {
 		}
 		experiments.FormatTable3(os.Stdout, rows)
 		fmt.Println()
+		if metrics != nil {
+			metrics.AddTable3(rows)
+		}
 	}
 	if want("casestudy") {
 		ran = true
@@ -85,6 +109,12 @@ func main() {
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *run))
+	}
+	if metrics != nil {
+		if err := metrics.WriteFile(*metricsJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %d metric row(s) written to %s\n", len(metrics.Rows), *metricsJSON)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"accmos/internal/actors"
 	"accmos/internal/coverage"
 	"accmos/internal/diagnose"
+	"accmos/internal/obs"
 	"accmos/internal/testcase"
 	"accmos/internal/types"
 )
@@ -46,6 +47,8 @@ type Options struct {
 	TestCases *testcase.Set
 	// DefaultSteps is the -steps default baked into the binary.
 	DefaultSteps int64
+	// Trace records "instrument" and "generate" phase spans (nil ok).
+	Trace *obs.Tracer
 }
 
 func (o *Options) fillDefaults() {
@@ -135,13 +138,19 @@ func Generate(c *actors.Compiled, opts Options) (*Program, error) {
 		diagSlots:   make(map[string]int),
 		rules:       make(map[string][]diagnose.Kind),
 	}
+	ins := opts.Trace.Start("instrument")
 	if err := g.prepare(); err != nil {
+		ins.End()
 		return nil, err
 	}
 	if err := g.instrumentActors(); err != nil {
+		ins.End()
 		return nil, err
 	}
+	ins.End()
+	gen := opts.Trace.Start("generate")
 	src, err := g.synthesize()
+	gen.End()
 	if err != nil {
 		return nil, err
 	}

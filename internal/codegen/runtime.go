@@ -202,4 +202,48 @@ func outputCollect(slot int, step int64, value string) {
 		monSamples[slot] = append(monSamples[slot], monitorSample{Step: step, Value: value})
 	}
 }
+
+// jsonFloat formats a float for a heartbeat record, mapping the values
+// JSON cannot carry (NaN, ±Inf) to 0.
+func jsonFloat(f float64) string {
+	if f != f || f > math.MaxFloat64 || f < -math.MaxFloat64 {
+		return "0"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// emitHeartbeat writes one NDJSON progress record to stderr. The line
+// shape is the contract obs.ParseHeartbeat decodes — keep in sync with
+// internal/obs. covEnabled is a generated constant; when false the
+// coverage field reports -1.
+func emitHeartbeat(steps int64, elapsed time.Duration, final bool) {
+	sps := 0.0
+	if elapsed > 0 {
+		sps = float64(steps) / elapsed.Seconds()
+	}
+	cov := -1.0
+	if covEnabled {
+		set, total := 0, 0
+		for _, bm := range [][]uint8{actorBitmap[:], condBitmap[:], decBitmap[:], mcdcBitmap[:]} {
+			for _, b := range bm {
+				if b != 0 {
+					set++
+				}
+			}
+			total += len(bm)
+		}
+		if total > 0 {
+			cov = 100 * float64(set) / float64(total)
+		} else {
+			cov = 100
+		}
+	}
+	fin := ""
+	if final {
+		fin = ",\"final\":true"
+	}
+	fmt.Fprintf(os.Stderr,
+		"{\"accmosHB\":1,\"model\":%q,\"engine\":\"AccMoS\",\"steps\":%d,\"elapsedNanos\":%d,\"stepsPerSec\":%s,\"coverage\":%s,\"diags\":%d%s}\n",
+		modelName, steps, elapsed.Nanoseconds(), jsonFloat(sps), jsonFloat(cov), diagTotal, fin)
+}
 `

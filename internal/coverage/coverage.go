@@ -141,6 +141,34 @@ func (r *Raw) Merge(other *Raw) error {
 	return nil
 }
 
+// Progress returns the covered and total raw points across all four
+// bitmaps — the cheap single-number coverage indicator used by progress
+// heartbeats (the generated runtime inlines the same count).
+func (r *Raw) Progress() (set, total int) {
+	for _, bm := range [][]byte{r.Actor, r.Cond, r.Dec, r.MCDC} {
+		for _, b := range bm {
+			if b != 0 {
+				set++
+			}
+		}
+		total += len(bm)
+	}
+	return set, total
+}
+
+// ProgressPercent renders Progress as a percentage, or -1 when the raw
+// bitmaps are absent.
+func ProgressPercent(r *Raw) float64 {
+	if r == nil {
+		return -1
+	}
+	set, total := r.Progress()
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(set) / float64(total)
+}
+
 // Report holds the four percentages (0..100) plus raw point counts.
 type Report struct {
 	Actor float64 `json:"actor"`

@@ -20,6 +20,7 @@ import (
 	"accmos/internal/diagnose"
 	"accmos/internal/harness"
 	"accmos/internal/interp"
+	"accmos/internal/obs"
 	"accmos/internal/rapid"
 	"accmos/internal/simresult"
 	"accmos/internal/testcase"
@@ -41,6 +42,11 @@ type Config struct {
 	ChargeRate int64
 	// Verbose prints progress to stderr.
 	Verbose bool
+	// Heartbeat, when positive, records coverage-over-time timelines for
+	// the instrumented engines at this interval (generated-binary NDJSON
+	// heartbeats for AccMoS, step-loop ticks for SSE) — the raw material
+	// of the -metrics-json coverage timeline.
+	Heartbeat time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -114,6 +120,10 @@ type Table2Row struct {
 	SpeedupRac float64
 
 	HashOK bool // all four engines produced the same output stream
+
+	// Coverage-over-time timelines, recorded when Config.Heartbeat > 0.
+	AccMoSTimeline []obs.Snapshot
+	SSETimeline    []obs.Snapshot
 }
 
 // Table2 measures simulation time on every configured model.
@@ -145,15 +155,18 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			return nil, err
 		}
 		row.Compile = compileTime
-		accRes, err := harness.Run(bin, harness.RunOptions{Steps: cfg.Steps})
+		accRes, err := harness.Run(bin, harness.RunOptions{Steps: cfg.Steps, Heartbeat: cfg.Heartbeat})
 		if err != nil {
 			return nil, err
 		}
 		row.AccMoS = time.Duration(accRes.ExecNanos)
+		row.AccMoSTimeline = accRes.Timeline
 		cfg.logf("table2 %s: AccMoS %v (compile %v)", name, row.AccMoS, compileTime)
 
 		// SSE: full-service interpreter.
-		sse, err := interp.New(p.c, interp.Options{Coverage: true, Diagnose: true})
+		sse, err := interp.New(p.c, interp.Options{
+			Coverage: true, Diagnose: true, ProgressEvery: cfg.Heartbeat,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -162,6 +175,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			return nil, err
 		}
 		row.SSE = time.Duration(sseRes.ExecNanos)
+		row.SSETimeline = sseRes.Timeline
 		cfg.logf("table2 %s: SSE %v", name, row.SSE)
 
 		// SSE Accelerator mode.

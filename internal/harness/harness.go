@@ -5,21 +5,31 @@
 package harness
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"accmos/internal/codegen"
+	"accmos/internal/obs"
 	"accmos/internal/simresult"
 )
 
 // Build compiles a generated program into a binary under dir (created if
 // needed) and returns the binary path plus the compile duration.
 func Build(p *codegen.Program, dir string) (string, time.Duration, error) {
+	return BuildTraced(p, dir, nil)
+}
+
+// BuildTraced is Build recording a "compile" span on the tracer (nil ok).
+func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.Duration, error) {
+	defer tr.Start("compile").End()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, fmt.Errorf("harness: %w", err)
 	}
@@ -93,13 +103,38 @@ type RunOptions struct {
 	// SeedXor perturbs the program's embedded uniform test-case seeds
 	// (-seed-xor), so one binary sweeps many random suites.
 	SeedXor uint64
+
+	// Heartbeat enables the binary's NDJSON progress stream on stderr at
+	// this interval (-heartbeat-ms). Zero leaves it off — the default.
+	Heartbeat time.Duration
+	// Progress receives each heartbeat snapshot as it is decoded.
+	Progress func(obs.Snapshot)
+	// Trace records a "run" span when non-nil.
+	Trace *obs.Tracer
 }
 
-// Run executes a built simulation binary and decodes its results.
+// errTailLines bounds how many non-heartbeat stderr lines a run error
+// carries — enough to diagnose a crash without drowning the error in the
+// progress stream or a long panic trace.
+const errTailLines = 20
+
+// Run executes a built simulation binary and decodes its results. The
+// binary's stderr is consumed as a line stream: heartbeat records are
+// decoded into progress snapshots (delivered to opts.Progress and
+// collected as the result Timeline); everything else is treated as
+// diagnostics, of which the last errTailLines accompany a run error.
 func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
+	defer opts.Trace.Start("run").End()
 	args := []string{}
 	if opts.SeedXor != 0 {
 		args = append(args, fmt.Sprintf("-seed-xor=%d", opts.SeedXor))
+	}
+	if opts.Heartbeat > 0 {
+		ms := opts.Heartbeat.Milliseconds()
+		if ms <= 0 {
+			ms = 1
+		}
+		args = append(args, fmt.Sprintf("-heartbeat-ms=%d", ms))
 	}
 	if opts.Budget > 0 {
 		args = append(args, fmt.Sprintf("-budget-ms=%d", opts.Budget.Milliseconds()))
@@ -107,23 +142,54 @@ func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
 		args = append(args, fmt.Sprintf("-steps=%d", opts.Steps))
 	}
 	cmd := exec.Command(binPath, args...)
-	var stdout, stderr bytes.Buffer
+	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
-	cmd.Stderr = &stderr
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("harness: running %s: %v\n%s", binPath, err, stderr.String())
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("harness: starting %s: %w", binPath, err)
+	}
+	timeline, tail := drainStderr(stderrPipe, opts.Progress)
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("harness: running %s: %v\n%s", binPath, err, strings.Join(tail, "\n"))
 	}
 	var res simresult.Results
 	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
 		return nil, fmt.Errorf("harness: decoding results: %w", err)
 	}
+	res.Timeline = timeline
 	return &res, nil
+}
+
+// drainStderr splits a running binary's stderr into the heartbeat
+// timeline and the tail of ordinary diagnostic lines. It reads until EOF
+// (i.e. process exit), so callers may cmd.Wait afterwards.
+func drainStderr(r io.Reader, progress func(obs.Snapshot)) (timeline []obs.Snapshot, tail []string) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if snap, ok := obs.ParseHeartbeat(line); ok {
+			timeline = append(timeline, snap)
+			if progress != nil {
+				progress(snap)
+			}
+			continue
+		}
+		tail = append(tail, string(line))
+		if len(tail) > errTailLines {
+			tail = tail[len(tail)-errTailLines:]
+		}
+	}
+	return timeline, tail
 }
 
 // BuildAndRun is the one-shot pipeline: compile, execute, and record the
 // compile time in the results.
 func BuildAndRun(p *codegen.Program, dir string, opts RunOptions) (*simresult.Results, error) {
-	bin, compileTime, err := Build(p, dir)
+	bin, compileTime, err := BuildTraced(p, dir, opts.Trace)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package harness_test
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +12,7 @@ import (
 	"accmos/internal/codegen"
 	"accmos/internal/harness"
 	"accmos/internal/model"
+	"accmos/internal/obs"
 	"accmos/internal/testcase"
 	"accmos/internal/types"
 )
@@ -102,5 +106,123 @@ func TestBuildSurfacesCompilerErrors(t *testing.T) {
 func TestRunMissingBinary(t *testing.T) {
 	if _, err := harness.Run("/nonexistent/bin", harness.RunOptions{Steps: 1}); err == nil {
 		t.Fatal("missing binary must error")
+	}
+}
+
+func TestRunHeartbeatTimeline(t *testing.T) {
+	p := program(t)
+	bin, _, err := harness.Build(p, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaCallback []obs.Snapshot
+	res, err := harness.Run(bin, harness.RunOptions{
+		Steps:     5_000_000,
+		Heartbeat: time.Millisecond,
+		Progress:  func(s obs.Snapshot) { viaCallback = append(viaCallback, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 5_000_000 || res.Coverage == nil {
+		t.Fatalf("heartbeats corrupted the results: %+v", res)
+	}
+	if len(res.Timeline) < 2 {
+		t.Fatalf("want >=2 snapshots (ticks plus final), got %d", len(res.Timeline))
+	}
+	if len(viaCallback) != len(res.Timeline) {
+		t.Errorf("callback saw %d snapshots, timeline has %d", len(viaCallback), len(res.Timeline))
+	}
+	last := res.Timeline[len(res.Timeline)-1]
+	if !last.Final || last.Steps != res.Steps {
+		t.Errorf("final snapshot: %+v", last)
+	}
+	for i, s := range res.Timeline {
+		if s.Model != "H" || s.Engine != "AccMoS" {
+			t.Errorf("snapshot %d misattributed: %+v", i, s)
+		}
+		if s.Coverage < 0 || s.Coverage > 100 {
+			t.Errorf("snapshot %d coverage out of range: %v", i, s.Coverage)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := res.Timeline[i-1]
+		if s.Steps < prev.Steps || s.Coverage < prev.Coverage || s.ElapsedNanos < prev.ElapsedNanos {
+			t.Errorf("snapshot %d regressed: %+v -> %+v", i, prev, s)
+		}
+	}
+}
+
+func TestRunHeartbeatOffByDefault(t *testing.T) {
+	p := program(t)
+	bin, _, err := harness.Build(p, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(bin, harness.RunOptions{Steps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 0 {
+		t.Errorf("heartbeat must be opt-in, got %d snapshots", len(res.Timeline))
+	}
+}
+
+// fakeBinary writes an executable shell script standing in for a
+// generated simulation binary, to exercise Run's stderr handling.
+func fakeBinary(t *testing.T, script string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fake_sim")
+	if err := os.WriteFile(path, []byte("#!/bin/sh\n"+script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDecodesResultsWithInterleavedStderr(t *testing.T) {
+	bin := fakeBinary(t, `
+echo 'warming up' >&2
+echo '{"accmosHB":1,"model":"F","engine":"AccMoS","steps":100,"elapsedNanos":5,"stepsPerSec":1,"coverage":50,"diags":0}' >&2
+echo 'midway note' >&2
+echo '{"accmosHB":1,"model":"F","engine":"AccMoS","steps":200,"elapsedNanos":9,"stepsPerSec":1,"coverage":75,"diags":1,"final":true}' >&2
+echo '{"model":"F","engine":"AccMoS","steps":200}'
+`)
+	res, err := harness.Run(bin, harness.RunOptions{Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "F" || res.Steps != 200 {
+		t.Errorf("results: %+v", res)
+	}
+	if len(res.Timeline) != 2 {
+		t.Fatalf("want 2 heartbeats in the timeline, got %+v", res.Timeline)
+	}
+	if res.Timeline[0].Coverage != 50 || !res.Timeline[1].Final || res.Timeline[1].Diags != 1 {
+		t.Errorf("timeline misdecoded: %+v", res.Timeline)
+	}
+}
+
+func TestRunErrorCarriesDiagnosticTailNotHeartbeats(t *testing.T) {
+	var sb strings.Builder
+	for i := 1; i <= 30; i++ {
+		fmt.Fprintf(&sb, "echo 'diag line %02d' >&2\n", i)
+		sb.WriteString(`echo '{"accmosHB":1,"steps":1}' >&2` + "\n")
+	}
+	sb.WriteString("exit 1\n")
+	bin := fakeBinary(t, sb.String())
+	_, err := harness.Run(bin, harness.RunOptions{Steps: 1})
+	if err == nil {
+		t.Fatal("exit 1 must surface as an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "diag line 30") || !strings.Contains(msg, "diag line 11") {
+		t.Errorf("error lacks the stderr tail: %v", msg)
+	}
+	if strings.Contains(msg, "diag line 10") {
+		t.Errorf("error should keep only the last 20 diagnostic lines: %v", msg)
+	}
+	if strings.Contains(msg, "accmosHB") {
+		t.Errorf("heartbeats leaked into the run error: %v", msg)
 	}
 }

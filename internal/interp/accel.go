@@ -6,6 +6,7 @@ import (
 
 	"accmos/internal/actors"
 	"accmos/internal/model"
+	"accmos/internal/obs"
 	"accmos/internal/simresult"
 	"accmos/internal/testcase"
 	"accmos/internal/types"
@@ -46,6 +47,20 @@ type AccelEngine struct {
 	// host synchronisation
 	req chan []types.Value
 	ack chan uint64
+
+	// progress reporting (SetProgress)
+	progress      func(obs.Snapshot)
+	progressEvery time.Duration
+}
+
+// SetProgress enables periodic progress snapshots during Run/RunFor:
+// every interval (obs.DefaultInterval when zero) the callback — which may
+// be nil to only record the result Timeline — receives the live step
+// count. Accelerator mode has no coverage or diagnostics, so snapshots
+// report Coverage -1 and Diags 0.
+func (e *AccelEngine) SetProgress(every time.Duration, fn func(obs.Snapshot)) {
+	e.progressEvery = every
+	e.progress = fn
 }
 
 // NewAccel compiles an accelerated engine for the model.
@@ -192,12 +207,21 @@ func (e *AccelEngine) run(tcs *testcase.Set, maxSteps int64, budget time.Duratio
 	streams := tcs.Streams()
 	outBuf := make([]types.Value, len(e.outSlots))
 
+	var rep *obs.Reporter
+	if e.progress != nil || e.progressEvery > 0 {
+		rep = obs.NewReporter(e.c.Model.Name, "SSEac", e.progressEvery, e.progress)
+	}
+	noCoverage := func() (float64, int64) { return -1, 0 }
+
 	var hash uint64 = simresult.FNVOffset
 	start := time.Now()
 	var step int64
 	for step = 0; step < maxSteps; step++ {
 		if budget > 0 && step%1024 == 0 && time.Since(start) >= budget {
 			break
+		}
+		if rep != nil && step%1024 == 0 {
+			rep.MaybeTick(step, noCoverage)
 		}
 		for i, oi := range e.inportOrder {
 			e.ecs[oi].ExternalIn = types.FloatVal(types.F64, streams[i].At(step))
@@ -245,11 +269,16 @@ func (e *AccelEngine) run(tcs *testcase.Set, maxSteps int64, budget time.Duratio
 		hash = <-e.ack
 	}
 	elapsed := time.Since(start)
-	return &simresult.Results{
+	res := &simresult.Results{
 		Model:      e.c.Model.Name,
 		Engine:     "SSEac",
 		Steps:      step,
 		ExecNanos:  elapsed.Nanoseconds(),
 		OutputHash: hash,
-	}, nil
+	}
+	if rep != nil {
+		rep.Final(step, -1, 0)
+		res.Timeline = rep.Timeline
+	}
+	return res, nil
 }

@@ -22,6 +22,7 @@ import (
 	"accmos/internal/coverage"
 	"accmos/internal/diagnose"
 	"accmos/internal/model"
+	"accmos/internal/obs"
 	"accmos/internal/simresult"
 	"accmos/internal/testcase"
 	"accmos/internal/types"
@@ -48,6 +49,13 @@ type Options struct {
 	// trigger to one actor path.
 	StopOnDiag  diagnose.Kind
 	StopOnActor string
+
+	// Progress receives periodic progress snapshots while the step loop
+	// runs; ProgressEvery sets the interval (obs.DefaultInterval when
+	// zero). Setting either enables progress reporting and the Timeline
+	// in the results.
+	Progress      func(obs.Snapshot)
+	ProgressEvery time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -250,6 +258,18 @@ func (e *Engine) run(tcs *testcase.Set, maxSteps int64, budget time.Duration) (*
 		outRefs[i] = info.InSrc[0]
 	}
 
+	var rep *obs.Reporter
+	if e.opts.Progress != nil || e.opts.ProgressEvery > 0 {
+		rep = obs.NewReporter(e.c.Model.Name, "SSE", e.opts.ProgressEvery, e.opts.Progress)
+	}
+	progressSnapshot := func() (float64, int64) {
+		cov := -1.0
+		if e.collector != nil {
+			cov = coverage.ProgressPercent(e.collector.Raw)
+		}
+		return cov, e.sink.Total
+	}
+
 	hash := uint64(simresult.FNVOffset)
 	start := time.Now()
 	var step int64
@@ -257,6 +277,9 @@ func (e *Engine) run(tcs *testcase.Set, maxSteps int64, budget time.Duration) (*
 	for step = 0; step < maxSteps; step++ {
 		if budget > 0 && step%budgetCheckEvery == 0 && time.Since(start) >= budget {
 			break
+		}
+		if rep != nil && step%budgetCheckEvery == 0 {
+			rep.MaybeTick(step, progressSnapshot)
 		}
 		// Feed inports.
 		for i, oi := range inportIdx {
@@ -327,6 +350,11 @@ func (e *Engine) run(tcs *testcase.Set, maxSteps int64, budget time.Duration) (*
 	if len(e.monitor) > 0 {
 		res.Monitor = e.monitor
 		res.MonitorHits = e.monitorHits
+	}
+	if rep != nil {
+		cov, diags := progressSnapshot()
+		rep.Final(step, cov, diags)
+		res.Timeline = rep.Timeline
 	}
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"accmos/internal/actors"
 	"accmos/internal/model"
+	"accmos/internal/obs"
 	"accmos/internal/simresult"
 	"accmos/internal/testcase"
 	"accmos/internal/types"
@@ -63,6 +64,20 @@ type Engine struct {
 
 	forceBridge          bool
 	specialized, bridged int
+
+	// progress reporting (SetProgress)
+	progress      func(obs.Snapshot)
+	progressEvery time.Duration
+}
+
+// SetProgress enables periodic progress snapshots during Run/RunFor:
+// every interval (obs.DefaultInterval when zero) the callback — which may
+// be nil to only record the result Timeline — receives the live step
+// count. Rapid mode has no coverage or diagnostics, so snapshots report
+// Coverage -1 and Diags 0.
+func (e *Engine) SetProgress(every time.Duration, fn func(obs.Snapshot)) {
+	e.progressEvery = every
+	e.progress = fn
 }
 
 // encode converts a scalar boxed value to its canonical register payload.
@@ -245,12 +260,21 @@ func (e *Engine) run(tcs *testcase.Set, maxSteps int64, budget time.Duration) (*
 	}
 	e.streams = tcs.Streams()
 
+	var rep *obs.Reporter
+	if e.progress != nil || e.progressEvery > 0 {
+		rep = obs.NewReporter(e.c.Model.Name, "SSErac", e.progressEvery, e.progress)
+	}
+	noCoverage := func() (float64, int64) { return -1, 0 }
+
 	hash := uint64(simresult.FNVOffset)
 	start := time.Now()
 	var step int64
 	for step = 0; step < maxSteps; step++ {
 		if budget > 0 && step%1024 == 0 && time.Since(start) >= budget {
 			break
+		}
+		if rep != nil && step%1024 == 0 {
+			rep.MaybeTick(step, noCoverage)
 		}
 		for _, f := range e.steps {
 			f(step)
@@ -267,13 +291,18 @@ func (e *Engine) run(tcs *testcase.Set, maxSteps int64, budget time.Duration) (*
 	}
 	e.hostTransfer()
 	elapsed := time.Since(start)
-	return &simresult.Results{
+	res := &simresult.Results{
 		Model:      e.c.Model.Name,
 		Engine:     "SSErac",
 		Steps:      step,
 		ExecNanos:  elapsed.Nanoseconds(),
 		OutputHash: hash,
-	}, nil
+	}
+	if rep != nil {
+		rep.Final(step, -1, 0)
+		res.Timeline = rep.Timeline
+	}
+	return res, nil
 }
 
 // hostTransfer copies the current root outputs to the host buffer under

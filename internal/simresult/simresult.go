@@ -10,6 +10,7 @@ import (
 
 	"accmos/internal/coverage"
 	"accmos/internal/diagnose"
+	"accmos/internal/obs"
 )
 
 // MonitorSample is one recorded signal-monitor observation (the paper's
@@ -40,6 +41,12 @@ type Results struct {
 	Diags       []diagnose.Record          `json:"diags,omitempty"`
 	Monitor     map[string][]MonitorSample `json:"monitor,omitempty"`
 	MonitorHits map[string]int64           `json:"monitorHits,omitempty"`
+
+	// Timeline holds the progress snapshots observed while the run
+	// executed (heartbeats of a generated binary, or engine progress
+	// ticks) — the coverage-over-time record. Populated host-side; a
+	// generated program does not include it in its own JSON output.
+	Timeline []obs.Snapshot `json:"timeline,omitempty"`
 }
 
 // FNV-1a 64-bit parameters, shared with the generated runtime.

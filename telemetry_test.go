@@ -1,0 +1,151 @@
+package accmos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/obs"
+)
+
+// simulatePhases is the span contract for one accmos.Simulate call: each
+// pipeline phase after parsing appears exactly once in the trace.
+var simulatePhases = []string{"schedule", "instrument", "generate", "compile", "run"}
+
+func TestSimulateTracesEveryPhaseOnce(t *testing.T) {
+	m := demoModel()
+	tracer := accmos.NewTracer()
+	opts := accmos.Options{
+		Steps:     500,
+		Coverage:  true,
+		TestCases: accmos.RandomTestCases(m, 3, -10, 10),
+		Trace:     tracer,
+	}
+	if _, err := accmos.Simulate(m, opts); err != nil {
+		t.Fatal(err)
+	}
+	tr := tracer.Trace()
+	for _, phase := range simulatePhases {
+		spans := tr.Find(phase)
+		if len(spans) != 1 {
+			t.Errorf("phase %q recorded %d times, want 1", phase, len(spans))
+			continue
+		}
+		if spans[0].Duration() <= 0 {
+			t.Errorf("phase %q has no duration: %+v", phase, spans[0])
+		}
+	}
+}
+
+func TestInterpretTracesScheduleAndRun(t *testing.T) {
+	m := demoModel()
+	tracer := accmos.NewTracer()
+	opts := accmos.Options{
+		Steps:     500,
+		TestCases: accmos.RandomTestCases(m, 3, -10, 10),
+		Trace:     tracer,
+	}
+	if _, err := accmos.Interpret(m, opts); err != nil {
+		t.Fatal(err)
+	}
+	tr := tracer.Trace()
+	for _, phase := range []string{"schedule", "run"} {
+		if n := len(tr.Find(phase)); n != 1 {
+			t.Errorf("phase %q recorded %d times, want 1", phase, n)
+		}
+	}
+	for _, phase := range []string{"instrument", "generate", "compile"} {
+		if n := len(tr.Find(phase)); n != 0 {
+			t.Errorf("interpreter must not record codegen phase %q (%d spans)", phase, n)
+		}
+	}
+}
+
+func TestTraceJSONRoundTripsThroughFacade(t *testing.T) {
+	m := demoModel()
+	tracer := accmos.NewTracer()
+	opts := accmos.Options{
+		Steps:     200,
+		TestCases: accmos.RandomTestCases(m, 3, -10, 10),
+		Trace:     tracer,
+	}
+	if _, err := accmos.Simulate(m, opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded obs.Trace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	for _, phase := range simulatePhases {
+		if len(decoded.Find(phase)) != 1 {
+			t.Errorf("decoded trace lost phase %q", phase)
+		}
+	}
+}
+
+func TestSimulateProgressTimeline(t *testing.T) {
+	m := demoModel()
+	var seen []accmos.Snapshot
+	opts := accmos.Options{
+		Steps:         2_000_000,
+		Coverage:      true,
+		TestCases:     accmos.RandomTestCases(m, 3, -10, 10),
+		Progress:      func(s accmos.Snapshot) { seen = append(seen, s) },
+		ProgressEvery: time.Millisecond,
+	}
+	res, err := accmos.Simulate(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("Simulate with Progress set produced no timeline")
+	}
+	if len(seen) != len(res.Timeline) {
+		t.Errorf("callback saw %d snapshots, timeline has %d", len(seen), len(res.Timeline))
+	}
+	last := res.Timeline[len(res.Timeline)-1]
+	if !last.Final || last.Steps != res.Steps {
+		t.Errorf("final snapshot: %+v (result steps %d)", last, res.Steps)
+	}
+}
+
+func TestInProcessEnginesProgressTimeline(t *testing.T) {
+	m := demoModel()
+	for _, tc := range []struct {
+		engine string
+		run    func(*accmos.Model, accmos.Options) (*accmos.Result, error)
+	}{
+		{"SSE", accmos.Interpret},
+		{"SSEac", accmos.Accelerate},
+		{"SSErac", accmos.RapidAccelerate},
+	} {
+		opts := accmos.Options{
+			Steps:         100_000,
+			TestCases:     accmos.RandomTestCases(m, 3, -10, 10),
+			ProgressEvery: time.Millisecond,
+		}
+		res, err := tc.run(m, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.engine, err)
+		}
+		if len(res.Timeline) == 0 {
+			t.Errorf("%s: no progress timeline", tc.engine)
+			continue
+		}
+		last := res.Timeline[len(res.Timeline)-1]
+		if !last.Final || last.Engine != tc.engine {
+			t.Errorf("%s: final snapshot %+v", tc.engine, last)
+		}
+		for i := 1; i < len(res.Timeline); i++ {
+			if res.Timeline[i].Steps < res.Timeline[i-1].Steps {
+				t.Errorf("%s: steps regressed at snapshot %d", tc.engine, i)
+			}
+		}
+	}
+}
