@@ -23,9 +23,12 @@
 package accmos
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"accmos/internal/actors"
@@ -149,9 +152,21 @@ type Options struct {
 	// TestCases supplies input stimuli; defaults to uniform random [-1,1].
 	TestCases *TestCases
 
-	// WorkDir keeps generated sources and binaries (default: a temp dir
-	// removed after the run).
+	// WorkDir keeps generated sources and binaries (default: the
+	// process-wide build cache, so repeated calls on the same model and
+	// options reuse the compiled binary instead of re-invoking go build).
 	WorkDir string
+
+	// Timeout kills a generated-binary execution (its whole process
+	// group) that exceeds this wall-clock deadline, turning a wedged or
+	// runaway program into an error instead of a hang. Zero = no
+	// deadline. Applies per run: each suite of a Sweep gets its own span.
+	Timeout time.Duration
+
+	// Parallelism bounds how many suites Sweep executes concurrently
+	// (default GOMAXPROCS; 1 forces the sequential path). Merged
+	// coverage and the Runs order are identical at any parallelism.
+	Parallelism int
 
 	// Progress receives live progress snapshots while the simulation
 	// runs: for Simulate these are the generated program's stderr
@@ -287,8 +302,17 @@ func codegenOptions(opts Options, tcs *TestCases) codegen.Options {
 
 // Simulate runs the full AccMoS pipeline on m: model preprocessing,
 // simulation-oriented instrumentation, simulation code synthesis,
-// compilation, and execution.
+// compilation, and execution. Compiled binaries are cached by program
+// content (unless WorkDir pins the artifacts), so repeated calls on the
+// same model and options skip the go build step.
 func Simulate(m *Model, opts Options) (*Result, error) {
+	return SimulateContext(context.Background(), m, opts)
+}
+
+// SimulateContext is Simulate with the execution phase bounded by ctx:
+// cancellation (or Options.Timeout) kills the generated binary's process
+// group and surfaces an error instead of blocking on a wedged program.
+func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, error) {
 	c, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return nil, err
@@ -297,18 +321,14 @@ func Simulate(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	dir := opts.WorkDir
-	if dir == "" {
-		tmp, err := os.MkdirTemp("", "accmos-")
-		if err != nil {
-			return nil, fmt.Errorf("accmos: %w", err)
-		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
+	bin, compileTime, err := buildProgram(prog, &opts)
+	if err != nil {
+		return nil, err
 	}
-	res, err := harness.BuildAndRun(prog, dir, harness.RunOptions{
+	res, err := harness.RunContext(ctx, bin, harness.RunOptions{
 		Steps:     opts.steps(),
 		Budget:    opts.Budget,
+		Timeout:   opts.Timeout,
 		Heartbeat: opts.progressEvery(),
 		Progress:  opts.Progress,
 		Trace:     opts.Trace,
@@ -316,7 +336,20 @@ func Simulate(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.CompileNanos = compileTime.Nanoseconds()
 	return &Result{Results: res, layout: prog.Layout}, nil
+}
+
+// buildProgram compiles prog honouring the WorkDir contract: a pinned
+// WorkDir gets a fresh uncached build (the caller wants inspectable
+// artifacts there); otherwise the process-wide content-hash cache serves
+// repeated builds of the same program.
+func buildProgram(prog *codegen.Program, opts *Options) (bin string, compileTime time.Duration, err error) {
+	if opts.WorkDir != "" {
+		return harness.BuildTraced(prog, opts.WorkDir, opts.Trace)
+	}
+	bin, compileTime, _, err = harness.DefaultCache.Build(prog, opts.Trace)
+	return bin, compileTime, err
 }
 
 // SweepResult aggregates a multi-suite coverage sweep.
@@ -347,8 +380,17 @@ func (s *SweepResult) MergedUncovered() []string {
 // suite per seedXor (each XORed into the embedded uniform seeds), merging
 // coverage across suites — the test-adequacy workflow the paper motivates:
 // keep adding random suites until the merged coverage stops growing.
-// Coverage is forced on.
+// Coverage is forced on. Suites run concurrently across a bounded worker
+// pool (Options.Parallelism, default GOMAXPROCS); the merged coverage and
+// the Runs order are deterministic regardless of worker count.
 func Sweep(m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
+	return SweepContext(context.Background(), m, opts, seedXors)
+}
+
+// SweepContext is Sweep bounded by a context: cancelling ctx (or an
+// Options.Timeout expiring on any suite) kills the in-flight generated
+// binaries and returns the first error instead of finishing the sweep.
+func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
 	if len(seedXors) == 0 {
 		return nil, fmt.Errorf("accmos: Sweep needs at least one seed")
 	}
@@ -361,40 +403,92 @@ func Sweep(m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	dir := opts.WorkDir
-	if dir == "" {
-		tmp, err := os.MkdirTemp("", "accmos-sweep-")
-		if err != nil {
-			return nil, fmt.Errorf("accmos: %w", err)
-		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
-	}
-	bin, compileTime, err := harness.BuildTraced(prog, dir, opts.Trace)
+	bin, compileTime, err := buildProgram(prog, &opts)
 	if err != nil {
 		return nil, err
 	}
-	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
-	for _, xor := range seedXors {
-		res, err := harness.Run(bin, harness.RunOptions{
-			Steps:     opts.steps(),
-			Budget:    opts.Budget,
-			SeedXor:   xor,
-			Heartbeat: opts.progressEvery(),
-			Progress:  opts.Progress,
-			Trace:     opts.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.CompileNanos = compileTime.Nanoseconds()
-		if res.Coverage != nil {
-			if err := sw.merged.Merge(res.Coverage); err != nil {
-				return nil, err
-			}
-		}
-		sw.Runs = append(sw.Runs, &Result{Results: res, layout: prog.Layout})
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(seedXors) {
+		workers = len(seedXors)
+	}
+
+	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
+	runs := make([]*Result, len(seedXors))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mergeMu  sync.Mutex // guards sw.merged (bitwise OR: order-independent)
+		cbMu     sync.Mutex // serialises the caller's Progress callback
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // kill in-flight suites; queued ones are skipped
+		})
+	}
+	jobs := make(chan int)
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range jobs {
+				if runCtx.Err() != nil {
+					continue
+				}
+				ro := harness.RunOptions{
+					Steps:     opts.steps(),
+					Budget:    opts.Budget,
+					SeedXor:   seedXors[i],
+					Timeout:   opts.Timeout,
+					Heartbeat: opts.progressEvery(),
+					Trace:     opts.Trace,
+				}
+				if cb := opts.Progress; cb != nil {
+					suite := i + 1
+					ro.Progress = func(s Snapshot) {
+						s.Worker, s.Suite = worker, suite
+						cbMu.Lock()
+						defer cbMu.Unlock()
+						cb(s)
+					}
+				}
+				res, err := harness.RunContext(runCtx, bin, ro)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				res.CompileNanos = compileTime.Nanoseconds()
+				if res.Coverage != nil {
+					mergeMu.Lock()
+					err = sw.merged.Merge(res.Coverage)
+					mergeMu.Unlock()
+					if err != nil {
+						fail(err)
+						continue
+					}
+				}
+				runs[i] = &Result{Results: res, layout: prog.Layout}
+			}
+		}(w)
+	}
+	for i := range seedXors {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sw.Runs = runs
 	return sw, nil
 }
 

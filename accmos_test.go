@@ -1,9 +1,14 @@
 package accmos_test
 
 import (
+	"context"
+	"fmt"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	accmos "accmos"
 	"accmos/internal/benchmodels"
@@ -169,10 +174,10 @@ func TestFacadeDefaults(t *testing.T) {
 	}
 }
 
-func TestSweepMergesCoverage(t *testing.T) {
-	// A model with a rare branch: individual random suites may miss it,
-	// and merged coverage must dominate every individual run.
-	m := accmos.NewModelBuilder("SWEEP").
+// sweepModel has a rare branch (input > 99): individual random suites
+// may miss it, so sweeps exercise real coverage merging.
+func sweepModel() *accmos.Model {
+	return accmos.NewModelBuilder("SWEEP").
 		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
 		Add("Rare", "CompareToConstant", 1, 1, model.WithOperator(">"), model.WithParam("Constant", "99")).
 		Add("Sw", "Switch", 3, 1, model.WithOperator("~=0")).
@@ -185,6 +190,10 @@ func TestSweepMergesCoverage(t *testing.T) {
 		Wire("Lo", "Sw", 2).
 		Wire("Sw", "Out", 0).
 		MustBuild()
+}
+
+func TestSweepMergesCoverage(t *testing.T) {
+	m := sweepModel()
 	opts := accmos.Options{
 		Steps:     400,
 		TestCases: accmos.RandomTestCases(m, 77, -100, 100),
@@ -215,5 +224,132 @@ func TestSweepMergesCoverage(t *testing.T) {
 	}
 	if sw.Runs[0].OutputHash != base.OutputHash {
 		t.Error("seed-xor 0 diverged from the embedded suite")
+	}
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	// Acceptance: a parallel sweep must be a pure scheduling change — the
+	// per-run results (order included) and the merged coverage bitmaps
+	// must be identical to the sequential executor's.
+	m := sweepModel()
+	seeds := []uint64{0, 1, 0xDEAD, 0xBEEF, 0xF00D, 42, 0xFEED, 7}
+	run := func(parallelism int) *accmos.SweepResult {
+		t.Helper()
+		sw, err := accmos.Sweep(m, accmos.Options{
+			Steps:       400,
+			TestCases:   accmos.RandomTestCases(m, 77, -100, 100),
+			Parallelism: parallelism,
+		}, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq.Runs) != len(seeds) || len(par.Runs) != len(seeds) {
+		t.Fatalf("runs: sequential %d, parallel %d, want %d", len(seq.Runs), len(par.Runs), len(seeds))
+	}
+	for i := range seeds {
+		if seq.Runs[i].OutputHash != par.Runs[i].OutputHash {
+			t.Errorf("run %d: output hash %x (sequential) vs %x (parallel)",
+				i, seq.Runs[i].OutputHash, par.Runs[i].OutputHash)
+		}
+		if !reflect.DeepEqual(seq.Runs[i].Results.Coverage, par.Runs[i].Results.Coverage) {
+			t.Errorf("run %d: coverage bitmaps diverge between executors", i)
+		}
+	}
+	if seq.MergedCoverage() != par.MergedCoverage() {
+		t.Errorf("merged coverage diverges: %+v (sequential) vs %+v (parallel)",
+			seq.MergedCoverage(), par.MergedCoverage())
+	}
+}
+
+func TestSweepContextCancel(t *testing.T) {
+	// Effectively-endless suites: only cancellation can end this sweep.
+	m := sweepModel()
+	opts := accmos.Options{
+		Steps:       1 << 40,
+		TestCases:   accmos.RandomTestCases(m, 77, -100, 100),
+		Parallelism: 2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := accmos.SweepContext(ctx, m, opts, []uint64{1, 2, 3, 4})
+	if err == nil {
+		t.Fatal("a cancelled sweep must return an error")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("error must name the cancellation: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("sweep took %v to honour a 500ms cancel", elapsed)
+	}
+}
+
+func TestSweepTagsSnapshotsWithWorkerAndSuite(t *testing.T) {
+	m := sweepModel()
+	var (
+		mu    sync.Mutex
+		snaps []accmos.Snapshot
+	)
+	opts := accmos.Options{
+		Steps:         5000,
+		TestCases:     accmos.RandomTestCases(m, 77, -100, 100),
+		Parallelism:   2,
+		ProgressEvery: time.Millisecond,
+		Progress: func(s accmos.Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		},
+	}
+	if _, err := accmos.Sweep(m, opts, []uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("heartbeat-enabled sweep emitted no progress snapshots")
+	}
+	suites := map[int]bool{}
+	for _, s := range snaps {
+		if s.Worker < 1 || s.Worker > 2 {
+			t.Fatalf("snapshot worker %d out of range [1,2]", s.Worker)
+		}
+		if s.Suite < 1 || s.Suite > 4 {
+			t.Fatalf("snapshot suite %d out of range [1,4]", s.Suite)
+		}
+		if s.Final {
+			suites[s.Suite] = true
+		}
+	}
+	if len(suites) != 4 {
+		t.Errorf("final snapshots cover %d of 4 suites: %v", len(suites), suites)
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	m := sweepModel()
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			opts := accmos.Options{
+				Steps:       2_000_000,
+				TestCases:   accmos.RandomTestCases(m, 77, -100, 100),
+				Parallelism: p,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := accmos.Sweep(m, opts, seeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -45,6 +45,8 @@ func main() {
 		verify    = flag.Bool("verify", false, "also run the reference interpreter and cross-check outputs")
 		lintOnly  = flag.Bool("lint", false, "run the static model checks and exit")
 		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
+		parallel  = flag.Int("parallel", 0, "concurrent suite executions for -sweep (0 = GOMAXPROCS, 1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "kill a generated-binary run exceeding this wall-clock deadline, e.g. 30s (0 = none)")
 		progress  = flag.Bool("progress", false, "show a live progress line (steps/sec, coverage) on stderr")
 		traceJSON = flag.String("trace-json", "", "write the pipeline phase trace (parse/schedule/instrument/generate/compile/run) as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
@@ -114,6 +116,8 @@ func main() {
 		StopOnActor: *stopActor,
 		TestCases:   tcs,
 		WorkDir:     *workDir,
+		Timeout:     *timeout,
+		Parallelism: *parallel,
 		Trace:       tracer,
 	}
 	if *monitor != "" {

@@ -9,6 +9,8 @@
 package codegen
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,6 +70,20 @@ type Program struct {
 	Source string
 	Model  string
 	Layout *coverage.Layout
+}
+
+// Hash returns a stable hex key identifying the program: the SHA-256 of
+// the model name and the source text. The source embeds the model
+// structure, every codegen option (coverage, diagnosis, monitors, stop
+// conditions, default steps) and the test-case constants, so two programs
+// share a hash exactly when `go build` would produce the same binary —
+// this is the build-cache key and the harness's artifact-name suffix.
+func (p *Program) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(p.Model))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Source))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Generator drives one generation run and implements actors.ProgramSink.

@@ -1,0 +1,63 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"accmos/internal/codegen"
+	"accmos/internal/model"
+	"accmos/internal/testcase"
+	"accmos/internal/types"
+)
+
+func hashModel(t *testing.T, name string) *model.Model {
+	t.Helper()
+	return model.NewBuilder(name).
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "3")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+}
+
+func generateFor(t *testing.T, name string, opts codegen.Options) *codegen.Program {
+	t.Helper()
+	c := compile(t, hashModel(t, name))
+	if opts.TestCases == nil {
+		opts.TestCases = testcase.NewRandomSet(1, 7, -1, 1)
+	}
+	p, err := codegen.Generate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProgramHashStable(t *testing.T) {
+	a := generateFor(t, "PH", codegen.Options{Coverage: true})
+	b := generateFor(t, "PH", codegen.Options{Coverage: true})
+	if a.Hash() != b.Hash() {
+		t.Error("two generations of the same model and options must hash identically")
+	}
+	if len(a.Hash()) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(a.Hash()))
+	}
+}
+
+func TestProgramHashDiscriminates(t *testing.T) {
+	base := generateFor(t, "PH", codegen.Options{Coverage: true})
+	seen := map[string]string{base.Hash(): "base"}
+	variants := map[string]*codegen.Program{
+		"coverage off":    generateFor(t, "PH", codegen.Options{}),
+		"diagnosis on":    generateFor(t, "PH", codegen.Options{Coverage: true, Diagnose: true}),
+		"other steps":     generateFor(t, "PH", codegen.Options{Coverage: true, DefaultSteps: 777}),
+		"other testcases": generateFor(t, "PH", codegen.Options{Coverage: true, TestCases: testcase.NewRandomSet(1, 8, -1, 1)}),
+		"other model":     generateFor(t, "PH2", codegen.Options{Coverage: true}),
+	}
+	for what, p := range variants {
+		h := p.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", what, prev)
+		}
+		seen[h] = what
+	}
+}

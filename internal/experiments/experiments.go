@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"accmos/internal/actors"
@@ -47,6 +48,15 @@ type Config struct {
 	// heartbeats for AccMoS, step-loop ticks for SSE) — the raw material
 	// of the -metrics-json coverage timeline.
 	Heartbeat time.Duration
+	// Parallel runs this many benchmark-model rows concurrently in
+	// Table2/Table3 (default 1, sequential — concurrent rows contend for
+	// cores and shift absolute timings, so parallelism is opt-in for
+	// smoke runs and CI, not paper-grade measurement).
+	Parallel int
+	// Timeout kills any generated-binary execution exceeding this
+	// wall-clock deadline (0 = none), so one wedged model cannot hang a
+	// whole experiment batch.
+	Timeout time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -65,6 +75,72 @@ func (c *Config) fillDefaults() {
 	if c.ChargeRate == 0 {
 		c.ChargeRate = 10_000
 	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+}
+
+// build compiles prog through the process-wide binary cache — so e.g.
+// Table 3 reuses Table 2's binaries within one invocation, and the hit is
+// reported in the metrics — unless the caller pinned a WorkDir for
+// inspectable artifacts, which always gets a fresh build under dir.
+func (c *Config) build(prog *codegen.Program, dir string) (bin string, compileTime time.Duration, hit bool, err error) {
+	if c.WorkDir != "" {
+		bin, compileTime, err = harness.Build(prog, dir)
+		return bin, compileTime, false, err
+	}
+	return harness.DefaultCache.Build(prog, nil)
+}
+
+// runRows executes fn(0..n-1) with bounded parallelism, leaving callers'
+// index-addressed row slices in deterministic order; the first error wins
+// and the remaining rows are skipped. parallel <= 1 is a plain loop so
+// sequential timing runs stay uncontended.
+func runRows(n, parallel int, fn func(i int) error) error {
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
 }
 
 func (c *Config) logf(format string, args ...interface{}) {
@@ -121,12 +197,18 @@ type Table2Row struct {
 
 	HashOK bool // all four engines produced the same output stream
 
+	// CacheHit reports that the generated binary came from the build
+	// cache (Compile is then the original build's amortised cost).
+	CacheHit bool
+
 	// Coverage-over-time timelines, recorded when Config.Heartbeat > 0.
 	AccMoSTimeline []obs.Snapshot
 	SSETimeline    []obs.Snapshot
 }
 
-// Table2 measures simulation time on every configured model.
+// Table2 measures simulation time on every configured model. Rows are
+// computed concurrently when Config.Parallel > 1; the row order (and each
+// row's engine sequence) is identical to the sequential run.
 func Table2(cfg Config) ([]Table2Row, error) {
 	cfg.fillDefaults()
 	dir, cleanup, err := cfg.workDir()
@@ -135,44 +217,49 @@ func Table2(cfg Config) ([]Table2Row, error) {
 	}
 	defer cleanup()
 
-	var rows []Table2Row
-	for _, name := range cfg.Models {
+	rows := make([]Table2Row, len(cfg.Models))
+	err = runRows(len(cfg.Models), cfg.Parallel, func(i int) error {
+		name := cfg.Models[i]
 		p, err := cfg.prepare(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table2Row{Model: name, Steps: cfg.Steps}
 
-		// AccMoS: generate, compile, execute with full instrumentation.
+		// AccMoS: generate, compile (cached), execute with full
+		// instrumentation.
 		prog, err := codegen.Generate(p.c, codegen.Options{
 			Coverage: true, Diagnose: true, TestCases: p.set,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		bin, compileTime, err := harness.Build(prog, filepath.Join(dir, name))
+		bin, compileTime, hit, err := cfg.build(prog, filepath.Join(dir, name))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Compile = compileTime
-		accRes, err := harness.Run(bin, harness.RunOptions{Steps: cfg.Steps, Heartbeat: cfg.Heartbeat})
+		row.CacheHit = hit
+		accRes, err := harness.Run(bin, harness.RunOptions{
+			Steps: cfg.Steps, Timeout: cfg.Timeout, Heartbeat: cfg.Heartbeat,
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.AccMoS = time.Duration(accRes.ExecNanos)
 		row.AccMoSTimeline = accRes.Timeline
-		cfg.logf("table2 %s: AccMoS %v (compile %v)", name, row.AccMoS, compileTime)
+		cfg.logf("table2 %s: AccMoS %v (compile %v, cached %v)", name, row.AccMoS, compileTime, hit)
 
 		// SSE: full-service interpreter.
 		sse, err := interp.New(p.c, interp.Options{
 			Coverage: true, Diagnose: true, ProgressEvery: cfg.Heartbeat,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sseRes, err := sse.Run(p.set, cfg.Steps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SSE = time.Duration(sseRes.ExecNanos)
 		row.SSETimeline = sseRes.Timeline
@@ -181,22 +268,22 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		// SSE Accelerator mode.
 		ac, err := interp.NewAccel(p.c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		acRes, err := ac.Run(p.set, cfg.Steps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SSEac = time.Duration(acRes.ExecNanos)
 
 		// SSE Rapid Accelerator mode.
 		rc, err := rapid.New(p.c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rcRes, err := rc.Run(p.set, cfg.Steps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SSErac = time.Duration(rcRes.ExecNanos)
 		cfg.logf("table2 %s: ac %v rac %v", name, row.SSEac, row.SSErac)
@@ -207,7 +294,11 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		row.SpeedupSSE = ratio(row.SSE, row.AccMoS)
 		row.SpeedupAc = ratio(row.SSEac, row.AccMoS)
 		row.SpeedupRac = ratio(row.SSErac, row.AccMoS)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -245,42 +336,47 @@ func Table3(cfg Config) ([]Table3Row, error) {
 	}
 	defer cleanup()
 
-	var rows []Table3Row
-	for _, name := range cfg.Models {
+	rows := make([]Table3Row, len(cfg.Models)*len(cfg.Budgets))
+	err = runRows(len(cfg.Models), cfg.Parallel, func(i int) error {
+		name := cfg.Models[i]
 		p, err := cfg.prepare(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		layout := coverage.NewLayout(p.c)
 		prog, err := codegen.Generate(p.c, codegen.Options{
 			Coverage: true, Diagnose: true, TestCases: p.set,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bin, _, err := harness.Build(prog, filepath.Join(dir, name))
+		bin, _, _, err := cfg.build(prog, filepath.Join(dir, name))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sse, err := interp.New(p.c, interp.Options{Coverage: true, Diagnose: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, budget := range cfg.Budgets {
+		for j, budget := range cfg.Budgets {
 			row := Table3Row{Model: name, Budget: budget}
-			accRes, err := harness.Run(bin, harness.RunOptions{Budget: budget})
+			accRes, err := harness.Run(bin, harness.RunOptions{Budget: budget, Timeout: cfg.Timeout})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.AccMoS = Table3Cell{Steps: accRes.Steps, Report: layout.Report(accRes.Coverage)}
 			sseRes, err := sse.RunFor(p.set, budget)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.SSE = Table3Cell{Steps: sseRes.Steps, Report: layout.Report(sseRes.Coverage)}
 			cfg.logf("table3 %s @%v: AccMoS %d steps / SSE %d steps", name, budget, accRes.Steps, sseRes.Steps)
-			rows = append(rows, row)
+			rows[i*len(cfg.Budgets)+j] = row
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -331,11 +427,11 @@ func CaseStudy(cfg Config) (*CaseStudyResult, error) {
 		if err != nil {
 			return Detection{}, Detection{}, err
 		}
-		bin, compileTime, err := harness.Build(prog, filepath.Join(dir, "csev_"+string(stop)))
+		bin, compileTime, _, err := cfg.build(prog, filepath.Join(dir, "csev_"+string(stop)))
 		if err != nil {
 			return Detection{}, Detection{}, err
 		}
-		accRes, err := harness.Run(bin, harness.RunOptions{Steps: maxSteps})
+		accRes, err := harness.Run(bin, harness.RunOptions{Steps: maxSteps, Timeout: cfg.Timeout})
 		if err != nil {
 			return Detection{}, Detection{}, err
 		}
@@ -408,11 +504,11 @@ func Figure1(cfg Config, increment int64) (*Figure1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bin, compileTime, err := harness.Build(prog, filepath.Join(dir, "fig1"))
+	bin, compileTime, _, err := cfg.build(prog, filepath.Join(dir, "fig1"))
 	if err != nil {
 		return nil, err
 	}
-	accRes, err := harness.Run(bin, harness.RunOptions{Steps: maxSteps})
+	accRes, err := harness.Run(bin, harness.RunOptions{Steps: maxSteps, Timeout: cfg.Timeout})
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,9 @@ type MetricRow struct {
 	Coverage     *coverage.Report `json:"coverage,omitempty"`
 	Timeline     []obs.Snapshot   `json:"timeline,omitempty"`
 	HashOK       *bool            `json:"hashOK,omitempty"`
+	// CacheHit marks AccMoS rows whose binary came from the build cache
+	// (CompileNanos is then the original build's amortised cost).
+	CacheHit bool `json:"cacheHit,omitempty"`
 }
 
 // Metrics is the -metrics-json document: run configuration plus rows.
@@ -70,6 +73,7 @@ func (m *Metrics) AddTable2(rows []Table2Row) {
 				StepsPerSec:  stepsPerSec(r.Steps, r.AccMoS),
 				CompileNanos: r.Compile.Nanoseconds(),
 				Timeline:     r.AccMoSTimeline, HashOK: &ok,
+				CacheHit: r.CacheHit,
 			},
 			MetricRow{
 				Experiment: "table2", Model: r.Model, Engine: "SSE",

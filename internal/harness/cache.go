@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"accmos/internal/codegen"
+	"accmos/internal/obs"
+)
+
+// BuildCache memoises compiled generated programs by content hash
+// (codegen.Program.Hash covers the model structure, every codegen option
+// and the embedded test cases), so repeated Simulate/Sweep/experiment
+// calls on the same model reuse the binary instead of re-invoking
+// `go build`. Safe for concurrent use; concurrent requests for the same
+// program block on one build.
+type BuildCache struct {
+	mu      sync.Mutex
+	dir     string
+	owned   bool // dir was created (and may be deleted) by the cache
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	mu      sync.Mutex
+	done    bool
+	bin     string
+	compile time.Duration
+	err     error
+}
+
+// NewBuildCache creates a cache rooted at dir; with dir == "" a private
+// temp directory is created on first use and lives for the process.
+func NewBuildCache(dir string) *BuildCache {
+	return &BuildCache{dir: dir, entries: make(map[string]*cacheEntry)}
+}
+
+// DefaultCache is the process-wide cache the facade uses for callers that
+// did not pin a WorkDir.
+var DefaultCache = NewBuildCache("")
+
+// Build returns a compiled binary for p, building at most once per
+// program content. hit reports whether an existing binary was reused;
+// compileTime is the original build's duration either way (so amortised
+// callers still see the one-time cost). Compile errors are cached too —
+// the same source fails the same way.
+func (c *BuildCache) Build(p *codegen.Program, tr *obs.Tracer) (bin string, compileTime time.Duration, hit bool, err error) {
+	key := p.Hash()
+	c.mu.Lock()
+	if c.dir == "" {
+		dir, mkErr := os.MkdirTemp("", "accmos-cache-")
+		if mkErr != nil {
+			c.mu.Unlock()
+			return "", 0, false, fmt.Errorf("harness: build cache: %w", mkErr)
+		}
+		c.dir = dir
+		c.owned = true
+	}
+	dir := c.dir
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done && e.err == nil {
+		// Revalidate: the binary may have been swept away (temp cleaners,
+		// tests removing the cache dir); rebuild instead of returning a
+		// dangling path.
+		if _, statErr := os.Stat(e.bin); statErr == nil {
+			// A hit still records the (near-zero) compile span so a
+			// traced pipeline keeps its one-compile-per-run shape.
+			tr.Start("compile").End()
+			return e.bin, e.compile, true, nil
+		}
+		e.done = false
+	}
+	if e.done {
+		return "", 0, true, e.err
+	}
+	e.bin, e.compile, e.err = BuildTraced(p, dir, tr)
+	e.done = true
+	return e.bin, e.compile, false, e.err
+}
+
+// Dir returns the cache's artifact directory ("" until the first build
+// when no directory was pinned).
+func (c *BuildCache) Dir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// Remove drops every cached entry and deletes the artifact directory if
+// the cache created it itself (a caller-pinned directory is left alone).
+// The cache stays usable: the next Build recreates the directory.
+func (c *BuildCache) Remove() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	if c.owned && c.dir != "" {
+		os.RemoveAll(c.dir)
+		c.dir = ""
+		c.owned = false
+	}
+}

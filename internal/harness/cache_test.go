@@ -1,0 +1,161 @@
+package harness_test
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/codegen"
+	"accmos/internal/harness"
+	"accmos/internal/model"
+	"accmos/internal/testcase"
+	"accmos/internal/types"
+)
+
+func cacheProgram(t *testing.T, steps int64) *codegen.Program {
+	t.Helper()
+	m := model.NewBuilder("C").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "2")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Generate(c, codegen.Options{
+		Coverage: true, TestCases: testcase.NewRandomSet(1, 1, -1, 1), DefaultSteps: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildCacheHitAndMiss(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+
+	p := cacheProgram(t, 100)
+	bin1, ct1, hit1, err := cache.Build(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 {
+		t.Error("first build reported a cache hit")
+	}
+	if ct1 <= 0 {
+		t.Error("first build recorded no compile time")
+	}
+	bin2, _, hit2, err := cache.Build(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Error("second build of the identical program missed the cache")
+	}
+	if bin1 != bin2 {
+		t.Errorf("hit returned a different binary: %s vs %s", bin1, bin2)
+	}
+
+	// A different embedded option (DefaultSteps) changes the source, the
+	// hash, and therefore the cache key.
+	other := cacheProgram(t, 200)
+	bin3, _, hit3, err := cache.Build(other, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit3 {
+		t.Error("a program with different options must miss the cache")
+	}
+	if bin3 == bin1 {
+		t.Error("distinct programs share a cached binary path")
+	}
+
+	if res, err := harness.Run(bin2, harness.RunOptions{Steps: 5}); err != nil || res.Steps != 5 {
+		t.Fatalf("cached binary does not run: %v %+v", err, res)
+	}
+}
+
+func TestBuildCacheConcurrentSingleFlight(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+
+	p := cacheProgram(t, 100)
+	const n = 8
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bins   = map[string]bool{}
+		misses int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bin, _, hit, err := cache.Build(p, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			bins[bin] = true
+			if !hit {
+				misses++
+			}
+		}()
+	}
+	wg.Wait()
+	if misses != 1 {
+		t.Errorf("%d goroutines compiled; single-flight should compile exactly once", misses)
+	}
+	if len(bins) != 1 {
+		t.Errorf("concurrent builds returned %d distinct binaries: %v", len(bins), bins)
+	}
+}
+
+func TestBuildCacheRevalidatesDeletedBinary(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+
+	p := cacheProgram(t, 100)
+	bin, _, _, err := cache.Build(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(bin); err != nil {
+		t.Fatal(err)
+	}
+	bin2, _, hit, err := cache.Build(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("a deleted binary must not count as a hit")
+	}
+	if _, err := os.Stat(bin2); err != nil {
+		t.Fatalf("rebuild did not restore the binary: %v", err)
+	}
+}
+
+func TestBuildCacheCachesCompileErrors(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+
+	p := &codegen.Program{Model: "BADC", Source: "package main\nfunc main() { undefined() }\n"}
+	_, _, _, err1 := cache.Build(p, nil)
+	if err1 == nil {
+		t.Fatal("broken source must fail")
+	}
+	_, _, _, err2 := cache.Build(p, nil)
+	if err2 == nil {
+		t.Fatal("cached failure must still fail")
+	}
+	if !strings.Contains(err2.Error(), "undefined") {
+		t.Errorf("cached error lost its diagnostics: %v", err2)
+	}
+}

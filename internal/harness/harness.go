@@ -2,12 +2,19 @@
 // programs: it writes the generated source, invokes the Go compiler (the
 // paper's "compile and execute the code" step), runs the binary, and
 // decodes the JSON results into the shared simresult schema.
+//
+// Every execution path is context-aware: RunContext kills a wedged or
+// runaway generated binary (its whole process group, so grandchildren die
+// too) when the context is cancelled or the per-run Timeout elapses, and
+// reports the deadline in the error instead of hanging the caller.
 package harness
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -33,11 +40,15 @@ func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.D
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, fmt.Errorf("harness: %w", err)
 	}
-	srcPath := filepath.Join(dir, "main.go")
+	// Artifact names carry a short content hash: distinct models whose
+	// names sanitize identically (m.1 vs m_1) get distinct binaries, and
+	// two builds sharing one WorkDir never race on a common main.go.
+	tag := sanitizeFile(p.Model) + "_" + shortHash(p)
+	srcPath := filepath.Join(dir, "sim_"+tag+".go")
 	if err := os.WriteFile(srcPath, []byte(p.Source), 0o644); err != nil {
 		return "", 0, fmt.Errorf("harness: writing source: %w", err)
 	}
-	binPath := filepath.Join(dir, "sim_"+sanitizeFile(p.Model))
+	binPath := filepath.Join(dir, "sim_"+tag)
 	start := time.Now()
 	cmd := exec.Command("go", "build", "-o", binPath, srcPath)
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOFLAGS=-mod=mod")
@@ -47,6 +58,15 @@ func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.D
 		return "", 0, fmt.Errorf("harness: compiling generated program: %v\n%s", err, annotate(p.Source, stderr.String()))
 	}
 	return binPath, time.Since(start), nil
+}
+
+// shortHash is the artifact-name fragment of a program's content hash.
+func shortHash(p *codegen.Program) string {
+	h := p.Hash()
+	if len(h) > 10 {
+		h = h[:10]
+	}
+	return h
 }
 
 // sanitizeFile keeps binary names filesystem-safe.
@@ -104,6 +124,11 @@ type RunOptions struct {
 	// (-seed-xor), so one binary sweeps many random suites.
 	SeedXor uint64
 
+	// Timeout kills the binary (and its process group) when it runs
+	// longer than this wall clock span — the guard against a wedged or
+	// runaway generated program. Zero means no deadline.
+	Timeout time.Duration
+
 	// Heartbeat enables the binary's NDJSON progress stream on stderr at
 	// this interval (-heartbeat-ms). Zero leaves it off — the default.
 	Heartbeat time.Duration
@@ -124,7 +149,23 @@ const errTailLines = 20
 // collected as the result Timeline); everything else is treated as
 // diagnostics, of which the last errTailLines accompany a run error.
 func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
+	return RunContext(context.Background(), binPath, opts)
+}
+
+// RunContext is Run bounded by a context: when ctx is cancelled — or the
+// RunOptions.Timeout deadline passes — the binary's process group is
+// killed and the returned error names the reason instead of blocking
+// until the process chooses to exit.
+func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresult.Results, error) {
 	defer opts.Trace.Start("run").End()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: running %s: %w", binPath, err)
+	}
 	args := []string{}
 	if opts.SeedXor != 0 {
 		args = append(args, fmt.Sprintf("-seed-xor=%d", opts.SeedXor))
@@ -137,11 +178,19 @@ func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
 		args = append(args, fmt.Sprintf("-heartbeat-ms=%d", ms))
 	}
 	if opts.Budget > 0 {
-		args = append(args, fmt.Sprintf("-budget-ms=%d", opts.Budget.Milliseconds()))
+		ms := opts.Budget.Milliseconds()
+		if ms <= 0 {
+			// A sub-millisecond budget must still bound the run: clamp
+			// up rather than emit -budget-ms=0, which the generated
+			// program reads as "no budget, use the default step count".
+			ms = 1
+		}
+		args = append(args, fmt.Sprintf("-budget-ms=%d", ms))
 	} else {
 		args = append(args, fmt.Sprintf("-steps=%d", opts.Steps))
 	}
 	cmd := exec.Command(binPath, args...)
+	setProcGroup(cmd)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
 	stderrPipe, err := cmd.StderrPipe()
@@ -151,9 +200,37 @@ func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("harness: starting %s: %w", binPath, err)
 	}
-	timeline, tail := drainStderr(stderrPipe, opts.Progress)
-	if err := cmd.Wait(); err != nil {
-		return nil, fmt.Errorf("harness: running %s: %v\n%s", binPath, err, strings.Join(tail, "\n"))
+	// Watch for cancellation while the binary runs; killing the process
+	// group closes the stderr pipe, so the drain below always reaches EOF
+	// and cmd.Wait reaps the child.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			killProcGroup(cmd)
+		case <-watchDone:
+		}
+	}()
+	timeline, tail, scanErr := drainStderr(stderrPipe, opts.Progress)
+	waitErr := cmd.Wait()
+	close(watchDone)
+	if scanErr != nil {
+		tail = append(tail, fmt.Sprintf("harness: stderr scan aborted (diagnostic tail truncated): %v", scanErr))
+	}
+	if waitErr != nil {
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			deadline := "context deadline"
+			if opts.Timeout > 0 {
+				deadline = fmt.Sprintf("%v timeout", opts.Timeout)
+			}
+			return nil, fmt.Errorf("harness: running %s: killed after exceeding the %s: %v\n%s",
+				binPath, deadline, waitErr, strings.Join(tail, "\n"))
+		case ctx.Err() != nil:
+			return nil, fmt.Errorf("harness: running %s: killed: %w\n%s",
+				binPath, context.Canceled, strings.Join(tail, "\n"))
+		}
+		return nil, fmt.Errorf("harness: running %s: %v\n%s", binPath, waitErr, strings.Join(tail, "\n"))
 	}
 	var res simresult.Results
 	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
@@ -165,8 +242,11 @@ func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
 
 // drainStderr splits a running binary's stderr into the heartbeat
 // timeline and the tail of ordinary diagnostic lines. It reads until EOF
-// (i.e. process exit), so callers may cmd.Wait afterwards.
-func drainStderr(r io.Reader, progress func(obs.Snapshot)) (timeline []obs.Snapshot, tail []string) {
+// (i.e. process exit), so callers may cmd.Wait afterwards: even when the
+// line scanner aborts (a diagnostic line beyond its 1 MiB cap), the rest
+// of the pipe is consumed so the child can never block on a full stderr
+// buffer, and the scan error is returned instead of being swallowed.
+func drainStderr(r io.Reader, progress func(obs.Snapshot)) (timeline []obs.Snapshot, tail []string, scanErr error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -183,17 +263,26 @@ func drainStderr(r io.Reader, progress func(obs.Snapshot)) (timeline []obs.Snaps
 			tail = tail[len(tail)-errTailLines:]
 		}
 	}
-	return timeline, tail
+	if scanErr = sc.Err(); scanErr != nil {
+		io.Copy(io.Discard, r)
+	}
+	return timeline, tail, scanErr
 }
 
 // BuildAndRun is the one-shot pipeline: compile, execute, and record the
 // compile time in the results.
 func BuildAndRun(p *codegen.Program, dir string, opts RunOptions) (*simresult.Results, error) {
+	return BuildAndRunContext(context.Background(), p, dir, opts)
+}
+
+// BuildAndRunContext is BuildAndRun with the execution phase bounded by
+// ctx (compilation is not interrupted; `go build` is bounded and safe).
+func BuildAndRunContext(ctx context.Context, p *codegen.Program, dir string, opts RunOptions) (*simresult.Results, error) {
 	bin, compileTime, err := BuildTraced(p, dir, opts.Trace)
 	if err != nil {
 		return nil, err
 	}
-	res, err := Run(bin, opts)
+	res, err := RunContext(ctx, bin, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -200,6 +201,169 @@ echo '{"model":"F","engine":"AccMoS","steps":200}'
 	}
 	if res.Timeline[0].Coverage != 50 || !res.Timeline[1].Final || res.Timeline[1].Diags != 1 {
 		t.Errorf("timeline misdecoded: %+v", res.Timeline)
+	}
+}
+
+// hungBinary stands in for a wedged generated program: the shell spawns a
+// child that sleeps far past any test deadline, so only a process-group
+// kill can unblock the stderr drain.
+func hungBinary(t *testing.T) string {
+	t.Helper()
+	return fakeBinary(t, "echo wedged >&2\nsleep 100 &\nwait\n")
+}
+
+func TestRunTimeoutKillsHungBinary(t *testing.T) {
+	bin := hungBinary(t)
+	start := time.Now()
+	_, err := harness.Run(bin, harness.RunOptions{Steps: 1, Timeout: 250 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("a hung binary must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "250ms timeout") {
+		t.Errorf("error must name the deadline: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("kill took %v; want within a few hundred ms of the 250ms deadline", elapsed)
+	}
+}
+
+func TestRunContextCancelKillsBinary(t *testing.T) {
+	bin := hungBinary(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := harness.RunContext(ctx, bin, harness.RunOptions{Steps: 1})
+	if err == nil {
+		t.Fatal("cancellation must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("error must name the cancellation: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("kill took %v after a 100ms cancel", elapsed)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := harness.RunContext(ctx, "/nonexistent/bin", harness.RunOptions{Steps: 1}); err == nil {
+		t.Fatal("a cancelled context must fail before starting the binary")
+	}
+}
+
+func TestRunSurvivesOversizedStderrLine(t *testing.T) {
+	// A diagnostic line beyond the 1 MiB scanner cap must not leave the
+	// pipe undrained (which would deadlock cmd.Wait): the run still
+	// completes and decodes its results.
+	bin := fakeBinary(t, `
+head -c 2097152 /dev/zero | tr '\0' 'x' >&2
+echo >&2
+echo '{"model":"F","engine":"AccMoS","steps":7}'
+`)
+	res, err := harness.Run(bin, harness.RunOptions{Steps: 7})
+	if err != nil {
+		t.Fatalf("oversized stderr line broke a successful run: %v", err)
+	}
+	if res.Steps != 7 {
+		t.Errorf("results corrupted: %+v", res)
+	}
+}
+
+func TestRunErrorSurfacesStderrScanError(t *testing.T) {
+	bin := fakeBinary(t, `
+echo 'before the flood' >&2
+head -c 2097152 /dev/zero | tr '\0' 'x' >&2
+echo >&2
+exit 1
+`)
+	_, err := harness.Run(bin, harness.RunOptions{Steps: 1})
+	if err == nil {
+		t.Fatal("exit 1 must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "stderr scan aborted") {
+		t.Errorf("error must surface the scanner failure: %v", err)
+	}
+}
+
+func TestRunSubMillisecondBudgetClamped(t *testing.T) {
+	// The embedded default step count is enormous: if a 500µs budget were
+	// dropped (the old -budget-ms=0 bug), the binary would fall back to
+	// it and this test would time out instead of finishing in ~1ms.
+	m := model.NewBuilder("HB").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "2")).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Generate(c, codegen.Options{
+		TestCases: testcase.NewRandomSet(1, 1, -1, 1), DefaultSteps: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _, err := harness.Build(p, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(bin, harness.RunOptions{
+		Budget:  500 * time.Microsecond,
+		Timeout: 30 * time.Second, // backstop so a regression fails fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("clamped budget executed no steps")
+	}
+	if res.Steps == 1<<40 {
+		t.Error("budget was dropped: the run used the default step count")
+	}
+}
+
+func TestSharedWorkDirDistinctPrograms(t *testing.T) {
+	// m.1 and m_1 sanitize to the same name; the content-hash suffix must
+	// keep their sources and binaries apart in one shared WorkDir.
+	src := func(steps string) string {
+		return `package main
+import "fmt"
+func main() { fmt.Println(` + "`" + `{"model":"X","engine":"AccMoS","steps":` + steps + `}` + "`" + `) }
+`
+	}
+	dir := t.TempDir()
+	pa := &codegen.Program{Model: "m.1", Source: src("1")}
+	pb := &codegen.Program{Model: "m_1", Source: src("2")}
+	binA, _, err := harness.Build(pa, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binB, _, err := harness.Build(pb, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binA == binB {
+		t.Fatalf("distinct programs share the binary path %s", binA)
+	}
+	// Both binaries must still exist and behave as their own program —
+	// i.e. the second build must not have overwritten the first.
+	resA, err := harness.Run(binA, harness.RunOptions{Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := harness.Run(binB, harness.RunOptions{Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Steps != 1 || resB.Steps != 2 {
+		t.Errorf("binaries crossed: steps %d / %d, want 1 / 2", resA.Steps, resB.Steps)
 	}
 }
 

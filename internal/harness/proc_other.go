@@ -1,0 +1,16 @@
+//go:build !unix
+
+package harness
+
+import "os/exec"
+
+// setProcGroup is a no-op where process groups are unavailable; the
+// fallback kill below still terminates the immediate child.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killProcGroup kills the immediate child process.
+func killProcGroup(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+}

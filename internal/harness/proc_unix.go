@@ -1,0 +1,29 @@
+//go:build unix
+
+package harness
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup places the child in its own process group, so cancellation
+// can kill the whole tree a generated binary may have spawned — not just
+// the immediate child, which would leave grandchildren holding the stderr
+// pipe open and the harness blocked on EOF.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProcGroup force-kills the child's process group, falling back to
+// the single process if the group signal fails (e.g. the group leader
+// already exited). Safe to call concurrently with cmd.Wait.
+func killProcGroup(cmd *exec.Cmd) {
+	p := cmd.Process
+	if p == nil {
+		return
+	}
+	if err := syscall.Kill(-p.Pid, syscall.SIGKILL); err != nil {
+		p.Kill()
+	}
+}

@@ -20,6 +20,14 @@ type Snapshot struct {
 	Diags        int64   `json:"diags"`
 	// Final marks the snapshot emitted after the simulation loop exits.
 	Final bool `json:"final,omitempty"`
+
+	// Worker and Suite attribute snapshots flowing out of a parallel
+	// sweep: the 1-based worker that observed the snapshot and the
+	// 1-based suite index within the sweep. Both are zero (and omitted
+	// from the JSON encoding) outside a sweep, so single-run heartbeat
+	// streams are unchanged.
+	Worker int `json:"worker,omitempty"`
+	Suite  int `json:"suite,omitempty"`
 }
 
 // Elapsed returns the run time at the snapshot.
