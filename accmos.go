@@ -23,6 +23,7 @@
 package accmos
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -72,6 +73,22 @@ type (
 // NewTracer starts a pipeline phase tracer for Options.Trace.
 func NewTracer() *Tracer { return obs.NewTracer() }
 
+// BuildCache memoises compiled generated programs by content hash; see
+// Options.Cache. CacheStats snapshots its hit/miss/eviction counters.
+type (
+	BuildCache = harness.BuildCache
+	CacheStats = harness.CacheStats
+)
+
+// NewBuildCache creates a private build cache rooted at dir ("" = a
+// process-lifetime temp directory). A long-lived service should bound it
+// with SetLimit.
+func NewBuildCache(dir string) *BuildCache { return harness.NewBuildCache(dir) }
+
+// DefaultBuildCache returns the process-wide cache used when neither
+// Options.Cache nor Options.WorkDir is set.
+func DefaultBuildCache() *BuildCache { return harness.DefaultCache }
+
 // Diagnosis kinds (see internal/diagnose for the full catalogue).
 const (
 	WrapOnOverflow   = diagnose.WrapOnOverflow
@@ -102,6 +119,26 @@ func LoadModel(path string) (*Model, error) {
 		return irjson.ReadModelFile(path)
 	}
 	return slx.ReadFile(path)
+}
+
+// LoadModelBytes parses a model from an in-memory document — the
+// submission path of a network service, where no file exists. The format
+// is auto-detected: a document whose first non-space byte is '{' is JSON
+// IR, anything else is the two-part SLX XML.
+func LoadModelBytes(data []byte) (*Model, error) {
+	if isJSONDoc(data) {
+		doc, err := irjson.Decode(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return doc.ToModel()
+	}
+	return slx.Decode(bytes.NewReader(data))
+}
+
+func isJSONDoc(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
 }
 
 // SaveModel writes a model file, selecting the format by extension like
@@ -157,6 +194,12 @@ type Options struct {
 	// options reuse the compiled binary instead of re-invoking go build).
 	WorkDir string
 
+	// Cache overrides the process-wide build cache for this call — a
+	// long-lived service gives each daemon instance its own bounded
+	// cache instead of sharing the global one. Ignored when WorkDir pins
+	// the artifacts.
+	Cache *BuildCache
+
 	// Timeout kills a generated-binary execution (its whole process
 	// group) that exceeds this wall-clock deadline, turning a wedged or
 	// runaway program into an error instead of a hang. Zero = no
@@ -203,6 +246,11 @@ func (o *Options) steps() int64 {
 type Result struct {
 	*simresult.Results
 	layout *coverage.Layout
+
+	// CacheHit reports that the generated binary came from the build
+	// cache (CompileNanos is then the original build's amortised cost) —
+	// how a serving layer proves cross-request compile amortization.
+	CacheHit bool
 }
 
 // CoverageReport computes the four coverage percentages, or a zero report
@@ -321,13 +369,14 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	bin, compileTime, err := buildProgram(prog, &opts)
+	bin, compileTime, hit, err := buildProgram(prog, &opts)
 	if err != nil {
 		return nil, err
 	}
 	res, err := harness.RunContext(ctx, bin, harness.RunOptions{
 		Steps:     opts.steps(),
 		Budget:    opts.Budget,
+		Model:     m.Name,
 		Timeout:   opts.Timeout,
 		Heartbeat: opts.progressEvery(),
 		Progress:  opts.Progress,
@@ -337,19 +386,23 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		return nil, err
 	}
 	res.CompileNanos = compileTime.Nanoseconds()
-	return &Result{Results: res, layout: prog.Layout}, nil
+	return &Result{Results: res, layout: prog.Layout, CacheHit: hit}, nil
 }
 
 // buildProgram compiles prog honouring the WorkDir contract: a pinned
 // WorkDir gets a fresh uncached build (the caller wants inspectable
-// artifacts there); otherwise the process-wide content-hash cache serves
-// repeated builds of the same program.
-func buildProgram(prog *codegen.Program, opts *Options) (bin string, compileTime time.Duration, err error) {
+// artifacts there); otherwise a content-hash cache — Options.Cache, or
+// the process-wide default — serves repeated builds of the same program.
+func buildProgram(prog *codegen.Program, opts *Options) (bin string, compileTime time.Duration, hit bool, err error) {
 	if opts.WorkDir != "" {
-		return harness.BuildTraced(prog, opts.WorkDir, opts.Trace)
+		bin, compileTime, err = harness.BuildTraced(prog, opts.WorkDir, opts.Trace)
+		return bin, compileTime, false, err
 	}
-	bin, compileTime, _, err = harness.DefaultCache.Build(prog, opts.Trace)
-	return bin, compileTime, err
+	cache := opts.Cache
+	if cache == nil {
+		cache = harness.DefaultCache
+	}
+	return cache.Build(prog, opts.Trace)
 }
 
 // SweepResult aggregates a multi-suite coverage sweep.
@@ -403,7 +456,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 	if err != nil {
 		return nil, err
 	}
-	bin, compileTime, err := buildProgram(prog, &opts)
+	bin, compileTime, cacheHit, err := buildProgram(prog, &opts)
 	if err != nil {
 		return nil, err
 	}
@@ -445,6 +498,8 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 					Steps:     opts.steps(),
 					Budget:    opts.Budget,
 					SeedXor:   seedXors[i],
+					Model:     m.Name,
+					Suite:     i + 1,
 					Timeout:   opts.Timeout,
 					Heartbeat: opts.progressEvery(),
 					Trace:     opts.Trace,
@@ -473,7 +528,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 						continue
 					}
 				}
-				runs[i] = &Result{Results: res, layout: prog.Layout}
+				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit}
 			}
 		}(w)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -37,6 +38,7 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write machine-readable benchmark rows (accmos-metrics/v1) to this file")
 		heartbeatMS = flag.Int64("heartbeat-ms", 25, "progress/heartbeat interval for -metrics-json timelines (0 disables)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+		daemon      = flag.String("daemon", "", "drive table2 through a running accmosd at this base URL (e.g. http://localhost:7070) instead of in-process")
 	)
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -72,14 +74,23 @@ func main() {
 	ran := false
 	if want("table2") {
 		ran = true
-		rows, err := experiments.Table2(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		experiments.FormatTable2(os.Stdout, rows)
-		fmt.Println()
-		if metrics != nil {
-			metrics.AddTable2(rows)
+		if *daemon != "" {
+			rows, err := experiments.RemoteTable2(context.Background(), cfg, *daemon)
+			if err != nil {
+				fatal(err)
+			}
+			experiments.FormatRemoteTable2(os.Stdout, rows)
+			fmt.Println()
+		} else {
+			rows, err := experiments.Table2(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			experiments.FormatTable2(os.Stdout, rows)
+			fmt.Println()
+			if metrics != nil {
+				metrics.AddTable2(rows)
+			}
 		}
 	}
 	if want("table3") {

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"accmos/internal/benchmodels"
+	"accmos/internal/server"
+	"accmos/internal/slx"
+)
+
+// Client drives an accmosd daemon over its HTTP API — the experiment
+// harness's remote mode. Where the in-process Table 2 amortizes compiles
+// within one invocation, the client proves the daemon amortizes them
+// ACROSS requests: two identical submissions, one compile.
+type Client struct {
+	// BaseURL roots the daemon's API, e.g. "http://localhost:7070".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Poll is the job-status polling interval (default 50 ms).
+	Poll time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 50 * time.Millisecond
+}
+
+// Submit posts one job and returns its id.
+func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("experiments: encoding submission: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(c.BaseURL, "/")+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return "", fmt.Errorf("experiments: submitting job: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("experiments: daemon refused job: %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var ack server.SubmitResponse
+	if err := json.Unmarshal(payload, &ack); err != nil {
+		return "", fmt.Errorf("experiments: decoding submit response: %w", err)
+	}
+	return ack.ID, nil
+}
+
+// Job fetches one job's current view.
+func (c *Client) Job(ctx context.Context, id string) (*server.JobView, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.BaseURL, "/")+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: polling job %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("experiments: job %s: %s: %s", id, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var view server.JobView
+	if err := json.Unmarshal(payload, &view); err != nil {
+		return nil, fmt.Errorf("experiments: decoding job %s: %w", id, err)
+	}
+	return &view, nil
+}
+
+// Wait polls until the job reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string) (*server.JobView, error) {
+	ticker := time.NewTicker(c.poll())
+	defer ticker.Stop()
+	for {
+		view, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if view.State.Terminal() {
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("experiments: waiting for job %s: %w", id, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// Run submits and waits.
+func (c *Client) Run(ctx context.Context, req server.SubmitRequest) (*server.JobView, error) {
+	id, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, id)
+}
+
+// RemoteRow is one model's cross-request amortization measurement: the
+// same submission issued twice against the daemon. Cold pays the
+// compile; Warm must hit the cache.
+type RemoteRow struct {
+	Model string
+	Steps int64
+
+	// Cold/Warm are end-to-end run spans (queue wait excluded).
+	Cold, Warm time.Duration
+	// ColdCompile/WarmCompile are the traced compile-phase spans: warm
+	// must be ~zero, proving the second request's latency excludes the
+	// compile entirely.
+	ColdCompile, WarmCompile time.Duration
+	// WarmHit reports the daemon's cache served the second submission.
+	WarmHit bool
+}
+
+// RemoteTable2 drives the Table 2 benchmark set through a running accmosd
+// daemon, submitting every model twice to prove cross-request compile
+// amortization. Models are serialized to SLX and travel over the wire
+// like any third-party submission would.
+func RemoteTable2(ctx context.Context, cfg Config, baseURL string) ([]RemoteRow, error) {
+	cfg.fillDefaults()
+	client := &Client{BaseURL: baseURL}
+	rows := make([]RemoteRow, 0, len(cfg.Models))
+	for _, name := range cfg.Models {
+		m, err := benchmodels.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		var doc bytes.Buffer
+		if err := slx.Encode(&doc, m); err != nil {
+			return nil, fmt.Errorf("experiments: serializing %s: %w", name, err)
+		}
+		req := server.SubmitRequest{
+			Model:    doc.String(),
+			Steps:    cfg.Steps,
+			Coverage: true,
+			Diagnose: true,
+			Seed:     cfg.Seed,
+			Lo:       -100,
+			Hi:       100,
+		}
+		if cfg.Timeout > 0 {
+			req.TimeoutMS = cfg.Timeout.Milliseconds()
+		}
+		row := RemoteRow{Model: name, Steps: cfg.Steps}
+		cold, err := client.Run(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if cold.State != server.JobDone {
+			return nil, fmt.Errorf("experiments: %s cold job %s: %s", name, cold.ID, cold.Error)
+		}
+		warm, err := client.Run(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if warm.State != server.JobDone {
+			return nil, fmt.Errorf("experiments: %s warm job %s: %s", name, warm.ID, warm.Error)
+		}
+		row.Cold = time.Duration(cold.RunNanos)
+		row.Warm = time.Duration(warm.RunNanos)
+		row.ColdCompile = time.Duration(cold.Phases["compile"])
+		row.WarmCompile = time.Duration(warm.Phases["compile"])
+		row.WarmHit = warm.CacheHit
+		cfg.logf("remote table2 %s: cold %v (compile %v) warm %v (compile %v, hit %v)",
+			name, row.Cold, row.ColdCompile, row.Warm, row.WarmCompile, row.WarmHit)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -159,3 +159,94 @@ func TestBuildCacheCachesCompileErrors(t *testing.T) {
 		t.Errorf("cached error lost its diagnostics: %v", err2)
 	}
 }
+
+func TestBuildCacheLRUEvictionAndStats(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+	cache.SetLimit(2)
+
+	p1 := cacheProgram(t, 100)
+	p2 := cacheProgram(t, 200)
+	p3 := cacheProgram(t, 300)
+
+	bin1, _, _, err := cache.Build(p1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin2, _, _, err := cache.Build(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch p1 so p2 becomes the least recently used.
+	if _, _, hit, err := cache.Build(p1, nil); err != nil || !hit {
+		t.Fatalf("touching p1: hit=%v err=%v", hit, err)
+	}
+	// Inserting p3 overflows the limit and must evict p2 — including its
+	// artifacts on disk.
+	if _, _, _, err := cache.Build(p3, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := cache.Stats()
+	if st.Entries != 2 || st.Limit != 2 {
+		t.Errorf("stats after eviction: %+v, want 2 entries / limit 2", st)
+	}
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 {
+		t.Errorf("counters: %+v, want hits 1 / misses 3 / evictions 1", st)
+	}
+	if got, want := st.HitRate(), 0.25; got != want {
+		t.Errorf("hit rate %v, want %v", got, want)
+	}
+	if _, err := os.Stat(bin2); !os.IsNotExist(err) {
+		t.Errorf("evicted binary still on disk: %v", err)
+	}
+	if _, err := os.Stat(bin1); err != nil {
+		t.Errorf("retained binary removed: %v", err)
+	}
+
+	// The evicted program rebuilds as a miss and evicts the new LRU (p1).
+	if _, _, hit, err := cache.Build(p2, nil); err != nil || hit {
+		t.Fatalf("rebuilding evicted p2: hit=%v err=%v", hit, err)
+	}
+	st = cache.Stats()
+	if st.Misses != 4 || st.Evictions != 2 {
+		t.Errorf("counters after rebuild: %+v, want misses 4 / evictions 2", st)
+	}
+	if _, err := os.Stat(bin1); !os.IsNotExist(err) {
+		t.Errorf("p1 should be the second eviction: %v", err)
+	}
+}
+
+func TestBuildCacheSetLimitShrinksImmediately(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+
+	for _, steps := range []int64{100, 200, 300} {
+		if _, _, _, err := cache.Build(cacheProgram(t, steps), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 3 || st.Limit != 0 {
+		t.Fatalf("unbounded cache stats: %+v", st)
+	}
+	cache.SetLimit(1)
+	st := cache.Stats()
+	if st.Entries != 1 || st.Evictions != 2 {
+		t.Errorf("after SetLimit(1): %+v, want 1 entry / 2 evictions", st)
+	}
+}
+
+func TestBuildCacheRemoveResetsEntriesKeepsCounters(t *testing.T) {
+	cache := harness.NewBuildCache(t.TempDir())
+	if _, _, _, err := cache.Build(cacheProgram(t, 100), nil); err != nil {
+		t.Fatal(err)
+	}
+	cache.Remove()
+	st := cache.Stats()
+	if st.Entries != 0 {
+		t.Errorf("entries survived Remove: %+v", st)
+	}
+	if st.Misses != 1 {
+		t.Errorf("counters should survive Remove: %+v", st)
+	}
+}

@@ -40,15 +40,11 @@ func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.D
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, fmt.Errorf("harness: %w", err)
 	}
-	// Artifact names carry a short content hash: distinct models whose
-	// names sanitize identically (m.1 vs m_1) get distinct binaries, and
-	// two builds sharing one WorkDir never race on a common main.go.
-	tag := sanitizeFile(p.Model) + "_" + shortHash(p)
-	srcPath := filepath.Join(dir, "sim_"+tag+".go")
+	srcPath := srcPathFor(p, dir)
 	if err := os.WriteFile(srcPath, []byte(p.Source), 0o644); err != nil {
 		return "", 0, fmt.Errorf("harness: writing source: %w", err)
 	}
-	binPath := filepath.Join(dir, "sim_"+tag)
+	binPath := binPathFor(p, dir)
 	start := time.Now()
 	cmd := exec.Command("go", "build", "-o", binPath, srcPath)
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOFLAGS=-mod=mod")
@@ -58,6 +54,24 @@ func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.D
 		return "", 0, fmt.Errorf("harness: compiling generated program: %v\n%s", err, annotate(p.Source, stderr.String()))
 	}
 	return binPath, time.Since(start), nil
+}
+
+// artifactTag names a program's on-disk artifacts. It carries a short
+// content hash: distinct models whose names sanitize identically (m.1 vs
+// m_1) get distinct binaries, and two builds sharing one WorkDir never
+// race on a common main.go.
+func artifactTag(p *codegen.Program) string {
+	return "sim_" + sanitizeFile(p.Model) + "_" + shortHash(p)
+}
+
+// srcPathFor returns the generated-source path a build under dir uses.
+func srcPathFor(p *codegen.Program, dir string) string {
+	return filepath.Join(dir, artifactTag(p)+".go")
+}
+
+// binPathFor returns the binary path a build under dir produces.
+func binPathFor(p *codegen.Program, dir string) string {
+	return filepath.Join(dir, artifactTag(p))
 }
 
 // shortHash is the artifact-name fragment of a program's content hash.
@@ -124,6 +138,15 @@ type RunOptions struct {
 	// (-seed-xor), so one binary sweeps many random suites.
 	SeedXor uint64
 
+	// Model and Suite label this run in errors: in a multi-model,
+	// multi-suite workload (a parallel sweep, or the accmosd daemon
+	// serving many jobs) a bare binary path does not say which model or
+	// which sweep suite died. Model is the model name; Suite is the
+	// 1-based suite index within a sweep (0 outside one). Both are
+	// optional and purely diagnostic.
+	Model string
+	Suite int
+
 	// Timeout kills the binary (and its process group) when it runs
 	// longer than this wall clock span — the guard against a wedged or
 	// runaway generated program. Zero means no deadline.
@@ -136,6 +159,25 @@ type RunOptions struct {
 	Progress func(obs.Snapshot)
 	// Trace records a "run" span when non-nil.
 	Trace *obs.Tracer
+}
+
+// label renders the run's error identity: the model name and suite tag
+// when the caller supplied them, always ending with the binary path.
+// "CSEV suite 3 (/tmp/.../sim_CSEV_ab12cd34)" or just the path.
+func (o *RunOptions) label(binPath string) string {
+	var sb strings.Builder
+	if o.Model != "" {
+		sb.WriteString(o.Model)
+		sb.WriteByte(' ')
+	}
+	if o.Suite > 0 {
+		fmt.Fprintf(&sb, "suite %d ", o.Suite)
+	}
+	if sb.Len() > 0 {
+		fmt.Fprintf(&sb, "(%s)", binPath)
+		return sb.String()
+	}
+	return binPath
 }
 
 // errTailLines bounds how many non-heartbeat stderr lines a run error
@@ -164,7 +206,7 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		defer cancel()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("harness: running %s: %w", binPath, err)
+		return nil, fmt.Errorf("harness: running %s: %w", opts.label(binPath), err)
 	}
 	args := []string{}
 	if opts.SeedXor != 0 {
@@ -198,7 +240,7 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("harness: starting %s: %w", binPath, err)
+		return nil, fmt.Errorf("harness: starting %s: %w", opts.label(binPath), err)
 	}
 	// Watch for cancellation while the binary runs; killing the process
 	// group closes the stderr pipe, so the drain below always reaches EOF
@@ -225,12 +267,12 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 				deadline = fmt.Sprintf("%v timeout", opts.Timeout)
 			}
 			return nil, fmt.Errorf("harness: running %s: killed after exceeding the %s: %v\n%s",
-				binPath, deadline, waitErr, strings.Join(tail, "\n"))
+				opts.label(binPath), deadline, waitErr, strings.Join(tail, "\n"))
 		case ctx.Err() != nil:
 			return nil, fmt.Errorf("harness: running %s: killed: %w\n%s",
-				binPath, context.Canceled, strings.Join(tail, "\n"))
+				opts.label(binPath), context.Canceled, strings.Join(tail, "\n"))
 		}
-		return nil, fmt.Errorf("harness: running %s: %v\n%s", binPath, waitErr, strings.Join(tail, "\n"))
+		return nil, fmt.Errorf("harness: running %s: %v\n%s", opts.label(binPath), waitErr, strings.Join(tail, "\n"))
 	}
 	var res simresult.Results
 	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {

@@ -390,3 +390,31 @@ func TestRunErrorCarriesDiagnosticTailNotHeartbeats(t *testing.T) {
 		t.Errorf("heartbeats leaked into the run error: %v", msg)
 	}
 }
+
+func TestRunErrorsCarryModelAndSuiteLabel(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-binary")
+	_, err := harness.Run(missing, harness.RunOptions{Model: "CSEV", Suite: 3})
+	if err == nil {
+		t.Fatal("running a missing binary must fail")
+	}
+	for _, want := range []string{"CSEV", "suite 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+
+	// Without labels the error falls back to the binary path alone.
+	_, err = harness.Run(missing, harness.RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), missing) {
+		t.Fatalf("unlabeled error should carry the path: %v", err)
+	}
+}
+
+func TestRunContextCanceledErrorIsLabeled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := harness.RunContext(ctx, "/nonexistent", harness.RunOptions{Model: "M7"})
+	if err == nil || !strings.Contains(err.Error(), "M7") {
+		t.Fatalf("pre-canceled run error should name the model: %v", err)
+	}
+}

@@ -20,11 +20,21 @@ import (
 // Severity ranks a finding.
 type Severity string
 
-// Severities.
+// Severities. Error findings mark models that must not reach code
+// generation (a serving layer rejects them at admission); warnings and
+// infos are advisory.
 const (
+	Error   Severity = "error"
 	Warning Severity = "warning"
 	Info    Severity = "info"
 )
+
+// MaxSignalWidth caps the vector width any one signal may carry. Code
+// generation materialises vector signals as fixed-size arrays in the
+// generated program, so an absurd OutWidth in a submitted model would
+// balloon generated-source size and compile time — a resource-exhaustion
+// hazard for a long-lived daemon accepting third-party models.
+const MaxSignalWidth = 65536
 
 // Finding is one static diagnosis.
 type Finding struct {
@@ -84,6 +94,15 @@ func Check(c *actors.Compiled) []Finding {
 
 	for _, info := range c.Order {
 		a := info.Actor
+
+		// Rule: signal width beyond the supported bound — generated code
+		// would unroll into an array of that size, so a malformed or
+		// hostile model must be stopped before codegen.
+		for i, w := range info.OutWidths {
+			if w > MaxSignalWidth {
+				add(Error, info, "output %d width %d exceeds the supported maximum %d", i, w, MaxSignalWidth)
+			}
+		}
 
 		// Rule: actor influences no observable output.
 		switch a.Type {
@@ -184,10 +203,34 @@ func Check(c *actors.Compiled) []Finding {
 			return out[i].Actor < out[j].Actor
 		}
 		if out[i].Severity != out[j].Severity {
-			return out[i].Severity == Warning
+			return severityRank(out[i].Severity) < severityRank(out[j].Severity)
 		}
 		return out[i].Message < out[j].Message
 	})
+	return out
+}
+
+// severityRank orders findings within one actor: errors, then warnings,
+// then infos.
+func severityRank(s Severity) int {
+	switch s {
+	case Error:
+		return 0
+	case Warning:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Errors filters the findings that must block code generation.
+func Errors(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
 	return out
 }
 

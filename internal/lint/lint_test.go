@@ -154,3 +154,56 @@ func TestLintBenchmarksRunClean(t *testing.T) {
 		}
 	}
 }
+
+func TestLintSignalWidthError(t *testing.T) {
+	m := model.NewBuilder("L").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"), model.WithOutWidth(MaxSignalWidth+1)).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	fs := check(t, m)
+	if !hasFinding(fs, "L_G", "exceeds the supported maximum") {
+		t.Fatalf("missing width finding: %v", fs)
+	}
+	blocking := Errors(fs)
+	if len(blocking) == 0 {
+		t.Fatalf("width finding is not error severity: %v", fs)
+	}
+	for _, f := range blocking {
+		if f.Severity != Error {
+			t.Errorf("Errors returned a %s finding: %v", f.Severity, f)
+		}
+	}
+	// A width at the bound is fine.
+	ok := model.NewBuilder("L").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"), model.WithOutWidth(MaxSignalWidth)).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	if blocking := Errors(check(t, ok)); len(blocking) != 0 {
+		t.Errorf("width at the bound must not block: %v", blocking)
+	}
+}
+
+func TestLintErrorsSortFirst(t *testing.T) {
+	m := model.NewBuilder("L").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "0"), model.WithOutWidth(MaxSignalWidth+1)).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	fs := check(t, m)
+	var sawNonError bool
+	for _, f := range fs {
+		if f.Actor != "L_G" {
+			continue
+		}
+		if f.Severity != Error {
+			sawNonError = true
+		} else if sawNonError {
+			t.Fatalf("error finding sorted after a lesser severity: %v", fs)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// EncodeHeartbeat renders a snapshot as one NDJSON heartbeat line (no
+// trailing newline) in the same framing the generated runtime emits on
+// stderr, so a host process — e.g. the accmosd daemon re-broadcasting a
+// running job's progress — produces a stream ParseHeartbeat round-trips.
+func EncodeHeartbeat(s Snapshot) []byte {
+	type alias Snapshot // avoid recursing into a custom marshaller later
+	b, err := json.Marshal(struct {
+		HB int `json:"accmosHB"`
+		alias
+	}{1, alias(s)})
+	if err != nil {
+		// Snapshot is a plain value struct; Marshal cannot fail on it.
+		return append([]byte{}, heartbeatPrefix...)
+	}
+	return b
+}
+
+// fanoutBuffer bounds each subscriber's channel; a subscriber that falls
+// further behind than this loses oldest-first (progress data is lossy by
+// nature — the next snapshot supersedes the last).
+const fanoutBuffer = 64
+
+// Fanout broadcasts progress snapshots to any number of late-joining
+// subscribers — the daemon's bridge between ONE running simulation
+// (whose Options.Progress callback publishes here) and MANY live
+// /v1/jobs/{id}/events streams. New subscribers first replay the
+// bounded history, so a client attaching mid-run still sees how the job
+// progressed. Safe for concurrent use; Publish never blocks.
+type Fanout struct {
+	mu     sync.Mutex
+	subs   map[int]chan Snapshot
+	next   int
+	replay []Snapshot // bounded history for late subscribers
+	max    int
+	closed bool
+}
+
+// NewFanout creates a fan-out retaining up to replay snapshots for late
+// subscribers (<= 0 keeps the DefaultReplay).
+func NewFanout(replay int) *Fanout {
+	if replay <= 0 {
+		replay = DefaultReplay
+	}
+	return &Fanout{subs: make(map[int]chan Snapshot), max: replay}
+}
+
+// DefaultReplay is the history window a Fanout keeps for subscribers
+// that attach after the run started.
+const DefaultReplay = 256
+
+// Publish delivers s to every subscriber and appends it to the replay
+// history. A subscriber whose buffer is full loses its oldest pending
+// snapshot rather than blocking the publisher (the simulation's progress
+// callback must never stall on a slow HTTP client).
+func (f *Fanout) Publish(s Snapshot) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.replay = append(f.replay, s)
+	if len(f.replay) > f.max {
+		f.replay = f.replay[len(f.replay)-f.max:]
+	}
+	for _, ch := range f.subs {
+		for {
+			select {
+			case ch <- s:
+			default:
+				select {
+				case <-ch: // drop oldest, retry
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+}
+
+// Subscribe returns a channel that first yields the replay history, then
+// live snapshots until the fan-out is closed (the channel is then
+// closed) or cancel is called. cancel is idempotent.
+func (f *Fanout) Subscribe() (<-chan Snapshot, func()) {
+	f.mu.Lock()
+	hist := append([]Snapshot(nil), f.replay...)
+	need := len(hist) + fanoutBuffer
+	ch := make(chan Snapshot, need)
+	for _, s := range hist {
+		ch <- s
+	}
+	if f.closed {
+		close(ch)
+		f.mu.Unlock()
+		return ch, func() {}
+	}
+	id := f.next
+	f.next++
+	f.subs[id] = ch
+	f.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			f.mu.Lock()
+			if ch, ok := f.subs[id]; ok {
+				delete(f.subs, id)
+				close(ch)
+			}
+			f.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Close ends the stream: every subscriber's channel is closed after its
+// pending snapshots drain, and future Publish calls are dropped. The
+// replay history stays readable by later Subscribe calls (they get the
+// history and an immediately-closed channel).
+func (f *Fanout) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for id, ch := range f.subs {
+		delete(f.subs, id)
+		close(ch)
+	}
+}

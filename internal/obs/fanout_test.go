@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestEncodeHeartbeatRoundTrip(t *testing.T) {
+	in := Snapshot{Model: "CSEV", Engine: "accmos", Steps: 42000, ElapsedNanos: 7, StepsPerSec: 1.5, Coverage: 0.25, Diags: 3}
+	line := EncodeHeartbeat(in)
+	if !IsHeartbeat(line) {
+		t.Fatalf("encoded line is not recognised as a heartbeat: %s", line)
+	}
+	out, ok := ParseHeartbeat(line)
+	if !ok {
+		t.Fatalf("ParseHeartbeat rejected an encoded line: %s", line)
+	}
+	if out != in {
+		t.Errorf("round trip changed the snapshot:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestFanoutReplayThenLive(t *testing.T) {
+	f := NewFanout(8)
+	f.Publish(Snapshot{Steps: 1})
+	f.Publish(Snapshot{Steps: 2})
+
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	for want := int64(1); want <= 2; want++ {
+		got := <-ch
+		if got.Steps != want {
+			t.Fatalf("replay snapshot %d: got steps %d", want, got.Steps)
+		}
+	}
+	f.Publish(Snapshot{Steps: 3})
+	if got := <-ch; got.Steps != 3 {
+		t.Fatalf("live snapshot: got steps %d, want 3", got.Steps)
+	}
+}
+
+func TestFanoutReplayBound(t *testing.T) {
+	f := NewFanout(2)
+	for i := int64(1); i <= 5; i++ {
+		f.Publish(Snapshot{Steps: i})
+	}
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	if got := <-ch; got.Steps != 4 {
+		t.Errorf("first replayed snapshot: steps %d, want 4 (history bounded to 2)", got.Steps)
+	}
+	if got := <-ch; got.Steps != 5 {
+		t.Errorf("second replayed snapshot: steps %d, want 5", got.Steps)
+	}
+}
+
+func TestFanoutCloseEndsSubscribers(t *testing.T) {
+	f := NewFanout(4)
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	f.Publish(Snapshot{Steps: 1})
+	f.Close()
+	f.Publish(Snapshot{Steps: 2}) // dropped: closed
+
+	var got []int64
+	for s := range ch {
+		got = append(got, s.Steps)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("drained %v, want just the pre-close snapshot [1]", got)
+	}
+
+	// Late subscribers still see history, then an immediately-closed
+	// channel.
+	late, lateCancel := f.Subscribe()
+	defer lateCancel()
+	if s, ok := <-late; !ok || s.Steps != 1 {
+		t.Errorf("late subscriber history: %v %v", s, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Error("late subscriber channel not closed after history")
+	}
+}
+
+func TestFanoutSlowSubscriberNeverBlocksPublisher(t *testing.T) {
+	f := NewFanout(1)
+	ch, cancel := f.Subscribe()
+	defer cancel()
+	const n = fanoutBuffer + 40
+	for i := int64(1); i <= n; i++ {
+		f.Publish(Snapshot{Steps: i}) // must not block despite no reader
+	}
+	f.Close()
+	var got []int64
+	for s := range ch {
+		got = append(got, s.Steps)
+	}
+	if len(got) == 0 || len(got) > fanoutBuffer {
+		t.Fatalf("slow subscriber drained %d snapshots, want 1..%d", len(got), fanoutBuffer)
+	}
+	if last := got[len(got)-1]; last != n {
+		t.Errorf("drop-oldest should keep the newest snapshot: last is %d, want %d", last, n)
+	}
+}

@@ -1,0 +1,182 @@
+// Package server implements accmosd, the simulation-as-a-service layer:
+// an HTTP/JSON daemon that accepts model submissions (SLX XML or JSON
+// IR), validates them with internal/lint, compiles them through a shared
+// bounded build cache, and executes them on a bounded in-process job
+// queue with per-job priorities, admission control, cancellation and
+// graceful drain. It turns the one-shot CLI pipeline into the long-lived
+// service the paper's drop-in-replacement pitch implies — where the
+// content-hash build cache finally amortizes compiles ACROSS requests,
+// not just within one process invocation.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a model           -> 202 SubmitResponse
+//	GET    /v1/jobs/{id}        job status + results     -> 200 JobView
+//	GET    /v1/jobs/{id}/events live NDJSON heartbeats   -> 200 stream
+//	DELETE /v1/jobs/{id}        cancel                   -> 200 JobView
+//	GET    /healthz             liveness / drain state
+//	GET    /metrics             queue, cache and latency counters
+package server
+
+import (
+	"time"
+
+	"accmos/internal/coverage"
+	"accmos/internal/simresult"
+)
+
+// SubmitRequest is the POST /v1/jobs body. The model document format is
+// auto-detected: a document starting with '{' is the JSON IR, anything
+// else the two-part SLX XML.
+type SubmitRequest struct {
+	// Model is the model document itself (not a path — the daemon never
+	// reads the client's filesystem).
+	Model string `json:"model"`
+
+	// Priority orders queued jobs: higher runs first, FIFO within a
+	// priority level.
+	Priority int `json:"priority,omitempty"`
+
+	// Steps bounds the simulation length (default 1000); BudgetMS bounds
+	// wall clock instead when positive.
+	Steps    int64 `json:"steps,omitempty"`
+	BudgetMS int64 `json:"budgetMs,omitempty"`
+	// TimeoutMS kills the job's generated binary past this deadline;
+	// capped by (and defaulting to) the daemon's -job-timeout.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+
+	Coverage bool `json:"coverage,omitempty"`
+	Diagnose bool `json:"diagnose,omitempty"`
+
+	// Seed (with Lo/Hi bounds, default [-1, 1]) selects deterministic
+	// uniform random stimuli; zero keeps the facade default.
+	Seed uint64  `json:"seed,omitempty"`
+	Lo   float64 `json:"lo,omitempty"`
+	Hi   float64 `json:"hi,omitempty"`
+
+	// SweepSeeds, when non-empty, runs one coverage sweep suite per seed
+	// against a single compiled binary instead of a single simulation.
+	SweepSeeds []uint64 `json:"sweepSeeds,omitempty"`
+
+	// HeartbeatMS is the progress-snapshot interval for the job's events
+	// stream (default 250 ms).
+	HeartbeatMS int64 `json:"heartbeatMs,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted job.
+type SubmitResponse struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	QueueDepth int      `json:"queueDepth"`
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: queued -> running -> done | failed | canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// LintLine is one lint finding in wire form.
+type LintLine struct {
+	Severity string `json:"severity"`
+	Actor    string `json:"actor"`
+	Message  string `json:"message"`
+}
+
+// JobView is the GET /v1/jobs/{id} payload (and the final record of an
+// events stream).
+type JobView struct {
+	ID          string     `json:"id"`
+	State       JobState   `json:"state"`
+	Model       string     `json:"model,omitempty"`
+	Priority    int        `json:"priority,omitempty"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	// QueueNanos is time spent waiting for a worker; RunNanos the
+	// execution span (admission to completion excludes neither compile
+	// nor cache effects — see Phases and CacheHit for the split).
+	QueueNanos int64 `json:"queueNanos,omitempty"`
+	RunNanos   int64 `json:"runNanos,omitempty"`
+
+	// CacheHit reports the generated binary came from the build cache,
+	// so this job paid no compile; Phases holds the traced per-phase
+	// nanoseconds (schedule/instrument/generate/compile/run).
+	CacheHit bool             `json:"cacheHit,omitempty"`
+	Phases   map[string]int64 `json:"phases,omitempty"`
+
+	// Lint carries the advisory findings recorded at admission (a model
+	// with error-severity findings is rejected and never becomes a job).
+	Lint []LintLine `json:"lint,omitempty"`
+
+	Error string `json:"error,omitempty"`
+
+	// Result holds the simulation outcome of a done single-run job;
+	// Coverage its computed report. Sweep jobs report the suite count
+	// and merged coverage instead.
+	Result         *simresult.Results `json:"result,omitempty"`
+	Coverage       *coverage.Report   `json:"coverage,omitempty"`
+	SweepRuns      int                `json:"sweepRuns,omitempty"`
+	MergedCoverage *coverage.Report   `json:"mergedCoverage,omitempty"`
+}
+
+// ErrorResponse is the structured error body every non-2xx endpoint
+// returns. Lint carries the blocking findings of a rejected submission.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on 429s.
+	RetryAfterSec int        `json:"retryAfterSec,omitempty"`
+	Lint          []LintLine `json:"lint,omitempty"`
+}
+
+// PhaseStats summarises one pipeline phase's latency distribution over
+// recent jobs.
+type PhaseStats struct {
+	Count      int64 `json:"count"`
+	TotalNanos int64 `json:"totalNanos"`
+	MaxNanos   int64 `json:"maxNanos"`
+	P50Nanos   int64 `json:"p50Nanos"`
+	P90Nanos   int64 `json:"p90Nanos"`
+	P99Nanos   int64 `json:"p99Nanos"`
+}
+
+// CacheView is the build-cache section of /metrics.
+type CacheView struct {
+	Entries   int     `json:"entries"`
+	Limit     int     `json:"limit"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// MetricsView is the GET /metrics payload.
+type MetricsView struct {
+	QueueDepth  int                   `json:"queueDepth"`
+	Running     int                   `json:"running"`
+	Workers     int                   `json:"workers"`
+	Draining    bool                  `json:"draining"`
+	UptimeNanos int64                 `json:"uptimeNanos"`
+	Jobs        map[string]int64      `json:"jobs"`
+	Cache       CacheView             `json:"cache"`
+	Phases      map[string]PhaseStats `json:"phases,omitempty"`
+}
+
+// HealthView is the GET /healthz payload.
+type HealthView struct {
+	Status     string `json:"status"` // "ok" | "draining"
+	QueueDepth int    `json:"queueDepth"`
+	Running    int    `json:"running"`
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"accmos/internal/obs"
+)
+
+// phaseSamples bounds the per-phase latency reservoir: quantiles are
+// computed over the most recent phaseSamples observations, so a
+// long-lived daemon reports current behaviour, not its whole history.
+const phaseSamples = 512
+
+// phaseHist accumulates one pipeline phase's latency distribution.
+type phaseHist struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+	ring  []int64
+	idx   int
+}
+
+func (h *phaseHist) add(d time.Duration) {
+	h.count++
+	h.total += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.ring) < phaseSamples {
+		h.ring = append(h.ring, d.Nanoseconds())
+		return
+	}
+	h.ring[h.idx] = d.Nanoseconds()
+	h.idx = (h.idx + 1) % phaseSamples
+}
+
+func (h *phaseHist) stats() PhaseStats {
+	s := PhaseStats{
+		Count:      h.count,
+		TotalNanos: h.total.Nanoseconds(),
+		MaxNanos:   h.max.Nanoseconds(),
+	}
+	if len(h.ring) == 0 {
+		return s
+	}
+	sorted := append([]int64(nil), h.ring...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	q := func(p float64) int64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s.P50Nanos, s.P90Nanos, s.P99Nanos = q(0.50), q(0.90), q(0.99)
+	return s
+}
+
+// metrics aggregates the daemon's counters; independent of the Server
+// mutex so /metrics never contends with the scheduler.
+type metrics struct {
+	mu        sync.Mutex
+	submitted int64
+	done      int64
+	failed    int64
+	canceled  int64
+	rejected  int64 // 429s: work refused by admission control
+	phases    map[string]*phaseHist
+}
+
+func newMetrics() *metrics {
+	return &metrics{phases: make(map[string]*phaseHist)}
+}
+
+func (m *metrics) count(field *int64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// recordTrace folds every span of a completed job's phase trace into the
+// per-phase histograms. Nested spans are walked depth-first, so e.g. the
+// "compile" span inside a traced pipeline lands in the "compile" bucket
+// whatever its parent.
+func (m *metrics) recordTrace(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var walk func(spans []*obs.Span)
+	walk = func(spans []*obs.Span) {
+		for _, s := range spans {
+			if d := s.Duration(); d > 0 || s.EndNanos >= s.StartNanos {
+				h := m.phases[s.Name]
+				if h == nil {
+					h = &phaseHist{}
+					m.phases[s.Name] = h
+				}
+				h.add(d)
+			}
+			walk(s.Children)
+		}
+	}
+	walk(tr.Trace().Spans)
+}
+
+func (m *metrics) jobCounts() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return map[string]int64{
+		"submitted": m.submitted,
+		"done":      m.done,
+		"failed":    m.failed,
+		"canceled":  m.canceled,
+		"rejected":  m.rejected,
+	}
+}
+
+func (m *metrics) phaseStats() map[string]PhaseStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]PhaseStats, len(m.phases))
+	for name, h := range m.phases {
+		out[name] = h.stats()
+	}
+	return out
+}

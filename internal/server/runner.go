@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	accmos "accmos"
+	"accmos/internal/obs"
+)
+
+// Runner executes one admitted job. The default is the full AccMoS
+// pipeline (PipelineRunner); tests and alternative backends substitute
+// their own via Config.Runner. progress receives live snapshots to
+// re-broadcast on the job's events stream; tr records the pipeline phase
+// spans that feed the /metrics latency histograms.
+type Runner func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*Outcome, error)
+
+// PipelineRunner builds the production runner: generate, compile through
+// the shared bounded cache, execute under the job's context, and shape
+// the outcome for the job record. One cache across all jobs is the whole
+// point of the daemon — the second submission of an identical model pays
+// no compile.
+func PipelineRunner(cache *accmos.BuildCache) Runner {
+	return func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*Outcome, error) {
+		opts := accmos.Options{
+			Steps:         spec.Steps,
+			Budget:        spec.Budget,
+			Coverage:      spec.Coverage,
+			Diagnose:      spec.Diagnose,
+			Timeout:       spec.Timeout,
+			Cache:         cache,
+			Trace:         tr,
+			Progress:      progress,
+			ProgressEvery: spec.Heartbeat,
+		}
+		if spec.Seed != 0 {
+			lo, hi := spec.Lo, spec.Hi
+			if lo == 0 && hi == 0 {
+				lo, hi = -1, 1
+			}
+			opts.TestCases = accmos.RandomTestCases(spec.Model, spec.Seed, lo, hi)
+		}
+
+		if len(spec.SweepSeeds) > 0 {
+			sw, err := accmos.SweepContext(ctx, spec.Model, opts, spec.SweepSeeds)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			merged := sw.MergedCoverage()
+			out := &Outcome{SweepRuns: len(sw.Runs), Merged: &merged}
+			if len(sw.Runs) > 0 && sw.Runs[0] != nil {
+				out.CacheHit = sw.Runs[0].CacheHit
+			}
+			return out, nil
+		}
+
+		res, err := accmos.SimulateContext(ctx, spec.Model, opts)
+		if err != nil {
+			return nil, err
+		}
+		out := &Outcome{Results: res.Results, CacheHit: res.CacheHit}
+		if spec.Coverage {
+			rep := res.CoverageReport()
+			out.Coverage = &rep
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,534 @@
+package server
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/lint"
+	"accmos/internal/obs"
+)
+
+// Config shapes one daemon instance.
+type Config struct {
+	// Workers is the number of concurrent job executors (default
+	// GOMAXPROCS). Each running job may itself spawn a generated binary,
+	// so this is the daemon's simulation concurrency.
+	Workers int
+	// QueueDepth bounds the number of ADMITTED-but-not-running jobs;
+	// beyond it, submissions get 429 + Retry-After instead of unbounded
+	// memory growth (default 64).
+	QueueDepth int
+	// CacheEntries bounds the shared build cache (default 128; <0 leaves
+	// it unbounded). Ignored when Cache is supplied.
+	CacheEntries int
+	// Cache overrides the daemon's private build cache, e.g. to share
+	// one across embedded servers in tests.
+	Cache *accmos.BuildCache
+	// RetryAfter is the hint returned with 429s (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a submission body (default 8 MiB).
+	MaxBodyBytes int64
+	// JobTimeout caps every job's execution; a request asking for more
+	// (or for none) is clamped to it. Zero = no cap.
+	JobTimeout time.Duration
+	// RetainJobs bounds how many finished job records stay queryable
+	// (default 4096, oldest evicted first).
+	RetainJobs int
+	// Runner executes admitted jobs (default: PipelineRunner over the
+	// daemon's cache). A test seam and a hook for remote backends.
+	Runner Runner
+	// Logf receives operational log lines (default: discarded).
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// defaultHeartbeat is the events-stream snapshot interval when a
+// submission does not choose one.
+const defaultHeartbeat = 250 * time.Millisecond
+
+// Server is one accmosd instance: job store, scheduler and HTTP surface.
+// Create with New, serve its Handler, stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *accmos.BuildCache
+	mux   *http.ServeMux
+	start time.Time
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     jobHeap
+	jobs      map[string]*job
+	doneOrder []string // terminal job ids, oldest first (retention)
+	seq       int64
+	running   int
+	draining  bool
+
+	wg      sync.WaitGroup
+	metrics *metrics
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	cache := cfg.Cache
+	if cache == nil {
+		cache = accmos.NewBuildCache("")
+		if cfg.CacheEntries > 0 {
+			cache.SetLimit(cfg.CacheEntries)
+		}
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = PipelineRunner(cache)
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		jobs:    make(map[string]*job),
+		start:   time.Now(),
+		metrics: newMetrics(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the daemon's build cache (read-only use: stats).
+func (s *Server) Cache() *accmos.BuildCache { return s.cache }
+
+// Drain gracefully stops the scheduler: new submissions are refused with
+// 503, already-admitted jobs (queued and running) are completed, and the
+// call returns when the pool is idle. If ctx expires first, every
+// remaining job is canceled, the pool is awaited, and the context error
+// is returned — bounded shutdown either way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.queue {
+			j.cancelRequested = true
+		}
+		for _, j := range s.jobs {
+			if j.state == JobRunning && j.cancelRun != nil {
+				j.cancelRequested = true
+				j.cancelRun()
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// worker pops queued jobs until the server drains dry.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return // draining and drained
+		}
+		j := heap.Pop(&s.queue).(*job)
+		if j.state != JobQueued { // canceled while queued
+			s.mu.Unlock()
+			continue
+		}
+		if j.cancelRequested {
+			s.finishLocked(j, JobCanceled, "canceled while queued", nil)
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.state = JobRunning
+		j.started = time.Now()
+		j.cancelRun = cancel
+		s.running++
+		s.mu.Unlock()
+
+		s.execute(j, ctx, cancel)
+	}
+}
+
+func (s *Server) execute(j *job, ctx context.Context, cancel context.CancelFunc) {
+	defer cancel()
+	tr := accmos.NewTracer()
+	outcome, err := s.cfg.Runner(ctx, j.spec, tr, j.fanout.Publish)
+
+	s.mu.Lock()
+	s.running--
+	switch {
+	case err == nil:
+		j.outcome = outcome
+		if outcome != nil {
+			j.cacheHit = outcome.CacheHit
+		}
+		s.finishLocked(j, JobDone, "", tr)
+	case j.cancelRequested || errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		s.finishLocked(j, JobCanceled, err.Error(), tr)
+	default:
+		s.finishLocked(j, JobFailed, err.Error(), tr)
+	}
+	s.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state: stamps times, folds the
+// trace into the metrics histograms and the job's phase map, closes the
+// events stream, and enforces finished-job retention. Caller holds s.mu.
+func (s *Server) finishLocked(j *job, state JobState, errMsg string, tr *accmos.Tracer) {
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.cancelRun = nil
+	if tr != nil {
+		s.metrics.recordTrace(tr)
+		j.phases = phaseTotals(tr)
+	}
+	switch state {
+	case JobDone:
+		s.metrics.count(&s.metrics.done)
+	case JobFailed:
+		s.metrics.count(&s.metrics.failed)
+	case JobCanceled:
+		s.metrics.count(&s.metrics.canceled)
+	}
+	j.fanout.Close()
+	close(j.done)
+	s.cfg.Logf("accmosd: job %s %s (%s)", j.id, state, j.spec.ModelName)
+
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	s.cond.Broadcast()
+}
+
+// phaseTotals flattens a trace into per-phase total nanoseconds.
+func phaseTotals(tr *accmos.Tracer) map[string]int64 {
+	out := make(map[string]int64)
+	var walk func(spans []*obs.Span)
+	walk = func(spans []*obs.Span) {
+		for _, sp := range spans {
+			out[sp.Name] += sp.Duration().Nanoseconds()
+			walk(sp.Children)
+		}
+	}
+	walk(tr.Trace().Spans)
+	return out
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, "submission has no model document")
+		return
+	}
+
+	// Validate before admission: parse, elaborate, lint. A model that
+	// cannot be scheduled — or that lint marks as unsafe to hand to
+	// codegen — never occupies a queue slot.
+	m, err := accmos.LoadModelBytes([]byte(req.Model))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing model: %v", err)
+		return
+	}
+	compiled, err := accmos.Compile(m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "elaborating model: %v", err)
+		return
+	}
+	findings := lint.Check(compiled)
+	if blocking := lint.Errors(findings); len(blocking) > 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("model %s failed lint with %d error(s)", m.Name, len(blocking)),
+			Lint:  lintLines(blocking),
+		})
+		return
+	}
+
+	spec := JobSpec{
+		ModelName:  m.Name,
+		Model:      m,
+		Steps:      req.Steps,
+		Budget:     time.Duration(req.BudgetMS) * time.Millisecond,
+		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		Coverage:   req.Coverage,
+		Diagnose:   req.Diagnose,
+		Seed:       req.Seed,
+		Lo:         req.Lo,
+		Hi:         req.Hi,
+		SweepSeeds: req.SweepSeeds,
+		Heartbeat:  defaultHeartbeat,
+	}
+	if req.HeartbeatMS > 0 {
+		spec.Heartbeat = time.Duration(req.HeartbeatMS) * time.Millisecond
+	}
+	if cap := s.cfg.JobTimeout; cap > 0 && (spec.Timeout <= 0 || spec.Timeout > cap) {
+		spec.Timeout = cap
+	}
+
+	// Admission control: a draining daemon refuses outright; a full
+	// queue sheds load with 429 + Retry-After instead of accepting
+	// unbounded work.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.metrics.count(&s.metrics.rejected)
+		sec := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:         fmt.Sprintf("queue is full (%d jobs)", s.cfg.QueueDepth),
+			RetryAfterSec: sec,
+		})
+		return
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.seq),
+		seq:       s.seq,
+		priority:  req.Priority,
+		spec:      spec,
+		lint:      lintLines(findings),
+		state:     JobQueued,
+		submitted: time.Now(),
+		fanout:    obs.NewFanout(0),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	heap.Push(&s.queue, j)
+	depth := len(s.queue)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	s.metrics.count(&s.metrics.submitted)
+	s.cfg.Logf("accmosd: job %s queued (%s, depth %d)", j.id, m.Name, depth)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, State: JobQueued, QueueDepth: depth})
+}
+
+func lintLines(fs []lint.Finding) []LintLine {
+	out := make([]LintLine, len(fs))
+	for i, f := range fs {
+		out[i] = LintLine{Severity: string(f.Severity), Actor: f.Actor, Message: f.Message}
+	}
+	return out
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	v := j.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		s.finishLocked(j, JobCanceled, "canceled while queued", nil)
+	case JobRunning:
+		j.cancelRequested = true
+		if j.cancelRun != nil {
+			j.cancelRun()
+		}
+	}
+	v := j.view()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleEvents streams the job's live progress as NDJSON: one heartbeat
+// line per snapshot (the same framing generated binaries emit on
+// stderr), terminated by one {"accmosJob": ...} record carrying the
+// job's final state. A client attaching mid-run first receives the
+// replayed history; a client on a finished job receives the history and
+// the final record immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush() // commit headers before the first (possibly delayed) snapshot
+
+	snaps, cancel := j.fanout.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case snap, ok := <-snaps:
+			if !ok { // job reached a terminal state
+				s.mu.Lock()
+				v := j.view()
+				s.mu.Unlock()
+				final, _ := json.Marshal(struct {
+					Job JobView `json:"accmosJob"`
+				}{v})
+				w.Write(final)
+				w.Write([]byte("\n"))
+				flush()
+				return
+			}
+			w.Write(obs.EncodeHeartbeat(snap))
+			w.Write([]byte("\n"))
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	v := HealthView{Status: "ok", QueueDepth: len(s.queue), Running: s.running}
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		v.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, v)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	depth := len(s.queue)
+	running := s.running
+	draining := s.draining
+	s.mu.Unlock()
+	cs := s.cache.Stats()
+	writeJSON(w, http.StatusOK, MetricsView{
+		QueueDepth:  depth,
+		Running:     running,
+		Workers:     s.cfg.Workers,
+		Draining:    draining,
+		UptimeNanos: time.Since(s.start).Nanoseconds(),
+		Jobs:        s.metrics.jobCounts(),
+		Cache: CacheView{
+			Entries:   cs.Entries,
+			Limit:     cs.Limit,
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Evictions: cs.Evictions,
+			HitRate:   cs.HitRate(),
+		},
+		Phases: s.metrics.phaseStats(),
+	})
+}

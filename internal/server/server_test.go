@@ -1,0 +1,548 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/lint"
+	"accmos/internal/model"
+	"accmos/internal/obs"
+	"accmos/internal/server"
+	"accmos/internal/slx"
+	"accmos/internal/types"
+)
+
+// slxDoc serializes a tiny Inport -> Gain -> Outport model to the SLX
+// wire form a client would submit. gain varies the document (and so the
+// build-cache key) between tests.
+func slxDoc(t *testing.T, name, gain string) string {
+	t.Helper()
+	m := model.NewBuilder(name).
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", gain)).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	var buf bytes.Buffer
+	if err := slx.Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// newTestServer starts a server (draining it at cleanup) plus an httptest
+// front end.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+	return srv, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req server.SubmitRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	return resp, payload
+}
+
+func submitOK(t *testing.T, ts *httptest.Server, req server.SubmitRequest) string {
+	t.Helper()
+	resp, payload := submit(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, payload)
+	}
+	var ack server.SubmitResponse
+	if err := json.Unmarshal(payload, &ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack.ID
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) server.JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: %s: %s", id, resp.Status, payload)
+	}
+	var v server.JobView
+	if err := json.Unmarshal(payload, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitJob(t *testing.T, ts *httptest.Server, id string) server.JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v := getJob(t, ts, id)
+		if v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want server.JobState) server.JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v := getJob(t, ts, id)
+		if v.State == want {
+			return v
+		}
+		if v.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s is %s, want %s", id, v.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getMetrics(t *testing.T, ts *httptest.Server) server.MetricsView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mv server.MetricsView
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	return mv
+}
+
+// blockingRunner returns a stub runner that holds every job until release
+// is closed (honouring job cancellation), recording execution order.
+func blockingRunner() (server.Runner, func(), *[]string, *sync.Mutex) {
+	release := make(chan struct{})
+	var (
+		once  sync.Once
+		mu    sync.Mutex
+		order []string
+	)
+	runner := func(ctx context.Context, spec server.JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*server.Outcome, error) {
+		mu.Lock()
+		order = append(order, spec.ModelName)
+		mu.Unlock()
+		select {
+		case <-release:
+			return &server.Outcome{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return runner, func() { once.Do(func() { close(release) }) }, &order, &mu
+}
+
+// TestSubmitPollCacheHit is the acceptance path: the same model submitted
+// twice through the REAL pipeline produces exactly one compile — the
+// second job reports a cache hit, its compile phase collapses, and the
+// daemon's /metrics hit counter moves.
+func TestSubmitPollCacheHit(t *testing.T) {
+	cache := accmos.NewBuildCache(t.TempDir())
+	defer cache.Remove()
+	_, ts := newTestServer(t, server.Config{Workers: 1, Cache: cache})
+
+	req := server.SubmitRequest{Model: slxDoc(t, "CHT", "2"), Steps: 50, Coverage: true}
+	cold := waitJob(t, ts, submitOK(t, ts, req))
+	if cold.State != server.JobDone {
+		t.Fatalf("cold job: %s (%s)", cold.State, cold.Error)
+	}
+	if cold.CacheHit {
+		t.Error("first submission cannot be a cache hit")
+	}
+	if cold.Result == nil || cold.Result.Steps != 50 {
+		t.Fatalf("cold job result: %+v", cold.Result)
+	}
+	if cold.Coverage == nil {
+		t.Error("coverage requested but absent")
+	}
+	coldCompile := cold.Phases["compile"]
+	if coldCompile <= 0 {
+		t.Fatalf("cold job recorded no compile phase: %v", cold.Phases)
+	}
+
+	warm := waitJob(t, ts, submitOK(t, ts, req))
+	if warm.State != server.JobDone {
+		t.Fatalf("warm job: %s (%s)", warm.State, warm.Error)
+	}
+	if !warm.CacheHit {
+		t.Error("identical second submission missed the cache")
+	}
+	if warmCompile := warm.Phases["compile"]; warmCompile >= coldCompile/2 {
+		t.Errorf("warm compile phase %dns not amortized (cold %dns)", warmCompile, coldCompile)
+	}
+
+	mv := getMetrics(t, ts)
+	if mv.Cache.Hits < 1 || mv.Cache.Misses < 1 {
+		t.Errorf("cache counters: %+v, want >=1 hit and >=1 miss", mv.Cache)
+	}
+	if mv.Jobs["done"] != 2 {
+		t.Errorf("job counters: %+v, want done=2", mv.Jobs)
+	}
+	if _, ok := mv.Phases["compile"]; !ok {
+		t.Errorf("metrics missing compile phase histogram: %v", mv.Phases)
+	}
+}
+
+func TestQueueFullReturns429WithRetryAfter(t *testing.T) {
+	runner, release, _, _ := blockingRunner()
+	defer release()
+	_, ts := newTestServer(t, server.Config{
+		Workers: 1, QueueDepth: 2, RetryAfter: 3 * time.Second, Runner: runner,
+	})
+
+	doc := slxDoc(t, "QF", "2")
+	first := submitOK(t, ts, server.SubmitRequest{Model: doc})
+	waitState(t, ts, first, server.JobRunning) // occupies the only worker
+	q1 := submitOK(t, ts, server.SubmitRequest{Model: doc})
+	q2 := submitOK(t, ts, server.SubmitRequest{Model: doc})
+
+	resp, payload := submit(t, ts, server.SubmitRequest{Model: doc})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: %s: %s", resp.Status, payload)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After header %q, want %q", got, "3")
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(payload, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RetryAfterSec != 3 || !strings.Contains(er.Error, "queue is full") {
+		t.Errorf("429 body: %+v", er)
+	}
+
+	release()
+	for _, id := range []string{first, q1, q2} {
+		if v := waitJob(t, ts, id); v.State != server.JobDone {
+			t.Errorf("job %s after release: %s (%s)", id, v.State, v.Error)
+		}
+	}
+	if mv := getMetrics(t, ts); mv.Jobs["rejected"] != 1 {
+		t.Errorf("rejected counter: %+v", mv.Jobs)
+	}
+}
+
+func TestPriorityOrdersQueuedJobs(t *testing.T) {
+	runner, release, order, mu := blockingRunner()
+	defer release()
+	_, ts := newTestServer(t, server.Config{Workers: 1, Runner: runner})
+
+	blocker := submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "BLK", "2")})
+	waitState(t, ts, blocker, server.JobRunning)
+	low := submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "LOW", "2"), Priority: 0})
+	high := submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "HIGH", "2"), Priority: 5})
+
+	release()
+	waitJob(t, ts, low)
+	waitJob(t, ts, high)
+
+	mu.Lock()
+	got := append([]string(nil), *order...)
+	mu.Unlock()
+	want := []string{"BLK", "HIGH", "LOW"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("execution order %v, want %v", got, want)
+	}
+}
+
+func TestCancelQueuedAndRunningJobs(t *testing.T) {
+	runner, release, _, _ := blockingRunner()
+	defer release()
+	_, ts := newTestServer(t, server.Config{Workers: 1, Runner: runner})
+
+	doc := slxDoc(t, "CAN", "2")
+	running := submitOK(t, ts, server.SubmitRequest{Model: doc})
+	waitState(t, ts, running, server.JobRunning)
+	queued := submitOK(t, ts, server.SubmitRequest{Model: doc})
+
+	del := func(id string) server.JobView {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s: %s", id, resp.Status)
+		}
+		var v server.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	if v := del(queued); v.State != server.JobCanceled {
+		t.Errorf("queued job after DELETE: %s, want canceled immediately", v.State)
+	}
+	del(running) // running: cancellation is asynchronous
+	if v := waitJob(t, ts, running); v.State != server.JobCanceled {
+		t.Errorf("running job after DELETE: %s (%s)", v.State, v.Error)
+	}
+	if mv := getMetrics(t, ts); mv.Jobs["canceled"] != 2 {
+		t.Errorf("canceled counter: %+v", mv.Jobs)
+	}
+}
+
+func TestEventsStreamNDJSON(t *testing.T) {
+	runner := func(ctx context.Context, spec server.JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*server.Outcome, error) {
+		for i := int64(1); i <= 3; i++ {
+			progress(obs.Snapshot{Model: spec.ModelName, Steps: i * 10})
+		}
+		return &server.Outcome{}, nil
+	}
+	_, ts := newTestServer(t, server.Config{Workers: 1, Runner: runner})
+
+	id := submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "EV", "2")})
+	waitJob(t, ts, id)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+
+	var (
+		beats []obs.Snapshot
+		final *server.JobView
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if s, ok := obs.ParseHeartbeat(line); ok {
+			beats = append(beats, s)
+			continue
+		}
+		var rec struct {
+			Job *server.JobView `json:"accmosJob"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Job == nil {
+			t.Fatalf("unparseable NDJSON line: %s (%v)", line, err)
+		}
+		final = rec.Job
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) != 3 {
+		t.Errorf("got %d heartbeats, want 3 (replayed)", len(beats))
+	}
+	for i, b := range beats {
+		if want := int64(i+1) * 10; b.Steps != want {
+			t.Errorf("heartbeat %d: steps %d, want %d", i, b.Steps, want)
+		}
+	}
+	if final == nil {
+		t.Fatal("stream ended without a final accmosJob record")
+	}
+	if final.ID != id || final.State != server.JobDone {
+		t.Errorf("final record: %+v", final)
+	}
+}
+
+func TestDrainCompletesInFlightAndRefusesNew(t *testing.T) {
+	runner, release, _, _ := blockingRunner()
+	defer release()
+	srv, ts := newTestServer(t, server.Config{Workers: 1, Runner: runner})
+
+	doc := slxDoc(t, "DR", "2")
+	running := submitOK(t, ts, server.SubmitRequest{Model: doc})
+	waitState(t, ts, running, server.JobRunning)
+	queued := submitOK(t, ts, server.SubmitRequest{Model: doc})
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+
+	// The drain flag flips under the server mutex; poll until visible.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp, payload := submit(t, ts, server.SubmitRequest{Model: doc}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: %s: %s", resp.Status, payload)
+	}
+
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Admitted work finished rather than being dropped.
+	if v := getJob(t, ts, running); v.State != server.JobDone {
+		t.Errorf("running job after drain: %s (%s)", v.State, v.Error)
+	}
+	if v := getJob(t, ts, queued); v.State != server.JobDone {
+		t.Errorf("queued job after drain: %s (%s)", v.State, v.Error)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	runner, release, _, _ := blockingRunner()
+	defer release() // never released before the deadline
+	srv, ts := newTestServer(t, server.Config{Workers: 1, Runner: runner})
+
+	id := submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "STUCK", "2")})
+	waitState(t, ts, id, server.JobRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain past deadline: %v, want DeadlineExceeded", err)
+	}
+	if v := getJob(t, ts, id); v.State != server.JobCanceled {
+		t.Errorf("straggler after bounded drain: %s", v.State)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	expect := func(status int, body []byte, wantCode int, wantSub string) {
+		t.Helper()
+		if status != wantCode {
+			t.Errorf("status %d, want %d (%s)", status, wantCode, body)
+		}
+		if !strings.Contains(string(body), wantSub) {
+			t.Errorf("body %s does not mention %q", body, wantSub)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	expect(resp.StatusCode, payload, http.StatusBadRequest, "decoding request")
+
+	r2, p2 := submit(t, ts, server.SubmitRequest{})
+	expect(r2.StatusCode, p2, http.StatusBadRequest, "no model document")
+
+	r3, p3 := submit(t, ts, server.SubmitRequest{Model: "<bogus"})
+	expect(r3.StatusCode, p3, http.StatusBadRequest, "parsing model")
+
+	// Unknown job ids.
+	r4, err := http.Get(ts.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r4.Body)
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job GET: %d", r4.StatusCode)
+	}
+}
+
+// TestSubmitLintRejection proves a model lint marks unsafe never reaches
+// codegen: the daemon answers 400 with the blocking findings.
+func TestSubmitLintRejection(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	m := model.NewBuilder("WIDE").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"), model.WithOutWidth(lint.MaxSignalWidth+1)).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	var buf bytes.Buffer
+	if err := slx.Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, payload := submit(t, ts, server.SubmitRequest{Model: buf.String()})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("lint-blocked model: %s: %s", resp.Status, payload)
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(payload, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "failed lint") {
+		t.Errorf("error %q does not mention lint", er.Error)
+	}
+	if len(er.Lint) == 0 {
+		t.Fatal("rejection carries no lint findings")
+	}
+	for _, l := range er.Lint {
+		if l.Severity != string(lint.Error) {
+			t.Errorf("blocking finding with severity %q: %+v", l.Severity, l)
+		}
+		if !strings.Contains(l.Message, "exceeds the supported maximum") {
+			t.Errorf("unexpected blocking finding: %+v", l)
+		}
+	}
+}
+
+// TestFailedJobReportsError drives a stub runner failure through the job
+// record.
+func TestFailedJobReportsError(t *testing.T) {
+	runner := func(ctx context.Context, spec server.JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*server.Outcome, error) {
+		return nil, fmt.Errorf("simulated backend failure")
+	}
+	_, ts := newTestServer(t, server.Config{Workers: 1, Runner: runner})
+
+	v := waitJob(t, ts, submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "FAIL", "2")}))
+	if v.State != server.JobFailed {
+		t.Fatalf("state %s, want failed", v.State)
+	}
+	if !strings.Contains(v.Error, "simulated backend failure") {
+		t.Errorf("job error %q", v.Error)
+	}
+	if mv := getMetrics(t, ts); mv.Jobs["failed"] != 1 {
+		t.Errorf("failed counter: %+v", mv.Jobs)
+	}
+}
