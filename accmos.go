@@ -42,6 +42,7 @@ import (
 	"accmos/internal/lint"
 	"accmos/internal/model"
 	"accmos/internal/obs"
+	"accmos/internal/opt"
 	"accmos/internal/rapid"
 	"accmos/internal/simresult"
 	"accmos/internal/slx"
@@ -162,6 +163,52 @@ func RandomTestCases(m *Model, seed uint64, lo, hi float64) *TestCases {
 	return testcase.NewRandomSet(n, seed, lo, hi)
 }
 
+// OptLevel selects the optimizing middle-end level (see internal/opt):
+// the pass pipeline over the compiled model that runs before any engine.
+type OptLevel int
+
+const (
+	// OptDefault applies the default level, currently O1.
+	OptDefault OptLevel = iota
+	// OptO0 disables every optimization pass.
+	OptO0
+	// OptO1 enables constant folding, common-subexpression elimination
+	// and dead-actor elimination.
+	OptO1
+)
+
+// String renders the level the way the -O flag spells it.
+func (l OptLevel) String() string { return l.level().String() }
+
+func (l OptLevel) level() opt.Level {
+	if l == OptO0 {
+		return opt.O0
+	}
+	return opt.O1
+}
+
+// OptLevelFromInt maps a CLI -O value (0 or 1) to an OptLevel.
+func OptLevelFromInt(n int) (OptLevel, error) {
+	switch n {
+	case 0:
+		return OptO0, nil
+	case 1:
+		return OptO1, nil
+	}
+	return OptDefault, fmt.Errorf("accmos: unsupported opt level -O%d (supported: 0, 1)", n)
+}
+
+// OptPassStat records how many sites one optimizer pass rewrote.
+type OptPassStat = opt.PassStat
+
+// OptStats summarises what the optimizing middle-end did for one run.
+type OptStats struct {
+	Level        string        `json:"level"`
+	ActorsBefore int           `json:"actorsBefore"`
+	ActorsAfter  int           `json:"actorsAfter"`
+	Passes       []OptPassStat `json:"passes,omitempty"`
+}
+
 // Options configures a simulation through the facade.
 type Options struct {
 	// Steps bounds the simulation length (default 1000). Ignored when
@@ -188,6 +235,12 @@ type Options struct {
 
 	// TestCases supplies input stimuli; defaults to uniform random [-1,1].
 	TestCases *TestCases
+
+	// OptLevel selects the optimizing middle-end level (default: O1).
+	// All engines run the same optimized model; instrumentation-sound
+	// passes keep output hashes, coverage bitmaps and diagnosis counts
+	// byte-identical to an O0 run.
+	OptLevel OptLevel
 
 	// WorkDir keeps generated sources and binaries (default: the
 	// process-wide build cache, so repeated calls on the same model and
@@ -251,6 +304,10 @@ type Result struct {
 	// cache (CompileNanos is then the original build's amortised cost) —
 	// how a serving layer proves cross-request compile amortization.
 	CacheHit bool
+
+	// Opt reports what the optimizing middle-end did (nil only for
+	// results that never went through prepare).
+	Opt *OptStats
 }
 
 // CoverageReport computes the four coverage percentages, or a zero report
@@ -303,18 +360,22 @@ func Lint(m *Model) ([]LintFinding, error) {
 // GenerateSource returns the instrumented simulation program AccMoS
 // generates for m, without compiling it — useful for inspection.
 func GenerateSource(m *Model, opts Options) (string, error) {
-	c, tcs, err := prepare(m, &opts)
+	or, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return "", err
 	}
-	prog, err := codegen.Generate(c, codegenOptions(opts, tcs))
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
 	if err != nil {
 		return "", err
 	}
 	return prog.Source, nil
 }
 
-func prepare(m *Model, opts *Options) (*actors.Compiled, *TestCases, error) {
+// prepare compiles the model, fills the test-case default, and runs the
+// optimizing middle-end. Every entry point — all four engines and source
+// generation — consumes the returned opt.Result, so one pass pipeline
+// accelerates every execution path.
+func prepare(m *Model, opts *Options) (*opt.Result, *TestCases, error) {
 	sp := opts.Trace.Start("schedule")
 	c, err := actors.Compile(m)
 	sp.End()
@@ -325,10 +386,34 @@ func prepare(m *Model, opts *Options) (*actors.Compiled, *TestCases, error) {
 	if tcs == nil {
 		tcs = testcase.NewRandomSet(len(c.Inports), 1, -1, 1)
 	}
-	return c, tcs, nil
+	osp := opts.Trace.Start("optimize")
+	or, err := opt.Optimize(c, opt.Options{
+		Level:       opts.OptLevel.level(),
+		Coverage:    opts.Coverage,
+		Diagnose:    opts.Diagnose,
+		Monitor:     opts.Monitor,
+		Custom:      opts.Custom,
+		StopOnActor: opts.StopOnActor,
+		Trace:       opts.Trace,
+	})
+	osp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	return or, tcs, nil
 }
 
-func codegenOptions(opts Options, tcs *TestCases) codegen.Options {
+// optStats renders an opt.Result for the public Result.
+func optStats(opts *Options, or *opt.Result) *OptStats {
+	return &OptStats{
+		Level:        opts.OptLevel.String(),
+		ActorsBefore: or.ActorsBefore,
+		ActorsAfter:  or.ActorsAfter,
+		Passes:       or.Passes,
+	}
+}
+
+func codegenOptions(opts Options, tcs *TestCases, or *opt.Result) codegen.Options {
 	return codegen.Options{
 		Coverage:          opts.Coverage,
 		Diagnose:          opts.Diagnose,
@@ -339,6 +424,9 @@ func codegenOptions(opts Options, tcs *TestCases) codegen.Options {
 		StopOnActor:       opts.StopOnActor,
 		TestCases:         tcs,
 		Trace:             opts.Trace,
+		Layout:            or.Layout,
+		Premark:           or.Premark,
+		Opt:               opts.OptLevel.String(),
 		DefaultSteps: func() int64 {
 			if opts.Steps > 0 {
 				return opts.Steps
@@ -361,11 +449,11 @@ func Simulate(m *Model, opts Options) (*Result, error) {
 // cancellation (or Options.Timeout) kills the generated binary's process
 // group and surfaces an error instead of blocking on a wedged program.
 func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, error) {
-	c, tcs, err := prepare(m, &opts)
+	or, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := codegen.Generate(c, codegenOptions(opts, tcs))
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +474,7 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		return nil, err
 	}
 	res.CompileNanos = compileTime.Nanoseconds()
-	return &Result{Results: res, layout: prog.Layout, CacheHit: hit}, nil
+	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, Opt: optStats(&opts, or)}, nil
 }
 
 // buildProgram compiles prog honouring the WorkDir contract: a pinned
@@ -448,11 +536,11 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 		return nil, fmt.Errorf("accmos: Sweep needs at least one seed")
 	}
 	opts.Coverage = true
-	c, tcs, err := prepare(m, &opts)
+	or, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := codegen.Generate(c, codegenOptions(opts, tcs))
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
 	if err != nil {
 		return nil, err
 	}
@@ -528,7 +616,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 						continue
 					}
 				}
-				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit}
+				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, Opt: optStats(&opts, or)}
 			}
 		}(w)
 	}
@@ -551,11 +639,11 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 // with the same functionality: full diagnostics, coverage, monitoring and
 // custom checks.
 func Interpret(m *Model, opts Options) (*Result, error) {
-	c, tcs, err := prepare(m, &opts)
+	or, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return nil, err
 	}
-	e, err := interp.New(c, interp.Options{
+	e, err := interp.New(or.Compiled, interp.Options{
 		Coverage:          opts.Coverage,
 		Diagnose:          opts.Diagnose,
 		Monitor:           opts.Monitor,
@@ -565,6 +653,8 @@ func Interpret(m *Model, opts Options) (*Result, error) {
 		StopOnActor:       opts.StopOnActor,
 		Progress:          opts.Progress,
 		ProgressEvery:     opts.progressEvery(),
+		Layout:            or.Layout,
+		Premark:           or.Premark,
 	})
 	if err != nil {
 		return nil, err
@@ -580,17 +670,17 @@ func Interpret(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Results: res, layout: e.Layout()}, nil
+	return &Result{Results: res, layout: e.Layout(), Opt: optStats(&opts, or)}, nil
 }
 
 // Accelerate runs m on the Accelerator-mode baseline (compiled closures,
 // per-step host synchronisation, no diagnostics or coverage).
 func Accelerate(m *Model, opts Options) (*Result, error) {
-	c, tcs, err := prepare(m, &opts)
+	or, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return nil, err
 	}
-	e, err := interp.NewAccel(c)
+	e, err := interp.NewAccel(or.Compiled)
 	if err != nil {
 		return nil, err
 	}
@@ -608,18 +698,18 @@ func Accelerate(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Results: res}, nil
+	return &Result{Results: res, Opt: optStats(&opts, or)}, nil
 }
 
 // RapidAccelerate runs m on the Rapid-Accelerator-mode baseline (unboxed
 // precompiled closures, batched host synchronisation, no diagnostics or
 // coverage).
 func RapidAccelerate(m *Model, opts Options) (*Result, error) {
-	c, tcs, err := prepare(m, &opts)
+	or, tcs, err := prepare(m, &opts)
 	if err != nil {
 		return nil, err
 	}
-	e, err := rapid.New(c)
+	e, err := rapid.New(or.Compiled)
 	if err != nil {
 		return nil, err
 	}
@@ -637,5 +727,5 @@ func RapidAccelerate(m *Model, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Results: res}, nil
+	return &Result{Results: res, Opt: optStats(&opts, or)}, nil
 }

@@ -44,6 +44,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the raw results as JSON instead of the summary")
 		verify    = flag.Bool("verify", false, "also run the reference interpreter and cross-check outputs")
 		lintOnly  = flag.Bool("lint", false, "run the static model checks and exit")
+		optLevel  = flag.Int("O", 1, "optimization level: 0 = off, 1 = constant folding + CSE + dead-actor elimination")
 		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
 		parallel  = flag.Int("parallel", 0, "concurrent suite executions for -sweep (0 = GOMAXPROCS, 1 = sequential)")
 		timeout   = flag.Duration("timeout", 0, "kill a generated-binary run exceeding this wall-clock deadline, e.g. 30s (0 = none)")
@@ -107,7 +108,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	level, err := accmos.OptLevelFromInt(*optLevel)
+	if err != nil {
+		fatal(err)
+	}
 	opts := accmos.Options{
+		OptLevel:    level,
 		Steps:       *steps,
 		Budget:      time.Duration(*budgetMS) * time.Millisecond,
 		Coverage:    *coverage,
@@ -193,6 +199,13 @@ func main() {
 	st := m.Stats()
 	fmt.Printf("model:    %s (%d actors, %d subsystems)\n", m.Name, st.Actors, st.Subsystems)
 	fmt.Printf("engine:   %s\n", res.Engine)
+	if o := res.Opt; o != nil {
+		fmt.Printf("opt:      %s, %d -> %d actors", o.Level, o.ActorsBefore, o.ActorsAfter)
+		for _, p := range o.Passes {
+			fmt.Printf("  %s:%d", p.Pass, p.Changed)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("steps:    %d\n", res.Steps)
 	fmt.Printf("exec:     %v\n", time.Duration(res.ExecNanos))
 	if res.CompileNanos > 0 {

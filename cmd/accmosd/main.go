@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	accmos "accmos"
 	"accmos/internal/server"
 )
 
@@ -43,17 +44,25 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		maxBody      = flag.Int64("max-body", 8<<20, "max submission body bytes")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-drain bound on SIGTERM; afterwards remaining jobs are canceled")
+		optLevel     = flag.Int("opt", 1, "default optimization level for jobs that do not set optLevel (0 = off, 1 = constant folding + CSE + dead-actor elimination)")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 	)
 	flag.Parse()
 
+	defaultOpt, err := accmos.OptLevelFromInt(*optLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accmosd:", err)
+		os.Exit(2)
+	}
+
 	cfg := server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
-		RetryAfter:   *retryAfter,
-		MaxBodyBytes: *maxBody,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		JobTimeout:      *jobTimeout,
+		RetryAfter:      *retryAfter,
+		MaxBodyBytes:    *maxBody,
+		DefaultOptLevel: defaultOpt,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...interface{}) {

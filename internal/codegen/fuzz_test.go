@@ -7,8 +7,11 @@ import (
 	"accmos/internal/actors"
 	"accmos/internal/benchmodels"
 	"accmos/internal/codegen"
+	"accmos/internal/harness"
 	"accmos/internal/interp"
+	"accmos/internal/opt"
 	"accmos/internal/rapid"
+	"accmos/internal/simresult"
 	"accmos/internal/testcase"
 )
 
@@ -82,6 +85,141 @@ func TestRandomModelEquivalence(t *testing.T) {
 			if rcRes.OutputHash != ir.OutputHash {
 				t.Errorf("SSErac hash %x != SSE %x", rcRes.OutputHash, ir.OutputHash)
 			}
+		})
+	}
+}
+
+// runAtLevel runs one model at the given optimization level on all four
+// engines with coverage and diagnosis instrumentation, returning the
+// interpreter and generated-program results after asserting the two
+// uninstrumented accelerator engines agree on the output hash.
+func runAtLevel(t *testing.T, c *actors.Compiled, set *testcase.Set, steps int64, level opt.Level) (*simresult.Results, *simresult.Results) {
+	t.Helper()
+	or, err := opt.Optimize(c, opt.Options{Level: level, Coverage: true, Diagnose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := interp.New(or.Compiled, interp.Options{
+		Coverage: true, Diagnose: true, Layout: or.Layout, Premark: or.Premark,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := e.Run(set, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Generate(or.Compiled, codegen.Options{
+		Coverage: true, Diagnose: true, TestCases: set,
+		Layout: or.Layout, Premark: or.Premark, Opt: level.String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := harness.BuildAndRun(p, t.TempDir(), harness.RunOptions{Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []string{"SSEac", "SSErac"} {
+		var res *simresult.Results
+		switch eng {
+		case "SSEac":
+			ac, err := interp.NewAccel(or.Compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = ac.Run(set, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+		case "SSErac":
+			rc, err := rapid.New(or.Compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = rc.Run(set, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if res.OutputHash != ir.OutputHash {
+			t.Errorf("%s hash %x != SSE %x at %s", eng, res.OutputHash, ir.OutputHash, level)
+		}
+	}
+	return ir, gr
+}
+
+// TestOptShapeEquivalence runs the optimizer benchmark shapes — the
+// models built to maximize what each pass removes — through the same
+// four-engine, two-level oracle as the random trials.
+func TestOptShapeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles several generated programs")
+	}
+	for _, name := range benchmodels.OptNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := actors.Compile(benchmodels.MustBuildOpt(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := testcase.NewRandomSet(len(c.Inports), 4242, -100, 100)
+			const steps = 1500
+			i0, g0 := runAtLevel(t, c, set, steps, opt.O0)
+			i1, g1 := runAtLevel(t, c, set, steps, opt.O1)
+			assertEquivalent(t, i0, g0)
+			assertEquivalent(t, i1, g1)
+			assertEquivalent(t, i0, i1)
+			assertEquivalent(t, g0, g1)
+		})
+	}
+}
+
+// TestRandomModelOptEquivalence is the optimizer's randomized soundness
+// property: for random model shapes, an -O1 run must be observationally
+// identical to the -O0 run on every engine — same output hashes, same
+// coverage bitmaps (premarked bits included), same diagnosis aggregates.
+func TestRandomModelOptEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles several generated programs")
+	}
+	trials := []struct {
+		seed        uint64
+		actors      int
+		computeFrac float64
+	}{
+		{7101, 50, 0.9},
+		{7102, 80, 0.5},
+		{7103, 120, 0.25},
+		{7104, 160, 0.7},
+	}
+	for _, tr := range trials {
+		tr := tr
+		t.Run(fmt.Sprintf("seed%d_n%d_c%.2f", tr.seed, tr.actors, tr.computeFrac), func(t *testing.T) {
+			t.Parallel()
+			m := benchmodels.Synthesize(benchmodels.Profile{
+				Name:        fmt.Sprintf("OPTRND%d", tr.seed),
+				Actors:      tr.actors,
+				Subsystems:  3,
+				ComputeFrac: tr.computeFrac,
+				Seed:        tr.seed,
+				Inports:     3,
+				Outports:    2,
+			})
+			c, err := actors.Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := testcase.NewRandomSet(len(c.Inports), tr.seed^0x5151, -100, 100)
+			const steps = 1500
+
+			i0, g0 := runAtLevel(t, c, set, steps, opt.O0)
+			i1, g1 := runAtLevel(t, c, set, steps, opt.O1)
+			assertEquivalent(t, i0, g0) // engines agree at O0
+			assertEquivalent(t, i1, g1) // engines agree at O1
+			assertEquivalent(t, i0, i1) // levels agree on the interpreter
+			assertEquivalent(t, g0, g1) // levels agree on the generated program
 		})
 	}
 }

@@ -51,6 +51,19 @@ type Options struct {
 	DefaultSteps int64
 	// Trace records "instrument" and "generate" phase spans (nil ok).
 	Trace *obs.Tracer
+
+	// Layout overrides the coverage layout (default: derived from c). The
+	// optimizer passes the ORIGINAL model's layout here so an optimized
+	// program's bitmaps stay shape- and slot-identical to an O0 run.
+	// Every scheduled actor must be present in the override.
+	Layout *coverage.Layout
+	// Premark holds coverage bits the optimizer proved statically for
+	// removed instrumentation sites; they are set once in modelInit.
+	Premark *coverage.Raw
+	// Opt labels the optimization level that produced c (e.g. "O0",
+	// "O1"). It feeds Program.Hash so distinct levels never collide in
+	// the build cache, even when they happen to emit identical source.
+	Opt string
 }
 
 func (o *Options) fillDefaults() {
@@ -70,17 +83,26 @@ type Program struct {
 	Source string
 	Model  string
 	Layout *coverage.Layout
+	// Opt is the optimization level label ("O0", "O1"; "" for direct
+	// Generate calls that bypass the optimizer).
+	Opt string
 }
 
 // Hash returns a stable hex key identifying the program: the SHA-256 of
-// the model name and the source text. The source embeds the model
-// structure, every codegen option (coverage, diagnosis, monitors, stop
-// conditions, default steps) and the test-case constants, so two programs
-// share a hash exactly when `go build` would produce the same binary —
-// this is the build-cache key and the harness's artifact-name suffix.
+// the model name, the opt level and the source text. The source embeds
+// the model structure, every codegen option (coverage, diagnosis,
+// monitors, stop conditions, default steps) and the test-case constants,
+// so two programs share a hash exactly when `go build` would produce the
+// same binary — this is the build-cache key and the harness's
+// artifact-name suffix. The opt level is hashed separately because two
+// levels can emit identical source (no pass fired) yet must never serve
+// each other's cache entries: a later submission at the other level would
+// otherwise inherit the wrong label in results and metrics.
 func (p *Program) Hash() string {
 	h := sha256.New()
 	h.Write([]byte(p.Model))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Opt))
 	h.Write([]byte{0})
 	h.Write([]byte(p.Source))
 	return hex.EncodeToString(h.Sum(nil))
@@ -141,11 +163,31 @@ func Generate(c *actors.Compiled, opts Options) (*Program, error) {
 	if err := opts.TestCases.Validate(); err != nil {
 		return nil, err
 	}
+	layout := opts.Layout
+	if layout == nil {
+		layout = coverage.NewLayout(c)
+	} else {
+		// A layout override must cover every scheduled actor; a missing
+		// name would silently alias instrumentation onto slot 0.
+		for _, info := range c.Order {
+			if _, ok := layout.ActorIndex[info.Actor.Name]; !ok {
+				return nil, fmt.Errorf("codegen: layout override is missing actor %q", info.Actor.Name)
+			}
+		}
+	}
+	if opts.Premark != nil {
+		if len(opts.Premark.Actor) != len(layout.ActorPaths) ||
+			len(opts.Premark.Cond) != layout.CondBits ||
+			len(opts.Premark.Dec) != layout.DecBits ||
+			len(opts.Premark.MCDC) != layout.MCDCBits {
+			return nil, fmt.Errorf("codegen: premark bitmap sizes do not match the coverage layout")
+		}
+	}
 	g := &Generator{
 		c:           c,
 		opts:        opts,
 		body:        &strings.Builder{},
-		layout:      coverage.NewLayout(c),
+		layout:      layout,
 		imports:     map[string]bool{"flag": true, "fmt": true, "os": true, "time": true, "encoding/json": true},
 		outVar:      make(map[string][]string),
 		outBindings: make(map[string]string),
@@ -170,7 +212,7 @@ func Generate(c *actors.Compiled, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Source: src, Model: c.Model.Name, Layout: g.layout}, nil
+	return &Program{Source: src, Model: c.Model.Name, Layout: g.layout, Opt: opts.Opt}, nil
 }
 
 // prepare assigns data-store variables, diagnosis slots, monitor slots and

@@ -43,6 +43,23 @@ func TestProgramHashStable(t *testing.T) {
 	}
 }
 
+// TestProgramHashOptLevelNeverCollides pins the cache-key regression: two
+// optimization levels can legitimately emit byte-identical source (when no
+// pass fires on a model), yet an -O0 and an -O1 program must never share a
+// build-cache entry — the level is hashed independently of the source.
+func TestProgramHashOptLevelNeverCollides(t *testing.T) {
+	src := "package main\nfunc main() {}\n"
+	plain := &codegen.Program{Model: "PH", Source: src}
+	o0 := &codegen.Program{Model: "PH", Source: src, Opt: "O0"}
+	o1 := &codegen.Program{Model: "PH", Source: src, Opt: "O1"}
+	if o0.Hash() == o1.Hash() {
+		t.Error("O0 and O1 programs with identical source must hash differently")
+	}
+	if plain.Hash() == o0.Hash() || plain.Hash() == o1.Hash() {
+		t.Error("an untagged program must not collide with a level-tagged one")
+	}
+}
+
 func TestProgramHashDiscriminates(t *testing.T) {
 	base := generateFor(t, "PH", codegen.Options{Coverage: true})
 	seen := map[string]string{base.Hash(): "base"}
@@ -52,6 +69,8 @@ func TestProgramHashDiscriminates(t *testing.T) {
 		"other steps":     generateFor(t, "PH", codegen.Options{Coverage: true, DefaultSteps: 777}),
 		"other testcases": generateFor(t, "PH", codegen.Options{Coverage: true, TestCases: testcase.NewRandomSet(1, 8, -1, 1)}),
 		"other model":     generateFor(t, "PH2", codegen.Options{Coverage: true}),
+		"opt O0":          generateFor(t, "PH", codegen.Options{Coverage: true, Opt: "O0"}),
+		"opt O1":          generateFor(t, "PH", codegen.Options{Coverage: true, Opt: "O1"}),
 	}
 	for what, p := range variants {
 		h := p.Hash()

@@ -72,6 +72,24 @@ func FormatTable3(w io.Writer, rows []Table3Row) {
 	}
 }
 
+// FormatOpt prints the optimizer benchmark: O0-vs-O1 wall clock per
+// (shape, engine) with the actor reduction and the equivalence verdict.
+func FormatOpt(w io.Writer, rows []OptRow) {
+	fmt.Fprintln(w, "Optimizing middle-end: O0 vs O1 wall clock (uninstrumented timing runs)")
+	fmt.Fprintf(w, "%-6s %-7s %10s | %10s %10s %8s | %10s %10s | %s\n",
+		"Model", "Engine", "actors", "O0", "O1", "speedup", "ns/a-st O0", "ns/a-st O1", "oracle")
+	for _, r := range rows {
+		ok := "match"
+		if !r.EquivOK {
+			ok = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%-6s %-7s %4d->%-4d | %10s %10s %7.1fx | %10.1f %10.1f | %s\n",
+			r.Model, r.Engine, r.ActorsBefore, r.ActorsAfter,
+			fmtDur(r.O0), fmtDur(r.O1), r.Speedup,
+			r.NsPerActorStepO0, r.NsPerActorStepO1, ok)
+	}
+}
+
 // FormatCaseStudy prints the §4 error-injection study.
 func FormatCaseStudy(w io.Writer, r *CaseStudyResult) {
 	fmt.Fprintf(w, "Case study: injected errors in CSEV (charge rate %d/step, predicted overflow at step %d)\n",

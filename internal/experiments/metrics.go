@@ -34,6 +34,13 @@ type MetricRow struct {
 	// CacheHit marks AccMoS rows whose binary came from the build cache
 	// (CompileNanos is then the original build's amortised cost).
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// Optimizer fields, set on "opt" experiment rows: the level this row
+	// ran at, the scheduled actor counts around the O1 pipeline, and wall
+	// time normalized per actor evaluation at this row's level.
+	OptLevel       string  `json:"optLevel,omitempty"`
+	ActorsBefore   int     `json:"actorsBefore,omitempty"`
+	ActorsAfter    int     `json:"actorsAfter,omitempty"`
+	NsPerActorStep float64 `json:"nsPerActorStep,omitempty"`
 }
 
 // Metrics is the -metrics-json document: run configuration plus rows.
@@ -113,6 +120,33 @@ func (m *Metrics) AddTable3(rows []Table3Row) {
 				BudgetNanos: r.Budget.Nanoseconds(),
 				StepsPerSec: stepsPerSec(r.SSE.Steps, r.Budget),
 				Coverage:    &sseRep,
+			})
+	}
+}
+
+// AddOpt appends two rows per (model, engine) from the optimizer
+// benchmark: one at each level, sharing the model's equivalence verdict.
+func (m *Metrics) AddOpt(rows []OptRow) {
+	for _, r := range rows {
+		ok := r.EquivOK
+		m.Rows = append(m.Rows,
+			MetricRow{
+				Experiment: "opt", Model: r.Model, Engine: r.Engine,
+				Steps: r.Steps, WallNanos: r.O0.Nanoseconds(),
+				StepsPerSec:  stepsPerSec(r.Steps, r.O0),
+				CompileNanos: r.CompileO0.Nanoseconds(),
+				HashOK:       &ok, OptLevel: "O0",
+				ActorsBefore: r.ActorsBefore, ActorsAfter: r.ActorsAfter,
+				NsPerActorStep: r.NsPerActorStepO0,
+			},
+			MetricRow{
+				Experiment: "opt", Model: r.Model, Engine: r.Engine,
+				Steps: r.Steps, WallNanos: r.O1.Nanoseconds(),
+				StepsPerSec:  stepsPerSec(r.Steps, r.O1),
+				CompileNanos: r.CompileO1.Nanoseconds(),
+				HashOK:       &ok, OptLevel: "O1",
+				ActorsBefore: r.ActorsBefore, ActorsAfter: r.ActorsAfter,
+				NsPerActorStep: r.NsPerActorStepO1,
 			})
 	}
 }

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"accmos/internal/actors"
+	"accmos/internal/benchmodels"
+	"accmos/internal/codegen"
+	"accmos/internal/harness"
+	"accmos/internal/interp"
+	"accmos/internal/opt"
+	"accmos/internal/rapid"
+	"accmos/internal/simresult"
+	"accmos/internal/testcase"
+)
+
+// OptRow is one (shape, engine) comparison of the optimizing middle-end:
+// the same model simulated at -O0 and -O1 on one engine.
+type OptRow struct {
+	Model  string
+	Engine string
+	Steps  int64
+
+	// ActorsBefore/ActorsAfter are the scheduled actor counts around the
+	// O1 pipeline (identical for every engine of one model).
+	ActorsBefore int
+	ActorsAfter  int
+	Passes       []opt.PassStat
+
+	O0, O1               time.Duration
+	CompileO0, CompileO1 time.Duration // AccMoS only
+	Speedup              float64       // O0 / O1
+
+	// NsPerActorStep normalizes wall time by scheduled work: the per-level
+	// cost of one actor evaluation. Roughly flat across levels when the
+	// speedup comes purely from executing fewer actors.
+	NsPerActorStepO0 float64
+	NsPerActorStepO1 float64
+
+	// EquivOK reports the instrumented O0-vs-O1 oracle for this model:
+	// identical output hashes on all four engines, plus byte-identical
+	// coverage bitmaps and diagnosis aggregates on the instrumented ones.
+	EquivOK bool
+}
+
+// equivSteps bounds the instrumented verification runs: the oracle needs
+// coverage and diagnosis parity, not wall-clock, so it never pays the
+// full timing-step budget on the unoptimized instrumented interpreter.
+const equivSteps = 20_000
+
+// BenchOpt measures the optimizer benchmark shapes (OPTC, OPTD, OPTI) at
+// O0 and O1 on all four engines. Timing runs are uninstrumented — the
+// configuration a perf-sensitive sweep uses — and a separate instrumented
+// pass checks the O0-vs-O1 equivalence oracle with coverage and diagnosis
+// on, exercising the premark machinery end to end.
+func BenchOpt(cfg Config) ([]OptRow, error) {
+	cfg.fillDefaults()
+	dir, cleanup, err := cfg.workDir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	var rows []OptRow
+	for _, name := range benchmodels.OptNames() {
+		m, err := benchmodels.BuildOpt(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := actors.Compile(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		set := testcase.NewRandomSet(len(c.Inports), cfg.Seed, -100, 100)
+		or1, err := opt.Optimize(c, opt.Options{Level: opt.O1})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		cfg.logf("opt %s: %d -> %d actors (%v)", name, or1.ActorsBefore, or1.ActorsAfter, or1.Passes)
+
+		equivOK, err := cfg.optEquivalent(dir, name, c, set)
+		if err != nil {
+			return nil, err
+		}
+
+		mk := func(engine string) OptRow {
+			return OptRow{
+				Model: name, Engine: engine, Steps: cfg.Steps,
+				ActorsBefore: or1.ActorsBefore, ActorsAfter: or1.ActorsAfter,
+				Passes: or1.Passes, EquivOK: equivOK,
+			}
+		}
+
+		// AccMoS: generated binaries at both levels (distinct cache keys).
+		acc := mk("AccMoS")
+		for _, lv := range []struct {
+			tag  string
+			c    *actors.Compiled
+			wall *time.Duration
+			cmpl *time.Duration
+		}{
+			{"O0", c, &acc.O0, &acc.CompileO0},
+			{"O1", or1.Compiled, &acc.O1, &acc.CompileO1},
+		} {
+			prog, err := codegen.Generate(lv.c, codegen.Options{TestCases: set, Opt: lv.tag})
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", name, lv.tag, err)
+			}
+			bin, compileTime, _, err := cfg.build(prog, filepath.Join(dir, name+"_"+lv.tag))
+			if err != nil {
+				return nil, err
+			}
+			*lv.cmpl = compileTime
+			res, err := harness.Run(bin, harness.RunOptions{Steps: cfg.Steps, Timeout: cfg.Timeout})
+			if err != nil {
+				return nil, err
+			}
+			*lv.wall = time.Duration(res.ExecNanos)
+		}
+
+		// The three interpreter-family engines.
+		type runner func(cc *actors.Compiled) (*simresult.Results, error)
+		engines := []struct {
+			name string
+			run  runner
+		}{
+			{"SSE", func(cc *actors.Compiled) (*simresult.Results, error) {
+				e, err := interp.New(cc, interp.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return e.Run(set, cfg.Steps)
+			}},
+			{"SSEac", func(cc *actors.Compiled) (*simresult.Results, error) {
+				e, err := interp.NewAccel(cc)
+				if err != nil {
+					return nil, err
+				}
+				return e.Run(set, cfg.Steps)
+			}},
+			{"SSErac", func(cc *actors.Compiled) (*simresult.Results, error) {
+				e, err := rapid.New(cc)
+				if err != nil {
+					return nil, err
+				}
+				return e.Run(set, cfg.Steps)
+			}},
+		}
+		modelRows := []OptRow{acc}
+		for _, eng := range engines {
+			row := mk(eng.name)
+			r0, err := eng.run(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s O0: %w", name, eng.name, err)
+			}
+			r1, err := eng.run(or1.Compiled)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s O1: %w", name, eng.name, err)
+			}
+			if !simresult.SameOutputs(r0, r1) {
+				row.EquivOK = false
+			}
+			row.O0, row.O1 = time.Duration(r0.ExecNanos), time.Duration(r1.ExecNanos)
+			modelRows = append(modelRows, row)
+		}
+		for i := range modelRows {
+			r := &modelRows[i]
+			r.Speedup = ratio(r.O0, r.O1)
+			r.NsPerActorStepO0 = nsPerActorStep(r.O0, r.Steps, r.ActorsBefore)
+			r.NsPerActorStepO1 = nsPerActorStep(r.O1, r.Steps, r.ActorsAfter)
+			cfg.logf("opt %s %s: O0 %v O1 %v (%.1fx)", r.Model, r.Engine, r.O0, r.O1, r.Speedup)
+		}
+		rows = append(rows, modelRows...)
+	}
+	return rows, nil
+}
+
+func nsPerActorStep(wall time.Duration, steps int64, actorCount int) float64 {
+	if steps <= 0 || actorCount <= 0 {
+		return 0
+	}
+	return float64(wall.Nanoseconds()) / (float64(steps) * float64(actorCount))
+}
+
+// optEquivalent runs the instrumented O0-vs-O1 oracle for one model:
+// coverage + diagnosis on, both levels, on the generated program and the
+// interpreter (the instrumented engines), plus output-hash parity on the
+// accelerator pair. The O1 runs feed the optimizer's original layout and
+// premark bitmaps to the engines — exactly what the facade does.
+func (cfg *Config) optEquivalent(dir, name string, c *actors.Compiled, set *testcase.Set) (bool, error) {
+	type outcome struct {
+		interp *simresult.Results
+		gen    *simresult.Results
+	}
+	run := func(level opt.Level) (*outcome, error) {
+		or, err := opt.Optimize(c, opt.Options{Level: level, Coverage: true, Diagnose: true})
+		if err != nil {
+			return nil, err
+		}
+		e, err := interp.New(or.Compiled, interp.Options{
+			Coverage: true, Diagnose: true, Layout: or.Layout, Premark: or.Premark,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ir, err := e.Run(set, equivSteps)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := codegen.Generate(or.Compiled, codegen.Options{
+			Coverage: true, Diagnose: true, TestCases: set,
+			Layout: or.Layout, Premark: or.Premark, Opt: level.String(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		bin, _, _, err := cfg.build(prog, filepath.Join(dir, name+"_eq_"+level.String()))
+		if err != nil {
+			return nil, err
+		}
+		gr, err := harness.Run(bin, harness.RunOptions{Steps: equivSteps, Timeout: cfg.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		return &outcome{interp: ir, gen: gr}, nil
+	}
+	o0, err := run(opt.O0)
+	if err != nil {
+		return false, fmt.Errorf("%s equivalence O0: %w", name, err)
+	}
+	o1, err := run(opt.O1)
+	if err != nil {
+		return false, fmt.Errorf("%s equivalence O1: %w", name, err)
+	}
+	ok := sameInstrumented(o0.interp, o1.interp) &&
+		sameInstrumented(o0.gen, o1.gen) &&
+		simresult.SameOutputs(o0.interp, o0.gen) &&
+		simresult.SameOutputs(o1.interp, o1.gen)
+	return ok, nil
+}
+
+// sameInstrumented is the full O0-vs-O1 oracle on one instrumented
+// engine: output hash, diagnosis aggregates, and byte-identical coverage
+// bitmaps.
+func sameInstrumented(a, b *simresult.Results) bool {
+	if !simresult.SameOutputs(a, b) || a.DiagTotal != b.DiagTotal {
+		return false
+	}
+	if len(a.DiagCounts) != len(b.DiagCounts) {
+		return false
+	}
+	for k, v := range a.DiagCounts {
+		if b.DiagCounts[k] != v {
+			return false
+		}
+	}
+	if (a.Coverage == nil) != (b.Coverage == nil) {
+		return false
+	}
+	if a.Coverage != nil {
+		if !bytes.Equal(a.Coverage.Actor, b.Coverage.Actor) ||
+			!bytes.Equal(a.Coverage.Cond, b.Coverage.Cond) ||
+			!bytes.Equal(a.Coverage.Dec, b.Coverage.Dec) ||
+			!bytes.Equal(a.Coverage.MCDC, b.Coverage.MCDC) {
+			return false
+		}
+	}
+	return true
+}

@@ -60,7 +60,13 @@ func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.D
 // content hash: distinct models whose names sanitize identically (m.1 vs
 // m_1) get distinct binaries, and two builds sharing one WorkDir never
 // race on a common main.go.
+// Optimized programs additionally carry their opt level, so an -O0 and an
+// -O1 build of one model are tell-apart on disk and can never serve each
+// other's binary even if a hash were ever truncated into collision.
 func artifactTag(p *codegen.Program) string {
+	if p.Opt != "" {
+		return "sim_" + sanitizeFile(p.Model) + "_" + sanitizeFile(p.Opt) + "_" + shortHash(p)
+	}
 	return "sim_" + sanitizeFile(p.Model) + "_" + shortHash(p)
 }
 

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"accmos/internal/codegen"
+)
+
+// TestArtifactTagCarriesOptLevel pins the on-disk half of the cache-key
+// regression: an -O0 and an -O1 build of one model must land in distinct
+// artifacts even when their generated source is byte-identical.
+func TestArtifactTagCarriesOptLevel(t *testing.T) {
+	src := "package main\nfunc main() {}\n"
+	plain := &codegen.Program{Model: "M", Source: src}
+	o0 := &codegen.Program{Model: "M", Source: src, Opt: "O0"}
+	o1 := &codegen.Program{Model: "M", Source: src, Opt: "O1"}
+
+	t0, t1, tp := artifactTag(o0), artifactTag(o1), artifactTag(plain)
+	if t0 == t1 || t0 == tp || t1 == tp {
+		t.Fatalf("artifact tags must be pairwise distinct: %q %q %q", t0, t1, tp)
+	}
+	if !strings.Contains(t0, "_O0_") || !strings.Contains(t1, "_O1_") {
+		t.Errorf("tags should spell the level for on-disk inspection: %q %q", t0, t1)
+	}
+}

@@ -56,6 +56,16 @@ type Options struct {
 	// in the results.
 	Progress      func(obs.Snapshot)
 	ProgressEvery time.Duration
+
+	// Layout overrides the coverage layout (default: derived from c). The
+	// optimizer passes the ORIGINAL model's layout so an optimized run's
+	// bitmaps stay shape- and slot-identical to an O0 run. Every
+	// scheduled actor must be present in the override.
+	Layout *coverage.Layout
+	// Premark holds coverage bits the optimizer proved statically for
+	// removed instrumentation sites; they are OR-ed into the collector at
+	// the start of every run.
+	Premark *coverage.Raw
 }
 
 func (o *Options) fillDefaults() {
@@ -121,7 +131,22 @@ func New(c *actors.Compiled, opts Options) (*Engine, error) {
 		monitor:       make(map[string][]simresult.MonitorSample),
 		monitorHits:   make(map[string]int64),
 	}
-	e.layout = coverage.NewLayout(c)
+	if opts.Layout != nil {
+		for _, info := range c.Order {
+			if _, ok := opts.Layout.ActorIndex[info.Actor.Name]; !ok {
+				return nil, fmt.Errorf("interp: layout override is missing actor %q", info.Actor.Name)
+			}
+		}
+		e.layout = opts.Layout
+	} else {
+		e.layout = coverage.NewLayout(c)
+	}
+	if opts.Premark != nil {
+		// Validate once against the layout shape; reset() merges per run.
+		if err := e.layout.NewRaw().Merge(opts.Premark); err != nil {
+			return nil, fmt.Errorf("interp: premark bitmaps do not match the coverage layout: %w", err)
+		}
+	}
 	e.sink = diagnose.NewSink(opts.MaxDiagRecords)
 
 	e.ecs = make([]actors.EvalCtx, len(c.Order))
@@ -216,6 +241,10 @@ func (e *Engine) reset() {
 	}
 	if e.opts.Coverage {
 		e.collector = coverage.NewCollector(e.layout)
+		if e.opts.Premark != nil {
+			// Sizes were validated in New; Merge cannot fail here.
+			_ = e.collector.Raw.Merge(e.opts.Premark)
+		}
 	} else {
 		e.collector = nil
 	}

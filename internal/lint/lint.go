@@ -14,7 +14,7 @@ import (
 
 	"accmos/internal/actors"
 	"accmos/internal/diagnose"
-	"accmos/internal/graph"
+	"accmos/internal/opt"
 )
 
 // Severity ranks a finding.
@@ -36,9 +36,26 @@ const (
 // hazard for a long-lived daemon accepting third-party models.
 const MaxSignalWidth = 65536
 
+// Rule slugs: the stable machine-readable names of the static rules, so
+// clients (e.g. accmosd admission responses) can filter findings without
+// parsing messages.
+const (
+	RuleMaxSignalWidth       = "MaxSignalWidth"
+	RuleDeadActors           = "DeadActors"
+	RuleDanglingOutput       = "DanglingOutput"
+	RuleDowncast             = "Downcast"
+	RuleConstantBranch       = "ConstantBranch"
+	RuleDivByConstZero       = "DivByConstZero"
+	RuleZeroGain             = "ZeroGain"
+	RuleDegenerateSaturation = "DegenerateSaturation"
+	RuleCoupledConditions    = "CoupledConditions"
+	RuleConstantEnable       = "ConstantEnable"
+)
+
 // Finding is one static diagnosis.
 type Finding struct {
 	Severity Severity
+	Rule     string // stable rule slug (Rule* constants)
 	Actor    string // paper-style path
 	Message  string
 }
@@ -52,8 +69,8 @@ func (f Finding) String() string {
 // by actor path, warnings before infos within an actor.
 func Check(c *actors.Compiled) []Finding {
 	var out []Finding
-	add := func(sev Severity, info *actors.Info, format string, args ...interface{}) {
-		out = append(out, Finding{Severity: sev, Actor: info.Path, Message: fmt.Sprintf(format, args...)})
+	add := func(sev Severity, rule string, info *actors.Info, format string, args ...interface{}) {
+		out = append(out, Finding{Severity: sev, Rule: rule, Actor: info.Path, Message: fmt.Sprintf(format, args...)})
 	}
 
 	constDriver := func(info *actors.Info, port int) (*actors.Info, bool) {
@@ -68,29 +85,10 @@ func Check(c *actors.Compiled) []Finding {
 		return nil, false
 	}
 
-	// Reverse reachability from the model's observable effects: outports
-	// and data-store writes. Anything outside influences nothing.
-	rev := graph.New()
-	for _, info := range c.Order {
-		rev.AddNode(info.Actor.Name)
-		for _, src := range info.InSrc {
-			if src.Actor != "" {
-				rev.AddEdge(info.Actor.Name, src.Actor)
-			}
-		}
-		// Enable edges count as influence too.
-		if info.Gated() {
-			rev.AddEdge(info.Actor.Name, info.EnabledBy.Actor)
-		}
-	}
-	var roots []string
-	for _, info := range c.Order {
-		switch info.Actor.Type {
-		case "Outport", "DataStoreWrite", "Scope", "Display", "ToWorkspace":
-			roots = append(roots, info.Actor.Name)
-		}
-	}
-	influences := rev.Reachable(roots...)
+	// Reverse reachability from the model's observable effects — the same
+	// analysis the optimizer's dead-actor pass runs, so lint flags
+	// exactly the actors -O1 would consider dead.
+	influences := opt.Influencers(c, opt.ObservableRoots(c))
 
 	for _, info := range c.Order {
 		a := info.Actor
@@ -100,7 +98,7 @@ func Check(c *actors.Compiled) []Finding {
 		// hostile model must be stopped before codegen.
 		for i, w := range info.OutWidths {
 			if w > MaxSignalWidth {
-				add(Error, info, "output %d width %d exceeds the supported maximum %d", i, w, MaxSignalWidth)
+				add(Error, RuleMaxSignalWidth, info, "output %d width %d exceeds the supported maximum %d", i, w, MaxSignalWidth)
 			}
 		}
 
@@ -109,21 +107,21 @@ func Check(c *actors.Compiled) []Finding {
 		case "Outport", "Terminator", "Scope", "Display", "ToWorkspace", "DataStoreWrite", "DataStoreMemory":
 		default:
 			if !influences[a.Name] {
-				add(Warning, info, "influences no model output or data store (dead logic)")
+				add(Warning, RuleDeadActors, info, "influences no model output or data store (dead logic)")
 			}
 		}
 
 		// Rule: dangling outputs (computed but never consumed).
 		for p := range a.Outputs {
 			if len(c.Model.Consumers(a.Name, p)) == 0 {
-				add(Info, info, "output %d is computed but never consumed", p)
+				add(Info, RuleDanglingOutput, info, "output %d is computed but never consumed", p)
 			}
 		}
 
 		// Rule: static downcast (the paper's sizeof-based condition).
 		for _, k := range diagnose.RulesFor(info) {
 			if k == diagnose.Downcast {
-				add(Warning, info, "output type %s is narrower than its inputs (downcast, wrap on overflow possible)", info.OutKind())
+				add(Warning, RuleDowncast, info, "output type %s is narrower than its inputs (downcast, wrap on overflow possible)", info.OutKind())
 			}
 		}
 
@@ -132,17 +130,17 @@ func Check(c *actors.Compiled) []Finding {
 		switch a.Type {
 		case "Switch":
 			if drv, ok := constDriver(info, 1); ok {
-				add(Warning, info, "control input is the constant %q: one branch is unreachable",
+				add(Warning, RuleConstantBranch, info, "control input is the constant %q: one branch is unreachable",
 					drv.Actor.Param("Value", "0"))
 			}
 		case "If":
 			if drv, ok := constDriver(info, 0); ok {
-				add(Warning, info, "condition input is the constant %q: one branch is unreachable",
+				add(Warning, RuleConstantBranch, info, "condition input is the constant %q: one branch is unreachable",
 					drv.Actor.Param("Value", "0"))
 			}
 		case "MultiportSwitch":
 			if drv, ok := constDriver(info, 0); ok {
-				add(Warning, info, "index input is the constant %q: all other ports are unreachable",
+				add(Warning, RuleConstantBranch, info, "index input is the constant %q: all other ports are unreachable",
 					drv.Actor.Param("Value", "0"))
 			}
 		}
@@ -156,7 +154,7 @@ func Check(c *actors.Compiled) []Finding {
 				}
 				if drv, ok := constDriver(info, p); ok {
 					if f, err := strconv.ParseFloat(strings.TrimSpace(drv.Actor.Param("Value", "0")), 64); err == nil && f == 0 {
-						add(Warning, info, "divides by the constant zero on input %d", p)
+						add(Warning, RuleDivByConstZero, info, "divides by the constant zero on input %d", p)
 					}
 				}
 			}
@@ -165,13 +163,13 @@ func Check(c *actors.Compiled) []Finding {
 		// Rule: zero gain wipes its signal.
 		if a.Type == "Gain" {
 			if f, err := strconv.ParseFloat(strings.TrimSpace(a.Param("Gain", "1")), 64); err == nil && f == 0 {
-				add(Warning, info, "gain is zero: the output is constant zero")
+				add(Warning, RuleZeroGain, info, "gain is zero: the output is constant zero")
 			}
 		}
 
 		// Rule: degenerate saturation.
 		if a.Type == "Saturation" && a.Param("Min", "") != "" && a.Param("Min", "") == a.Param("Max", "") {
-			add(Warning, info, "saturation bounds are equal: the output is the constant %s", a.Param("Min", ""))
+			add(Warning, RuleDegenerateSaturation, info, "saturation bounds are equal: the output is the constant %s", a.Param("Min", ""))
 		}
 
 		// Rule: logic over duplicated condition sources — MC/DC can never
@@ -181,7 +179,7 @@ func Check(c *actors.Compiled) []Finding {
 			for p, src := range info.InSrc {
 				key := src.String()
 				if prev, dup := seen[key]; dup {
-					add(Warning, info, "inputs %d and %d share the same source %s: coupled conditions make MC/DC unsatisfiable", prev, p, key)
+					add(Warning, RuleCoupledConditions, info, "inputs %d and %d share the same source %s: coupled conditions make MC/DC unsatisfiable", prev, p, key)
 				} else {
 					seen[key] = p
 				}
@@ -192,7 +190,7 @@ func Check(c *actors.Compiled) []Finding {
 		if info.Gated() {
 			drv := c.Info(info.EnabledBy.Actor)
 			if drv != nil && drv.Actor.Type == "Constant" {
-				add(Warning, info, "enable signal is the constant %q: the actor is permanently %s",
+				add(Warning, RuleConstantEnable, info, "enable signal is the constant %q: the actor is permanently %s",
 					drv.Actor.Param("Value", "0"), enabledWord(drv.Actor.Param("Value", "0")))
 			}
 		}

@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+)
+
+// cse merges duplicate actors: when two actors have identical type,
+// operator, params and (representative-resolved) inputs, every consumer of
+// the duplicate is rewired to the representative. The duplicate itself is
+// NOT removed here — it keeps executing with identical instrumentation
+// until dce decides, under its own soundness rules, whether it may go.
+// That split is what makes cse itself unconditionally instrumentation-
+// sound: rewiring consumers to an identical producer changes no value,
+// no coverage bit and no diagnosis record.
+func (s *session) cse(c *actors.Compiled) (*model.Model, int, error) {
+	if hasDataStores(c) {
+		return nil, 0, nil // rescheduling hazard; see hasDataStores
+	}
+	repl := make(map[string]string) // duplicate name -> representative name
+	resolve := func(n string) string {
+		for {
+			r, ok := repl[n]
+			if !ok {
+				return n
+			}
+			n = r
+		}
+	}
+	seen := make(map[string]string) // structural key -> representative name
+	for _, info := range c.Order {
+		if !cseEligible(info) {
+			continue
+		}
+		key := cseKey(info, resolve)
+		if rep, dup := seen[key]; dup {
+			repl[info.Actor.Name] = rep
+		} else {
+			seen[key] = info.Actor.Name
+		}
+	}
+	if len(repl) == 0 {
+		return nil, 0, nil
+	}
+	m2 := c.Model.Clone()
+	for i := range m2.Connections {
+		cn := &m2.Connections[i]
+		if r := resolve(cn.SrcActor); r != cn.SrcActor {
+			cn.SrcActor = r
+		}
+	}
+	for _, a := range m2.Actors {
+		if en := a.Param("EnabledBy", ""); en != "" {
+			if r := resolve(en); r != en {
+				a.SetParam("EnabledBy", r)
+			}
+		}
+	}
+	return m2, len(repl), nil
+}
+
+// cseEligible excludes actors whose identity matters beyond their
+// computed outputs. Stateful actors remain eligible: identical params and
+// identical inputs drive identical deterministic state trajectories
+// (RandomNumber streams are seeded from the Seed param, not the name).
+func cseEligible(info *actors.Info) bool {
+	switch info.Actor.Type {
+	case "Inport", "Outport",
+		"DataStoreRead", "DataStoreWrite", "DataStoreMemory":
+		return false
+	}
+	if len(info.Actor.Outputs) == 0 {
+		return false
+	}
+	if info.Gated() {
+		// Distinct enable histories could diverge even with equal inputs;
+		// and rewiring consumers to a disabled actor would feed them that
+		// actor's zero outputs.
+		return false
+	}
+	return true
+}
+
+// cseKey is the structural identity of an actor: type, resolved operator,
+// sorted params and representative-resolved input references. Walked in
+// schedule order, so input references always resolve through earlier
+// merges (chains of duplicates collapse in one pass).
+func cseKey(info *actors.Info, resolve func(string) string) string {
+	var sb strings.Builder
+	sb.WriteString(string(info.Actor.Type))
+	sb.WriteByte(0)
+	sb.WriteString(info.Operator)
+	sb.WriteByte(0)
+	keys := make([]string, 0, len(info.Actor.Params))
+	for k := range info.Actor.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%s\x00", k, info.Actor.Params[k])
+	}
+	sb.WriteByte(1)
+	for _, src := range info.InSrc {
+		fmt.Fprintf(&sb, "%s:%d\x00", resolve(src.Actor), src.Port)
+	}
+	fmt.Fprintf(&sb, "\x01out:%d", len(info.Actor.Outputs))
+	return sb.String()
+}

@@ -1,0 +1,223 @@
+// Package opt implements the optimizing middle-end: a pass pipeline over
+// the compiled actor IR that runs between actors.Compile and any backend
+// (generated code, interpreter, accelerated interpreter, rapid engine).
+// Classic block-diagram code generators get their next multiplier from
+// model-level optimization; since all four engines consume the same
+// actors.Compiled, one pipeline speeds up every execution path.
+//
+// Passes are instrumentation-sound: with coverage or diagnosis enabled a
+// pass either pre-marks the statically-known coverage bits of what it
+// removed or declines to fire, so the equivalence hash and all
+// diagnostic/coverage outputs are byte-identical to the unoptimized run.
+// To keep bitmap shapes comparable, the coverage Layout returned by
+// Optimize is always derived from the ORIGINAL compiled model; optimized
+// actor names are a subset of the original names, so every name-keyed
+// instrumentation site still resolves.
+package opt
+
+import (
+	"fmt"
+
+	"accmos/internal/actors"
+	"accmos/internal/coverage"
+	"accmos/internal/diagnose"
+	"accmos/internal/graph"
+	"accmos/internal/model"
+	"accmos/internal/obs"
+)
+
+// Level selects how aggressively the pipeline rewrites the model.
+type Level int
+
+const (
+	// O0 disables every pass: the compiled model passes through untouched.
+	O0 Level = 0
+	// O1 enables constant folding, CSE and dead-actor elimination.
+	O1 Level = 1
+)
+
+// String renders the level the way the CLI flag spells it.
+func (l Level) String() string {
+	if l <= O0 {
+		return "O0"
+	}
+	return "O1"
+}
+
+// Options tells the pipeline which observation features are active, since
+// soundness depends on them: an actor is only removable when dropping it
+// cannot change coverage bitmaps, diagnosis counts, monitor samples or
+// stop conditions.
+type Options struct {
+	Level    Level
+	Coverage bool
+	Diagnose bool
+	// Monitor lists actor names whose outputs are signal-monitored; they
+	// are roots for dead-actor elimination.
+	Monitor []string
+	// Custom are custom check attachment points; their actors are roots.
+	Custom []diagnose.CustomCheck
+	// StopOnActor names (by actor name or path) the actor a stop
+	// condition watches; it is a root.
+	StopOnActor string
+	// Trace receives one span per pass ("opt.constfold", ...). May be nil.
+	Trace *obs.Tracer
+}
+
+// PassStat records how many sites one pass rewrote.
+type PassStat struct {
+	Pass    string `json:"pass"`
+	Changed int    `json:"changed"`
+}
+
+// Result is the outcome of running the pipeline.
+type Result struct {
+	// Compiled is the optimized model (the input model at O0 or when no
+	// pass fired).
+	Compiled *actors.Compiled
+	// Layout is the coverage layout of the ORIGINAL model. Both the
+	// generated program and the interpreter must use it (not a layout of
+	// the optimized model) so bitmap shapes match an O0 run bit for bit.
+	Layout *coverage.Layout
+	// Premark holds coverage bits whose outcomes the optimizer proved
+	// statically and whose marking sites it removed; engines OR it into
+	// their bitmaps before stepping. Nil when empty or coverage is off.
+	Premark *coverage.Raw
+	// ActorsBefore/ActorsAfter count scheduled actors around the pipeline.
+	ActorsBefore int
+	ActorsAfter  int
+	// Passes lists per-pass rewrite counts in execution order.
+	Passes []PassStat
+}
+
+// session carries per-run state shared by the passes.
+type session struct {
+	o   Options
+	pre *coverage.Collector // premark bits, original layout
+}
+
+// Optimize runs the pass pipeline (constfold, cse, dce) over c and
+// returns the optimized model plus everything the backends need to stay
+// observationally identical to the unoptimized run.
+func Optimize(c *actors.Compiled, o Options) (*Result, error) {
+	res := &Result{
+		Compiled:     c,
+		Layout:       coverage.NewLayout(c),
+		ActorsBefore: len(c.Order),
+		ActorsAfter:  len(c.Order),
+	}
+	if o.Level <= O0 {
+		return res, nil
+	}
+	s := &session{o: o, pre: coverage.NewCollector(res.Layout)}
+	cur := c
+	passes := []struct {
+		name string
+		fn   func(*session, *actors.Compiled) (*model.Model, int, error)
+	}{
+		{"constfold", (*session).constFold},
+		{"cse", (*session).cse},
+		{"dce", (*session).dce},
+	}
+	for _, p := range passes {
+		sp := o.Trace.Start("opt." + p.name)
+		m2, changed, err := p.fn(s, cur)
+		if err != nil {
+			sp.End()
+			return nil, fmt.Errorf("opt: %s: %w", p.name, err)
+		}
+		if changed > 0 {
+			c2, cErr := actors.Compile(m2)
+			if cErr != nil {
+				sp.End()
+				return nil, fmt.Errorf("opt: %s produced an uncompilable model: %w", p.name, cErr)
+			}
+			cur = c2
+		}
+		sp.End()
+		res.Passes = append(res.Passes, PassStat{Pass: p.name, Changed: changed})
+	}
+	res.Compiled = cur
+	res.ActorsAfter = len(cur.Order)
+	if o.Coverage {
+		if set, _ := s.pre.Raw.Progress(); set > 0 {
+			res.Premark = s.pre.Raw
+		}
+	}
+	return res, nil
+}
+
+// hasDataStores reports whether any data-store actor is scheduled. The
+// relative schedule order of DataStoreRead vs DataStoreWrite among
+// otherwise-unconnected actors is a pure topological tie-break;
+// edge-rewriting passes (constant folding, CSE) could change node
+// availability timing and flip a read/write interleaving, so they decline
+// on such models. Dead-actor elimination is order-preserving for live
+// actors (a dead actor never has an edge into a live one) and stays on.
+func hasDataStores(c *actors.Compiled) bool {
+	for _, info := range c.Order {
+		switch info.Actor.Type {
+		case "DataStoreRead", "DataStoreWrite", "DataStoreMemory":
+			return true
+		}
+	}
+	return false
+}
+
+// ObservableRoots returns the names of actors with externally observable
+// effects: root outputs, data-store writers and declarations, and display
+// sinks. Shared by dead-actor elimination and the lint DeadActors rule.
+func ObservableRoots(c *actors.Compiled) []string {
+	var roots []string
+	for _, info := range c.Order {
+		switch info.Actor.Type {
+		case "Outport", "DataStoreWrite", "DataStoreMemory",
+			"Scope", "Display", "ToWorkspace":
+			roots = append(roots, info.Actor.Name)
+		}
+	}
+	return roots
+}
+
+// Influencers returns every actor that transitively influences one of the
+// named root actors through a data or enable edge, roots included.
+func Influencers(c *actors.Compiled, roots []string) map[string]bool {
+	rev := graph.New()
+	for _, info := range c.Order {
+		rev.AddNode(info.Actor.Name)
+	}
+	for _, info := range c.Order {
+		for _, src := range info.InSrc {
+			if src.Actor != "" {
+				rev.AddEdge(info.Actor.Name, src.Actor)
+			}
+		}
+		if info.Gated() {
+			rev.AddEdge(info.Actor.Name, info.EnabledBy.Actor)
+		}
+	}
+	return rev.Reachable(roots...)
+}
+
+// rebuildModel assembles a new model from src keeping only the actors and
+// connections the predicates accept. Model keeps a private name index, so
+// filtered copies go through New/AddActor rather than slicing.
+func rebuildModel(src *model.Model, keepActor func(*model.Actor) bool, keepConn func(model.Connection) bool) *model.Model {
+	out := model.New(src.Name)
+	for _, a := range src.Actors {
+		if !keepActor(a) {
+			continue
+		}
+		if err := out.AddActor(a); err != nil {
+			// src is a freshly cloned valid model; a collision here is a
+			// pass bug, not an input condition.
+			panic(err)
+		}
+	}
+	for _, cn := range src.Connections {
+		if keepConn(cn) {
+			out.Connections = append(out.Connections, cn)
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package opt
+
+import (
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/benchmodels"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func compile(t *testing.T, m *model.Model) *actors.Compiled {
+	t.Helper()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatalf("compile %s: %v", m.Name, err)
+	}
+	return c
+}
+
+func optimize(t *testing.T, c *actors.Compiled, o Options) *Result {
+	t.Helper()
+	res, err := Optimize(c, o)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return res
+}
+
+func passChanged(res *Result, pass string) int {
+	for _, p := range res.Passes {
+		if p.Pass == pass {
+			return p.Changed
+		}
+	}
+	return -1
+}
+
+// liveMini is a tiny live path with a constant-fed saturation chain
+// joining it: In1 -> MinMax(In1, Sat1(Sat0(K))) -> Out1.
+func liveMini() *model.Model {
+	b := model.NewBuilder("MINI")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("K", "Constant", 0, 1, model.WithParam("Value", "7"))
+	b.Add("Sat0", "Saturation", 1, 1, model.WithParam("Min", "-4"), model.WithParam("Max", "4"))
+	b.Add("Sat1", "Saturation", 1, 1, model.WithParam("Min", "-3"), model.WithParam("Max", "3"))
+	b.Add("Join", "MinMax", 2, 1, model.WithOperator("min"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("K", 0, "Sat0", 0)
+	b.Connect("Sat0", 0, "Sat1", 0)
+	b.Connect("In1", 0, "Join", 0)
+	b.Connect("Sat1", 0, "Join", 1)
+	b.Connect("Join", 0, "Out1", 0)
+	return b.MustBuild()
+}
+
+func TestO0PassesThrough(t *testing.T) {
+	c := compile(t, liveMini())
+	res := optimize(t, c, Options{Level: O0})
+	if res.Compiled != c {
+		t.Fatal("O0 must return the input model untouched")
+	}
+	if len(res.Passes) != 0 {
+		t.Fatalf("O0 ran passes: %v", res.Passes)
+	}
+	if res.ActorsBefore != res.ActorsAfter {
+		t.Fatalf("O0 changed actor count: %d -> %d", res.ActorsBefore, res.ActorsAfter)
+	}
+}
+
+func TestConstFoldChain(t *testing.T) {
+	c := compile(t, liveMini())
+	res := optimize(t, c, Options{Level: O1})
+	if n := passChanged(res, "constfold"); n < 2 {
+		t.Fatalf("constfold changed %d sites, want >= 2 (Sat0, Sat1)", n)
+	}
+	// K=7 saturates to 4 then to 3; after DCE only the folded Sat1
+	// constant survives on the dead branch.
+	info := res.Compiled.Info("Sat1")
+	if info == nil || info.Actor.Type != "Constant" {
+		t.Fatalf("Sat1 not folded to a Constant: %+v", info)
+	}
+	if got := info.Actor.Param("Value", ""); got != "3" {
+		t.Fatalf("Sat1 folded to %q, want 3", got)
+	}
+	for _, gone := range []string{"K", "Sat0"} {
+		if res.Compiled.Info(gone) != nil {
+			t.Fatalf("%s should be dead after folding", gone)
+		}
+	}
+	if res.ActorsAfter != 4 { // In1, Sat1 (as Constant), Join, Out1
+		t.Fatalf("ActorsAfter = %d, want 4", res.ActorsAfter)
+	}
+}
+
+func TestCSEMergesDuplicates(t *testing.T) {
+	b := model.NewBuilder("DUP")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("SgA", "Sign", 1, 1)
+	b.Add("SgB", "Sign", 1, 1)
+	b.Add("Join", "MinMax", 2, 1, model.WithOperator("max"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "SgA", 0)
+	b.Connect("In1", 0, "SgB", 0)
+	b.Connect("SgA", 0, "Join", 0)
+	b.Connect("SgB", 0, "Join", 1)
+	b.Connect("Join", 0, "Out1", 0)
+	c := compile(t, b.MustBuild())
+
+	res := optimize(t, c, Options{Level: O1})
+	if n := passChanged(res, "cse"); n != 1 {
+		t.Fatalf("cse changed %d sites, want 1", n)
+	}
+	if res.ActorsAfter != 4 { // In1, one Sign, Join, Out1
+		t.Fatalf("ActorsAfter = %d, want 4", res.ActorsAfter)
+	}
+}
+
+func TestDCERemovesIslandAndPremarks(t *testing.T) {
+	b := model.NewBuilder("ISLE")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("Lim", "Saturation", 1, 1, model.WithParam("Min", "-1"), model.WithParam("Max", "1"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Add("IK", "Constant", 0, 1, model.WithParam("Value", "5"))
+	b.Add("ISg", "Sign", 1, 1)
+	b.Connect("In1", 0, "Lim", 0)
+	b.Connect("Lim", 0, "Out1", 0)
+	b.Connect("IK", 0, "ISg", 0)
+	c := compile(t, b.MustBuild())
+
+	res := optimize(t, c, Options{Level: O1, Coverage: true})
+	for _, gone := range []string{"IK", "ISg"} {
+		if res.Compiled.Info(gone) != nil {
+			t.Fatalf("%s should be removed", gone)
+		}
+	}
+	if res.Premark == nil {
+		t.Fatal("coverage run must premark the removed island's actor bits")
+	}
+	for _, gone := range []string{"IK", "ISg"} {
+		i, ok := res.Layout.ActorIndex[gone]
+		if !ok {
+			t.Fatalf("original layout lost actor %s", gone)
+		}
+		if res.Premark.Actor[i] == 0 {
+			t.Fatalf("actor bit for removed %s not premarked", gone)
+		}
+	}
+	// The live path must not be premarked: it still executes.
+	if i := res.Layout.ActorIndex["Lim"]; res.Premark.Actor[i] != 0 {
+		t.Fatal("live actor Lim must not be premarked")
+	}
+}
+
+func TestDCEKeepsBranchActorsUnderCoverage(t *testing.T) {
+	b := model.NewBuilder("BRK")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	// Dead, but a branch actor: its condition bits depend on runtime
+	// values, so coverage runs must keep executing it.
+	b.Add("DSat", "Saturation", 1, 1, model.WithParam("Min", "-1"), model.WithParam("Max", "1"))
+	b.Connect("In1", 0, "Out1", 0)
+	b.Connect("In1", 0, "DSat", 0)
+	c := compile(t, b.MustBuild())
+
+	plain := optimize(t, c, Options{Level: O1})
+	if plain.Compiled.Info("DSat") != nil {
+		t.Fatal("plain run should remove the dead saturation")
+	}
+	cov := optimize(t, c, Options{Level: O1, Coverage: true})
+	if cov.Compiled.Info("DSat") == nil {
+		t.Fatal("coverage run must keep the dead branch actor")
+	}
+}
+
+func TestDataStoresDisableRewiringPasses(t *testing.T) {
+	b := model.NewBuilder("DS")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("K", "Constant", 0, 1, model.WithParam("Value", "2"))
+	b.Add("Sat", "Saturation", 1, 1, model.WithParam("Min", "-1"), model.WithParam("Max", "1"))
+	b.Add("SgA", "Sign", 1, 1)
+	b.Add("SgB", "Sign", 1, 1)
+	b.Add("Join", "MinMax", 3, 1, model.WithOperator("max"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Add("Mem", "DataStoreMemory", 0, 0, model.WithParam("Store", "st"), model.WithOutKind(types.I32))
+	b.Connect("K", 0, "Sat", 0)
+	b.Connect("In1", 0, "SgA", 0)
+	b.Connect("In1", 0, "SgB", 0)
+	b.Connect("Sat", 0, "Join", 0)
+	b.Connect("SgA", 0, "Join", 1)
+	b.Connect("SgB", 0, "Join", 2)
+	b.Connect("Join", 0, "Out1", 0)
+	c := compile(t, b.MustBuild())
+
+	res := optimize(t, c, Options{Level: O1})
+	if n := passChanged(res, "constfold"); n != 0 {
+		t.Fatalf("constfold must decline on data-store models, changed %d", n)
+	}
+	if n := passChanged(res, "cse"); n != 0 {
+		t.Fatalf("cse must decline on data-store models, changed %d", n)
+	}
+}
+
+func TestMonitorAndStopActorsAreRoots(t *testing.T) {
+	b := model.NewBuilder("ROOTS")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("Watch", "Sign", 1, 1)
+	b.Add("Stop", "Sign", 1, 1)
+	b.Add("Dead", "Sign", 1, 1)
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "Watch", 0)
+	b.Connect("In1", 0, "Stop", 0)
+	b.Connect("In1", 0, "Dead", 0)
+	b.Connect("In1", 0, "Out1", 0)
+	c := compile(t, b.MustBuild())
+
+	res := optimize(t, c, Options{Level: O1, Monitor: []string{"Watch"}, StopOnActor: "Stop"})
+	for _, kept := range []string{"Watch", "Stop"} {
+		if res.Compiled.Info(kept) == nil {
+			t.Fatalf("%s is observed and must survive DCE", kept)
+		}
+	}
+	if res.Compiled.Info("Dead") != nil {
+		t.Fatal("unobserved Dead should be eliminated")
+	}
+}
+
+func TestOptShapesShrink(t *testing.T) {
+	limits := map[string]int{"OPTC": 8, "OPTD": 12, "OPTI": 5}
+	for _, name := range benchmodels.OptNames() {
+		c := compile(t, benchmodels.MustBuildOpt(name))
+		res := optimize(t, c, Options{Level: O1})
+		if res.ActorsAfter > limits[name] {
+			t.Errorf("%s: %d -> %d actors, want <= %d (passes %v)",
+				name, res.ActorsBefore, res.ActorsAfter, limits[name], res.Passes)
+		}
+		if res.ActorsBefore < 80 {
+			t.Errorf("%s: only %d actors before optimization; the shape should be large", name, res.ActorsBefore)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package server
 import (
 	"time"
 
+	accmos "accmos"
 	"accmos/internal/coverage"
 	"accmos/internal/simresult"
 )
@@ -47,6 +48,11 @@ type SubmitRequest struct {
 
 	Coverage bool `json:"coverage,omitempty"`
 	Diagnose bool `json:"diagnose,omitempty"`
+
+	// OptLevel selects the optimizing middle-end level for this job
+	// (0 or 1). Absent = the daemon's -opt default. Distinct levels
+	// never share build-cache entries.
+	OptLevel *int `json:"optLevel,omitempty"`
 
 	// Seed (with Lo/Hi bounds, default [-1, 1]) selects deterministic
 	// uniform random stimuli; zero keeps the facade default.
@@ -90,8 +96,11 @@ func (s JobState) Terminal() bool {
 // LintLine is one lint finding in wire form.
 type LintLine struct {
 	Severity string `json:"severity"`
-	Actor    string `json:"actor"`
-	Message  string `json:"message"`
+	// Rule is the stable machine-readable rule slug (e.g. "DeadActors");
+	// clients filter on it rather than parsing Message.
+	Rule    string `json:"rule,omitempty"`
+	Actor   string `json:"actor"`
+	Message string `json:"message"`
 }
 
 // JobView is the GET /v1/jobs/{id} payload (and the final record of an
@@ -130,6 +139,10 @@ type JobView struct {
 	Coverage       *coverage.Report   `json:"coverage,omitempty"`
 	SweepRuns      int                `json:"sweepRuns,omitempty"`
 	MergedCoverage *coverage.Report   `json:"mergedCoverage,omitempty"`
+
+	// Opt reports what the optimizing middle-end did for this job
+	// (level, actors before/after, per-pass rewrite counts).
+	Opt *accmos.OptStats `json:"opt,omitempty"`
 }
 
 // ErrorResponse is the structured error body every non-2xx endpoint
@@ -162,6 +175,16 @@ type CacheView struct {
 	HitRate   float64 `json:"hitRate"`
 }
 
+// OptTotals aggregates optimizing-middle-end activity across finished
+// jobs: how many ran at each level and how many scheduled actors the
+// pipeline saw and kept in total.
+type OptTotals struct {
+	O0Jobs       int64 `json:"o0Jobs"`
+	O1Jobs       int64 `json:"o1Jobs"`
+	ActorsBefore int64 `json:"actorsBefore"`
+	ActorsAfter  int64 `json:"actorsAfter"`
+}
+
 // MetricsView is the GET /metrics payload.
 type MetricsView struct {
 	QueueDepth  int                   `json:"queueDepth"`
@@ -171,6 +194,7 @@ type MetricsView struct {
 	UptimeNanos int64                 `json:"uptimeNanos"`
 	Jobs        map[string]int64      `json:"jobs"`
 	Cache       CacheView             `json:"cache"`
+	Opt         OptTotals             `json:"opt"`
 	Phases      map[string]PhaseStats `json:"phases,omitempty"`
 }
 

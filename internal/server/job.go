@@ -20,6 +20,7 @@ type JobSpec struct {
 	Timeout    time.Duration
 	Coverage   bool
 	Diagnose   bool
+	OptLevel   accmos.OptLevel
 	Seed       uint64
 	Lo, Hi     float64
 	SweepSeeds []uint64
@@ -36,6 +37,8 @@ type Outcome struct {
 	// SweepRuns and Merged describe a sweep job's outcome.
 	SweepRuns int
 	Merged    *coverage.Report
+	// Opt reports what the optimizing middle-end did.
+	Opt *accmos.OptStats
 }
 
 // job is the server-side record of one submission. All fields except
@@ -95,6 +98,7 @@ func (j *job) view() JobView {
 		v.Coverage = o.Coverage
 		v.SweepRuns = o.SweepRuns
 		v.MergedCoverage = o.Merged
+		v.Opt = o.Opt
 	}
 	return v
 }

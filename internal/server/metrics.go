@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	accmos "accmos"
 	"accmos/internal/obs"
 )
 
@@ -64,6 +65,7 @@ type metrics struct {
 	failed    int64
 	canceled  int64
 	rejected  int64 // 429s: work refused by admission control
+	opt       OptTotals
 	phases    map[string]*phaseHist
 }
 
@@ -102,6 +104,28 @@ func (m *metrics) recordTrace(tr *obs.Tracer) {
 		}
 	}
 	walk(tr.Trace().Spans)
+}
+
+// recordOpt folds one finished job's optimizer stats into the totals.
+func (m *metrics) recordOpt(o *accmos.OptStats) {
+	if o == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if o.Level == "O0" {
+		m.opt.O0Jobs++
+	} else {
+		m.opt.O1Jobs++
+	}
+	m.opt.ActorsBefore += int64(o.ActorsBefore)
+	m.opt.ActorsAfter += int64(o.ActorsAfter)
+}
+
+func (m *metrics) optTotals() OptTotals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.opt
 }
 
 func (m *metrics) jobCounts() map[string]int64 {

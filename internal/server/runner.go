@@ -27,6 +27,7 @@ func PipelineRunner(cache *accmos.BuildCache) Runner {
 			Budget:        spec.Budget,
 			Coverage:      spec.Coverage,
 			Diagnose:      spec.Diagnose,
+			OptLevel:      spec.OptLevel,
 			Timeout:       spec.Timeout,
 			Cache:         cache,
 			Trace:         tr,
@@ -50,6 +51,7 @@ func PipelineRunner(cache *accmos.BuildCache) Runner {
 			out := &Outcome{SweepRuns: len(sw.Runs), Merged: &merged}
 			if len(sw.Runs) > 0 && sw.Runs[0] != nil {
 				out.CacheHit = sw.Runs[0].CacheHit
+				out.Opt = sw.Runs[0].Opt
 			}
 			return out, nil
 		}
@@ -58,7 +60,7 @@ func PipelineRunner(cache *accmos.BuildCache) Runner {
 		if err != nil {
 			return nil, err
 		}
-		out := &Outcome{Results: res.Results, CacheHit: res.CacheHit}
+		out := &Outcome{Results: res.Results, CacheHit: res.CacheHit, Opt: res.Opt}
 		if spec.Coverage {
 			rep := res.CoverageReport()
 			out.Coverage = &rep

@@ -41,6 +41,10 @@ type Config struct {
 	// JobTimeout caps every job's execution; a request asking for more
 	// (or for none) is clamped to it. Zero = no cap.
 	JobTimeout time.Duration
+	// DefaultOptLevel is the optimizing-middle-end level applied to
+	// submissions that do not choose one (zero value = the facade
+	// default, O1).
+	DefaultOptLevel accmos.OptLevel
 	// RetainJobs bounds how many finished job records stay queryable
 	// (default 4096, oldest evicted first).
 	RetainJobs int
@@ -245,6 +249,9 @@ func (s *Server) finishLocked(j *job, state JobState, errMsg string, tr *accmos.
 		s.metrics.recordTrace(tr)
 		j.phases = phaseTotals(tr)
 	}
+	if j.outcome != nil {
+		s.metrics.recordOpt(j.outcome.Opt)
+	}
 	switch state {
 	case JobDone:
 		s.metrics.count(&s.metrics.done)
@@ -339,11 +346,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
 		Coverage:   req.Coverage,
 		Diagnose:   req.Diagnose,
+		OptLevel:   s.cfg.DefaultOptLevel,
 		Seed:       req.Seed,
 		Lo:         req.Lo,
 		Hi:         req.Hi,
 		SweepSeeds: req.SweepSeeds,
 		Heartbeat:  defaultHeartbeat,
+	}
+	if req.OptLevel != nil {
+		lv, err := accmos.OptLevelFromInt(*req.OptLevel)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "optLevel: %v", err)
+			return
+		}
+		spec.OptLevel = lv
 	}
 	if req.HeartbeatMS > 0 {
 		spec.Heartbeat = time.Duration(req.HeartbeatMS) * time.Millisecond
@@ -401,7 +417,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func lintLines(fs []lint.Finding) []LintLine {
 	out := make([]LintLine, len(fs))
 	for i, f := range fs {
-		out[i] = LintLine{Severity: string(f.Severity), Actor: f.Actor, Message: f.Message}
+		out[i] = LintLine{Severity: string(f.Severity), Rule: f.Rule, Actor: f.Actor, Message: f.Message}
 	}
 	return out
 }
@@ -529,6 +545,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Evictions: cs.Evictions,
 			HitRate:   cs.HitRate(),
 		},
+		Opt:    s.metrics.optTotals(),
 		Phases: s.metrics.phaseStats(),
 	})
 }
