@@ -86,6 +86,18 @@ type (
 // with SetLimit.
 func NewBuildCache(dir string) *BuildCache { return harness.NewBuildCache(dir) }
 
+// WorkerPool keeps warm serve-mode processes per compiled artifact; see
+// Options.Pool. WorkerStats snapshots its spawn/reuse/respawn counters.
+type (
+	WorkerPool  = harness.WorkerPool
+	WorkerStats = harness.WorkerStats
+)
+
+// NewWorkerPool creates a worker pool keeping up to perArtifact warm
+// serve-mode processes per compiled binary (minimum 1). Close it when
+// done — warm workers are live child processes.
+func NewWorkerPool(perArtifact int) *WorkerPool { return harness.NewWorkerPool(perArtifact) }
+
 // DefaultBuildCache returns the process-wide cache used when neither
 // Options.Cache nor Options.WorkDir is set.
 func DefaultBuildCache() *BuildCache { return harness.DefaultCache }
@@ -264,6 +276,18 @@ type Options struct {
 	// coverage and the Runs order are identical at any parallelism.
 	Parallelism int
 
+	// Workers, when > 0, makes Sweep execute its suites through a warm
+	// worker pool of up to this many serve-mode processes per compiled
+	// artifact, amortizing process startup across runs. The pool lives
+	// for the one call. Results are bit-identical to spawn-per-run mode.
+	Workers int
+
+	// Pool routes execution through an externally owned worker pool —
+	// how a long-lived service (accmosd) keeps workers warm across jobs
+	// that share an artifact. The caller closes it. When set, Simulate
+	// and Sweep both use it, and Workers is ignored.
+	Pool *WorkerPool
+
 	// Progress receives live progress snapshots while the simulation
 	// runs: for Simulate these are the generated program's stderr
 	// heartbeats; for the in-process engines, step-loop ticks. Setting it
@@ -304,6 +328,11 @@ type Result struct {
 	// cache (CompileNanos is then the original build's amortised cost) —
 	// how a serving layer proves cross-request compile amortization.
 	CacheHit bool
+
+	// WorkerReuse reports that this run was served by an already-warm
+	// serve-mode worker — the per-run process startup was amortized away
+	// (false for spawn-per-run execution and for a pool's first run).
+	WorkerReuse bool
 
 	// Opt reports what the optimizing middle-end did (nil only for
 	// results that never went through prepare).
@@ -461,7 +490,7 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := harness.RunContext(ctx, bin, harness.RunOptions{
+	ro := harness.RunOptions{
 		Steps:     opts.steps(),
 		Budget:    opts.Budget,
 		Model:     m.Name,
@@ -469,12 +498,21 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		Heartbeat: opts.progressEvery(),
 		Progress:  opts.Progress,
 		Trace:     opts.Trace,
-	})
+	}
+	var (
+		res    *simresult.Results
+		reused bool
+	)
+	if opts.Pool != nil {
+		res, reused, err = opts.Pool.RunContext(ctx, bin, ro)
+	} else {
+		res, err = harness.RunContext(ctx, bin, ro)
+	}
 	if err != nil {
 		return nil, err
 	}
 	res.CompileNanos = compileTime.Nanoseconds()
-	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, Opt: optStats(&opts, or)}, nil
+	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, WorkerReuse: reused, Opt: optStats(&opts, or)}, nil
 }
 
 // buildProgram compiles prog honouring the WorkDir contract: a pinned
@@ -555,6 +593,11 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 	if workers > len(seedXors) {
 		workers = len(seedXors)
 	}
+	pool := opts.Pool
+	if pool == nil && opts.Workers > 0 {
+		pool = NewWorkerPool(opts.Workers)
+		defer pool.Close()
+	}
 
 	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
 	runs := make([]*Result, len(seedXors))
@@ -601,7 +644,16 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 						cb(s)
 					}
 				}
-				res, err := harness.RunContext(runCtx, bin, ro)
+				var (
+					res    *simresult.Results
+					reused bool
+					err    error
+				)
+				if pool != nil {
+					res, reused, err = pool.RunContext(runCtx, bin, ro)
+				} else {
+					res, err = harness.RunContext(runCtx, bin, ro)
+				}
 				if err != nil {
 					fail(err)
 					continue
@@ -616,7 +668,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 						continue
 					}
 				}
-				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, Opt: optStats(&opts, or)}
+				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, WorkerReuse: reused, Opt: optStats(&opts, or)}
 			}
 		}(w)
 	}

@@ -47,6 +47,7 @@ func main() {
 		optLevel  = flag.Int("O", 1, "optimization level: 0 = off, 1 = constant folding + CSE + dead-actor elimination")
 		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
 		parallel  = flag.Int("parallel", 0, "concurrent suite executions for -sweep (0 = GOMAXPROCS, 1 = sequential)")
+		workers   = flag.Int("workers", 0, "warm serve-mode worker processes for -sweep: suites reuse up to N live binaries instead of spawning one process per run (0 = spawn per run)")
 		timeout   = flag.Duration("timeout", 0, "kill a generated-binary run exceeding this wall-clock deadline, e.g. 30s (0 = none)")
 		progress  = flag.Bool("progress", false, "show a live progress line (steps/sec, coverage) on stderr")
 		traceJSON = flag.String("trace-json", "", "write the pipeline phase trace (parse/schedule/instrument/generate/compile/run) as JSON to this file")
@@ -124,6 +125,7 @@ func main() {
 		WorkDir:     *workDir,
 		Timeout:     *timeout,
 		Parallelism: *parallel,
+		Workers:     *workers,
 		Trace:       tracer,
 	}
 	if *monitor != "" {
@@ -159,6 +161,15 @@ func main() {
 		merged := sw.MergedCoverage()
 		fmt.Printf("  merged:   actor %5.1f%%  cond %5.1f%%  dec %5.1f%%  mc/dc %5.1f%%\n",
 			merged.Actor, merged.Cond, merged.Dec, merged.MCDC)
+		if *workers > 0 {
+			warm := 0
+			for _, run := range sw.Runs {
+				if run.WorkerReuse {
+					warm++
+				}
+			}
+			fmt.Printf("  workers:  %d of %d suites served by a warm worker\n", warm, len(sw.Runs))
+		}
 		if *uncovered {
 			missed := sw.MergedUncovered()
 			fmt.Printf("uncovered by every suite: %d\n", len(missed))

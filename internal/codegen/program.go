@@ -120,6 +120,13 @@ type Generator struct {
 	inits   []string
 	updates []string
 
+	// resets holds one assignment per mutable zero-valued global,
+	// restoring it to its fresh-process value; modelReset runs them all
+	// before replaying modelInit so serve mode can reuse the process.
+	// Initializer-bearing declarations (read-only tables) and function
+	// declarations are excluded — they carry no per-run state.
+	resets []string
+
 	// outVar names each actor output's generated variable.
 	outVar map[string][]string
 
@@ -227,7 +234,7 @@ func (g *Generator) prepare() error {
 		g.storeVars[name] = v
 		k := actors.StoreKind(ds)
 		g.storeKinds[name] = k
-		g.globals = append(g.globals, fmt.Sprintf("var %s %s", v, k.GoType()))
+		g.Global(fmt.Sprintf("var %s %s", v, k.GoType()))
 		g.inits = append(g.inits, fmt.Sprintf("%s = %s", v, actors.StoreInit(ds).GoLiteral()))
 	}
 
@@ -301,8 +308,18 @@ func sanitize(s string) string {
 
 // ---- actors.ProgramSink implementation ----
 
-// Global registers a package-level declaration.
-func (g *Generator) Global(decl string) { g.globals = append(g.globals, decl) }
+// Global registers a package-level declaration. Declarations of the
+// shape "var NAME TYPE" (mutable state relying on Go zero values) are
+// additionally tracked for modelReset; declarations with initializers
+// (constant tables) and func declarations are emitted verbatim only.
+func (g *Generator) Global(decl string) {
+	g.globals = append(g.globals, decl)
+	if body, ok := strings.CutPrefix(decl, "var "); ok && !strings.Contains(body, "=") {
+		if name, typ, ok := strings.Cut(body, " "); ok {
+			g.resets = append(g.resets, fmt.Sprintf("%s = *new(%s)", name, typ))
+		}
+	}
+}
 
 // InitStmt registers a modelInit statement.
 func (g *Generator) InitStmt(stmt string) { g.inits = append(g.inits, stmt) }

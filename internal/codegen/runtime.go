@@ -215,8 +215,9 @@ func jsonFloat(f float64) string {
 // emitHeartbeat writes one NDJSON progress record to stderr. The line
 // shape is the contract obs.ParseHeartbeat decodes — keep in sync with
 // internal/obs. covEnabled is a generated constant; when false the
-// coverage field reports -1.
-func emitHeartbeat(steps int64, elapsed time.Duration, final bool) {
+// coverage field reports -1. runID tags serve-mode heartbeats with the
+// request they belong to ("" — and no "run" field — in one-shot mode).
+func emitHeartbeat(runID string, steps int64, elapsed time.Duration, final bool) {
 	sps := 0.0
 	if elapsed > 0 {
 		sps = float64(steps) / elapsed.Seconds()
@@ -242,8 +243,79 @@ func emitHeartbeat(steps int64, elapsed time.Duration, final bool) {
 	if final {
 		fin = ",\"final\":true"
 	}
+	run := ""
+	if runID != "" {
+		run = ",\"run\":" + strconv.Quote(runID)
+	}
 	fmt.Fprintf(os.Stderr,
-		"{\"accmosHB\":1,\"model\":%q,\"engine\":\"AccMoS\",\"steps\":%d,\"elapsedNanos\":%d,\"stepsPerSec\":%s,\"coverage\":%s,\"diags\":%d%s}\n",
-		modelName, steps, elapsed.Nanoseconds(), jsonFloat(sps), jsonFloat(cov), diagTotal, fin)
+		"{\"accmosHB\":1,\"model\":%q,\"engine\":\"AccMoS\",\"steps\":%d,\"elapsedNanos\":%d,\"stepsPerSec\":%s,\"coverage\":%s,\"diags\":%d%s%s}\n",
+		modelName, steps, elapsed.Nanoseconds(), jsonFloat(sps), jsonFloat(cov), diagTotal, fin, run)
+}
+
+// serveRequest is one warm-worker run request — a single NDJSON line on
+// stdin in serve mode. Keep in sync with the harness worker pool's
+// request encoder (internal/harness).
+type serveRequest struct {
+	ID          string ` + "`json:\"id\"`" + `
+	Steps       int64  ` + "`json:\"steps\"`" + `
+	BudgetMS    int64  ` + "`json:\"budgetMs\"`" + `
+	SeedXor     uint64 ` + "`json:\"seedXor\"`" + `
+	HeartbeatMS int64  ` + "`json:\"heartbeatMs\"`" + `
+}
+
+// writeFrame emits one NDJSON response frame on stdout and flushes, so
+// the host sees exactly one line per request as soon as the run ends.
+func writeFrame(out *bufio.Writer, id string, result []byte, errMsg string) {
+	out.WriteString("{\"accmosRun\":1,\"id\":")
+	out.WriteString(strconv.Quote(id))
+	if errMsg != "" {
+		out.WriteString(",\"error\":")
+		out.WriteString(strconv.Quote(errMsg))
+	} else {
+		out.WriteString(",\"result\":")
+		out.Write(result)
+	}
+	out.WriteString("}\n")
+	out.Flush()
+}
+
+// serveLoop is the warm-worker mode behind the -serve flag: read NDJSON
+// run requests from stdin, execute each against fully re-initialized
+// model state (modelReset), and answer with one NDJSON result frame per
+// request on stdout. Heartbeats stay on stderr, tagged with the request
+// id. The process exits when stdin reaches EOF — the host closes the
+// pipe to retire a worker gracefully.
+//
+// Request fields are used verbatim: steps simulates exactly that many
+// steps when budgetMs <= 0 (steps <= 0 falls back to the binary's
+// -steps default); heartbeatMs <= 0 disables heartbeats for that run.
+func serveLoop(defSteps int64) {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	out := bufio.NewWriter(os.Stdout)
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req serveRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			writeFrame(out, req.ID, nil, "decoding request: "+err.Error())
+			continue
+		}
+		seedXor = req.SeedXor
+		modelReset()
+		steps := req.Steps
+		if steps <= 0 && req.BudgetMS <= 0 {
+			steps = defSteps
+		}
+		hb := time.Duration(req.HeartbeatMS) * time.Millisecond
+		executed, elapsed := runSim(steps, req.BudgetMS, hb, req.ID)
+		writeFrame(out, req.ID, resultsJSON(executed, elapsed.Nanoseconds()), "")
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "accmos: serve: reading requests:", err)
+		os.Exit(1)
+	}
 }
 `

@@ -90,6 +90,40 @@ func FormatOpt(w io.Writer, rows []OptRow) {
 	}
 }
 
+// FormatServe prints the worker-pool benchmark: spawn-per-run vs pooled
+// wall clock for the same short-horizon sweep, with the pool counters and
+// the bit-identity verdict.
+func FormatServe(w io.Writer, rows []ServeRow) {
+	fmt.Fprintln(w, "Worker pool: spawn-per-run vs warm serve-mode workers (sequential sweep)")
+	fmt.Fprintf(w, "%-6s %5s %7s | %10s %10s %8s | %7s %7s | %s\n",
+		"Model", "runs", "steps", "spawn", "pooled", "speedup", "spawns", "reuses", "outputs")
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Mode != "pooled" {
+			continue
+		}
+		ok := "match"
+		if !r.HashOK {
+			ok = "MISMATCH"
+		}
+		var spawnWall time.Duration
+		for _, s := range rows {
+			if s.Model == r.Model && s.Mode == "spawn" {
+				spawnWall = s.Wall
+			}
+		}
+		fmt.Fprintf(w, "%-6s %5d %7d | %10s %10s %7.1fx | %7d %7d | %s\n",
+			r.Model, r.Runs, r.Steps, fmtDur(spawnWall), fmtDur(r.Wall), r.Speedup,
+			r.Spawns, r.Reuses, ok)
+		sum += r.Speedup
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "%-6s %36s %7.1fx\n", "mean", "", sum/float64(n))
+	}
+}
+
 // FormatCaseStudy prints the §4 error-injection study.
 func FormatCaseStudy(w io.Writer, r *CaseStudyResult) {
 	fmt.Fprintf(w, "Case study: injected errors in CSEV (charge rate %d/step, predicted overflow at step %d)\n",

@@ -41,6 +41,17 @@ type MetricRow struct {
 	ActorsBefore   int     `json:"actorsBefore,omitempty"`
 	ActorsAfter    int     `json:"actorsAfter,omitempty"`
 	NsPerActorStep float64 `json:"nsPerActorStep,omitempty"`
+	// Worker-pool fields, set on "serve" experiment rows: the execution
+	// mode ("spawn" | "pooled"), the sweep width, the pool's process
+	// counters, and — on pooled rows — the spawn-over-pooled speedup with
+	// its pass verdict (strictly faster and bit-identical).
+	Mode      string  `json:"mode,omitempty"`
+	Runs      int     `json:"runs,omitempty"`
+	Spawns    int64   `json:"spawns,omitempty"`
+	Reuses    int64   `json:"reuses,omitempty"`
+	Respawns  int64   `json:"respawns,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+	SpeedupOK bool    `json:"speedupOK,omitempty"`
 }
 
 // Metrics is the -metrics-json document: run configuration plus rows.
@@ -148,6 +159,26 @@ func (m *Metrics) AddOpt(rows []OptRow) {
 				ActorsBefore: r.ActorsBefore, ActorsAfter: r.ActorsAfter,
 				NsPerActorStep: r.NsPerActorStepO1,
 			})
+	}
+}
+
+// AddServe appends one row per (model, mode) from the worker-pool
+// benchmark. WallNanos is the whole-sweep wall clock; StepsPerSec is
+// sweep throughput (runs x steps over the sweep wall), the number the
+// pool is supposed to at least double on short-horizon sweeps.
+func (m *Metrics) AddServe(rows []ServeRow) {
+	for _, r := range rows {
+		ok := r.HashOK
+		m.Rows = append(m.Rows, MetricRow{
+			Experiment: "serve", Model: r.Model, Engine: "AccMoS",
+			Steps: r.Steps, WallNanos: r.Wall.Nanoseconds(),
+			StepsPerSec:  stepsPerSec(int64(r.Runs)*r.Steps, r.Wall),
+			CompileNanos: r.Compile.Nanoseconds(),
+			HashOK:       &ok,
+			Mode:         r.Mode, Runs: r.Runs,
+			Spawns: r.Spawns, Reuses: r.Reuses, Respawns: r.Respawns,
+			Speedup: r.Speedup, SpeedupOK: r.SpeedupOK,
+		})
 	}
 }
 

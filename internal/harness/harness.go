@@ -31,11 +31,18 @@ import (
 // Build compiles a generated program into a binary under dir (created if
 // needed) and returns the binary path plus the compile duration.
 func Build(p *codegen.Program, dir string) (string, time.Duration, error) {
-	return BuildTraced(p, dir, nil)
+	return BuildContext(context.Background(), p, dir, nil)
 }
 
 // BuildTraced is Build recording a "compile" span on the tracer (nil ok).
 func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.Duration, error) {
+	return BuildContext(context.Background(), p, dir, tr)
+}
+
+// BuildContext is BuildTraced bounded by a context: cancelling ctx kills
+// an in-flight `go build` instead of letting the compile run to
+// completion after the caller has given up on the result.
+func BuildContext(ctx context.Context, p *codegen.Program, dir string, tr *obs.Tracer) (string, time.Duration, error) {
 	defer tr.Start("compile").End()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", 0, fmt.Errorf("harness: %w", err)
@@ -46,11 +53,14 @@ func BuildTraced(p *codegen.Program, dir string, tr *obs.Tracer) (string, time.D
 	}
 	binPath := binPathFor(p, dir)
 	start := time.Now()
-	cmd := exec.Command("go", "build", "-o", binPath, srcPath)
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", binPath, srcPath)
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOFLAGS=-mod=mod")
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return "", 0, fmt.Errorf("harness: compiling generated program for %s: %w", p.Model, ctxErr)
+		}
 		return "", 0, fmt.Errorf("harness: compiling generated program: %v\n%s", err, annotate(p.Source, stderr.String()))
 	}
 	return binPath, time.Since(start), nil
@@ -239,8 +249,10 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 	}
 	cmd := exec.Command(binPath, args...)
 	setProcGroup(cmd)
-	var stdout bytes.Buffer
-	cmd.Stdout = &stdout
+	stdoutPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
 	stderrPipe, err := cmd.StderrPipe()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
@@ -249,8 +261,8 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		return nil, fmt.Errorf("harness: starting %s: %w", opts.label(binPath), err)
 	}
 	// Watch for cancellation while the binary runs; killing the process
-	// group closes the stderr pipe, so the drain below always reaches EOF
-	// and cmd.Wait reaps the child.
+	// group closes both pipes, so the drain and decode below always reach
+	// EOF and cmd.Wait reaps the child.
 	watchDone := make(chan struct{})
 	go func() {
 		select {
@@ -259,11 +271,30 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		case <-watchDone:
 		}
 	}()
-	timeline, tail, scanErr := drainStderr(stderrPipe, opts.Progress)
+	// Drain stderr concurrently while the result document streams off
+	// stdout — decoding incrementally instead of buffering the whole
+	// stdout (monitor-heavy results can be large).
+	type drained struct {
+		timeline []obs.Snapshot
+		tail     []string
+		scanErr  error
+	}
+	drainCh := make(chan drained, 1)
+	go func() {
+		timeline, tail, scanErr := drainStderr(stderrPipe, opts.Progress)
+		drainCh <- drained{timeline, tail, scanErr}
+	}()
+	dec := json.NewDecoder(stdoutPipe)
+	var res simresult.Results
+	decErr := dec.Decode(&res)
+	decOffset := dec.InputOffset()
+	io.Copy(io.Discard, stdoutPipe)
+	d := <-drainCh
 	waitErr := cmd.Wait()
 	close(watchDone)
-	if scanErr != nil {
-		tail = append(tail, fmt.Sprintf("harness: stderr scan aborted (diagnostic tail truncated): %v", scanErr))
+	tail := d.tail
+	if d.scanErr != nil {
+		tail = append(tail, fmt.Sprintf("harness: stderr scan aborted (diagnostic tail truncated): %v", d.scanErr))
 	}
 	if waitErr != nil {
 		switch {
@@ -280,11 +311,10 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		}
 		return nil, fmt.Errorf("harness: running %s: %v\n%s", opts.label(binPath), waitErr, strings.Join(tail, "\n"))
 	}
-	var res simresult.Results
-	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
-		return nil, fmt.Errorf("harness: decoding results: %w", err)
+	if decErr != nil {
+		return nil, fmt.Errorf("harness: decoding results at byte offset %d: %w", decOffset, decErr)
 	}
-	res.Timeline = timeline
+	res.Timeline = d.timeline
 	return &res, nil
 }
 
@@ -323,10 +353,10 @@ func BuildAndRun(p *codegen.Program, dir string, opts RunOptions) (*simresult.Re
 	return BuildAndRunContext(context.Background(), p, dir, opts)
 }
 
-// BuildAndRunContext is BuildAndRun with the execution phase bounded by
-// ctx (compilation is not interrupted; `go build` is bounded and safe).
+// BuildAndRunContext is BuildAndRun with both phases bounded by ctx:
+// cancellation aborts an in-flight compile as well as the run.
 func BuildAndRunContext(ctx context.Context, p *codegen.Program, dir string, opts RunOptions) (*simresult.Results, error) {
-	bin, compileTime, err := BuildTraced(p, dir, opts.Trace)
+	bin, compileTime, err := BuildContext(ctx, p, dir, opts.Trace)
 	if err != nil {
 		return nil, err
 	}

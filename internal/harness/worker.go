@@ -1,0 +1,441 @@
+package harness
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"accmos/internal/obs"
+	"accmos/internal/simresult"
+)
+
+// serveRequest is one run request sent to a serve-mode worker — a single
+// NDJSON line on its stdin. Keep in sync with the serveRequest decoder in
+// internal/codegen's generated runtime.
+type serveRequest struct {
+	ID          string `json:"id"`
+	Steps       int64  `json:"steps"`
+	BudgetMS    int64  `json:"budgetMs"`
+	SeedXor     uint64 `json:"seedXor"`
+	HeartbeatMS int64  `json:"heartbeatMs"`
+}
+
+// serveFrame is one response line on a worker's stdout: exactly one per
+// request, carrying either the simresult document or an error.
+type serveFrame struct {
+	Marker int             `json:"accmosRun"`
+	ID     string          `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// WorkerStats summarizes a pool's lifetime activity. Spawns counts
+// serve-mode processes started, Reuses counts requests served by an
+// already-warm worker (the startup cost the pool amortized away), and
+// Respawns counts workers killed after a deadline or protocol error —
+// their slot respawns lazily on the next request.
+type WorkerStats struct {
+	Spawns    int64 `json:"spawns"`
+	Reuses    int64 `json:"reuses"`
+	Respawns  int64 `json:"respawns"`
+	Artifacts int   `json:"artifacts"`
+}
+
+// WorkerPool keeps warm serve-mode processes per built artifact, so a
+// sweep of many short runs pays Go process startup once per worker
+// instead of once per run. Workers are spawned on demand, up to
+// perArtifact per binary, and parked between requests. A worker that
+// misses its deadline or breaks the frame protocol is killed (whole
+// process group) and its slot respawns on the next request. All methods
+// are safe for concurrent use.
+type WorkerPool struct {
+	perArtifact int
+
+	mu     sync.Mutex
+	arts   map[string]*poolArtifact
+	closed bool
+
+	spawns, reuses, respawns int64
+}
+
+// poolArtifact is the per-binary worker set: slots holds one token per
+// not-yet-spawned worker; idle holds warm workers awaiting a request.
+// A worker serving a request holds neither, so draining perArtifact
+// tokens across both channels observes every worker exactly once.
+type poolArtifact struct {
+	bin   string
+	slots chan struct{}
+	idle  chan *serveWorker
+}
+
+// NewWorkerPool creates a pool keeping up to perArtifact warm processes
+// per built binary (minimum 1).
+func NewWorkerPool(perArtifact int) *WorkerPool {
+	if perArtifact < 1 {
+		perArtifact = 1
+	}
+	return &WorkerPool{perArtifact: perArtifact, arts: make(map[string]*poolArtifact)}
+}
+
+// PerArtifact returns the pool's per-binary worker cap.
+func (p *WorkerPool) PerArtifact() int { return p.perArtifact }
+
+// Stats returns the pool's lifetime counters.
+func (p *WorkerPool) Stats() WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return WorkerStats{
+		Spawns: p.spawns, Reuses: p.reuses, Respawns: p.respawns,
+		Artifacts: len(p.arts),
+	}
+}
+
+// RunContext executes one simulation request on a warm worker for
+// binPath, spawning one if none is idle and the per-artifact cap allows.
+// It honors RunOptions exactly like RunContext: Steps/Budget/SeedXor
+// select the simulated span, Timeout bounds the request (the worker is
+// killed and left to respawn on overrun), Heartbeat/Progress stream
+// run-tagged snapshots. reused reports whether an already-warm worker
+// served the request.
+func (p *WorkerPool) RunContext(ctx context.Context, binPath string, opts RunOptions) (res *simresult.Results, reused bool, err error) {
+	defer opts.Trace.Start("run").End()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, errors.New("harness: worker pool is closed")
+	}
+	art := p.arts[binPath]
+	if art == nil {
+		art = &poolArtifact{
+			bin:   binPath,
+			slots: make(chan struct{}, p.perArtifact),
+			idle:  make(chan *serveWorker, p.perArtifact),
+		}
+		for i := 0; i < p.perArtifact; i++ {
+			art.slots <- struct{}{}
+		}
+		p.arts[binPath] = art
+	}
+	p.mu.Unlock()
+
+	w, reused, err := p.acquire(ctx, art, &opts)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err = w.run(ctx, opts)
+	if err != nil {
+		// Deadline or protocol failure: this process's state is suspect,
+		// so it never returns to the idle set.
+		w.destroy()
+		art.slots <- struct{}{}
+		p.mu.Lock()
+		p.respawns++
+		p.mu.Unlock()
+		return nil, reused, err
+	}
+	p.mu.Lock()
+	if reused {
+		p.reuses++
+	}
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		w.destroy()
+		art.slots <- struct{}{}
+	} else {
+		art.idle <- w
+	}
+	return res, reused, nil
+}
+
+// acquire obtains a worker: an idle one when available (preferred — that
+// is the whole point of the pool), otherwise a fresh spawn if a slot is
+// free, otherwise it blocks until either appears or ctx ends.
+func (p *WorkerPool) acquire(ctx context.Context, art *poolArtifact, opts *RunOptions) (*serveWorker, bool, error) {
+	select {
+	case w := <-art.idle:
+		return w, true, nil
+	default:
+	}
+	select {
+	case w := <-art.idle:
+		return w, true, nil
+	case <-art.slots:
+		w, err := spawnWorker(art.bin)
+		if err != nil {
+			art.slots <- struct{}{}
+			return nil, false, fmt.Errorf("harness: spawning worker for %s: %w", opts.label(art.bin), err)
+		}
+		p.mu.Lock()
+		p.spawns++
+		p.mu.Unlock()
+		return w, false, nil
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("harness: running %s: %w", opts.label(art.bin), ctx.Err())
+	}
+}
+
+// Close kills every worker and rejects further requests. It waits for
+// in-flight requests to release their workers, so no serve-mode process
+// outlives the pool.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	arts := make([]*poolArtifact, 0, len(p.arts))
+	for _, a := range p.arts {
+		arts = append(arts, a)
+	}
+	p.mu.Unlock()
+	for _, art := range arts {
+		// Collect perArtifact tokens per artifact: each worker is either
+		// unspawned (slots), parked (idle — destroy it), or in flight (its
+		// request's release path sees closed, destroys it, and returns the
+		// slot token, which this loop then collects).
+		for i := 0; i < p.perArtifact; i++ {
+			select {
+			case w := <-art.idle:
+				w.destroy()
+			case <-art.slots:
+			}
+		}
+	}
+}
+
+// serveWorker is one live serve-mode process. A worker serves requests
+// strictly one at a time (the pool guarantees exclusive ownership while a
+// request is in flight); hbMu only synchronizes the request goroutine
+// with the long-lived stderr drain goroutine.
+type serveWorker struct {
+	bin    string
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	out    *bufio.Reader
+	nextID int64
+
+	hbMu       sync.Mutex
+	curRun     string
+	progress   func(obs.Snapshot)
+	timeline   []obs.Snapshot
+	finalSeen  chan struct{} // closed when the current run's final heartbeat lands
+	tail       []string
+	stderrDone chan struct{}
+}
+
+// spawnWorker starts binPath in serve mode with its pipes wired up and
+// the stderr drain running.
+func spawnWorker(binPath string) (*serveWorker, error) {
+	cmd := exec.Command(binPath, "-serve")
+	setProcGroup(cmd)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &serveWorker{
+		bin:   binPath,
+		cmd:   cmd,
+		stdin: stdin,
+		out:   bufio.NewReaderSize(stdout, 64*1024),
+
+		stderrDone: make(chan struct{}),
+	}
+	go w.drain(stderr)
+	return w, nil
+}
+
+// drain consumes the worker's stderr for its whole life: heartbeats
+// tagged with the current request id feed that request's timeline and
+// progress callback (stale tags from an earlier request are dropped);
+// everything else lands in the diagnostic tail ring.
+func (w *serveWorker) drain(r io.Reader) {
+	defer close(w.stderrDone)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if snap, ok := obs.ParseHeartbeat(line); ok {
+			w.hbMu.Lock()
+			var cb func(obs.Snapshot)
+			var fin chan struct{}
+			if snap.Run != "" && snap.Run == w.curRun {
+				w.timeline = append(w.timeline, snap)
+				cb = w.progress
+				if snap.Final && w.finalSeen != nil {
+					fin = w.finalSeen
+					w.finalSeen = nil
+				}
+			}
+			w.hbMu.Unlock()
+			if cb != nil {
+				cb(snap)
+			}
+			// Signal the final snapshot only after its callback returns,
+			// so a run that waits on finalSeen observes every progress
+			// invocation for its own run as already finished.
+			if fin != nil {
+				close(fin)
+			}
+			continue
+		}
+		w.hbMu.Lock()
+		w.tail = append(w.tail, string(line))
+		if len(w.tail) > errTailLines {
+			w.tail = w.tail[len(w.tail)-errTailLines:]
+		}
+		w.hbMu.Unlock()
+	}
+	if sc.Err() != nil {
+		io.Copy(io.Discard, r)
+	}
+}
+
+// errTail snapshots the worker's diagnostic stderr tail for an error.
+func (w *serveWorker) errTail() string {
+	w.hbMu.Lock()
+	defer w.hbMu.Unlock()
+	return strings.Join(w.tail, "\n")
+}
+
+// run sends one request and reads its response frame, enforcing the
+// per-request Timeout by killing the process group — the exchange
+// goroutine then unblocks on the closed pipe. A worker that errors here
+// must not be reused; the pool destroys it.
+func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Results, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: running %s: %w", opts.label(w.bin), err)
+	}
+	w.nextID++
+	id := fmt.Sprintf("r%d", w.nextID)
+	req := serveRequest{ID: id, SeedXor: opts.SeedXor}
+	if opts.Heartbeat > 0 {
+		ms := opts.Heartbeat.Milliseconds()
+		if ms <= 0 {
+			ms = 1
+		}
+		req.HeartbeatMS = ms
+	}
+	if opts.Budget > 0 {
+		ms := opts.Budget.Milliseconds()
+		if ms <= 0 {
+			// Same clamp as RunContext: a sub-millisecond budget must
+			// still bound the run rather than select the step default.
+			ms = 1
+		}
+		req.BudgetMS = ms
+	} else {
+		req.Steps = opts.Steps
+	}
+	line, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("harness: encoding request: %w", err)
+	}
+	line = append(line, '\n')
+
+	w.hbMu.Lock()
+	w.curRun, w.timeline, w.progress = id, nil, opts.Progress
+	var finalSeen chan struct{}
+	if req.HeartbeatMS > 0 {
+		finalSeen = make(chan struct{})
+	}
+	w.finalSeen = finalSeen
+	w.hbMu.Unlock()
+
+	type exchange struct {
+		frame []byte
+		err   error
+	}
+	ch := make(chan exchange, 1)
+	go func() {
+		if _, err := w.stdin.Write(line); err != nil {
+			ch <- exchange{nil, fmt.Errorf("writing request: %w", err)}
+			return
+		}
+		frame, err := w.out.ReadBytes('\n')
+		ch <- exchange{frame, err}
+	}()
+	var ex exchange
+	select {
+	case <-ctx.Done():
+		killProcGroup(w.cmd)
+		<-ch
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && opts.Timeout > 0 {
+			return nil, fmt.Errorf("harness: running %s: worker killed after exceeding the %v timeout\n%s",
+				opts.label(w.bin), opts.Timeout, w.errTail())
+		}
+		return nil, fmt.Errorf("harness: running %s: worker killed: %w\n%s",
+			opts.label(w.bin), ctx.Err(), w.errTail())
+	case ex = <-ch:
+	}
+	if ex.err != nil {
+		return nil, fmt.Errorf("harness: running %s: worker protocol failure: %v\n%s",
+			opts.label(w.bin), ex.err, w.errTail())
+	}
+	var frame serveFrame
+	if err := json.Unmarshal(ex.frame, &frame); err != nil {
+		return nil, fmt.Errorf("harness: running %s: decoding worker frame: %v\n%s",
+			opts.label(w.bin), err, w.errTail())
+	}
+	if frame.Marker != 1 || frame.ID != id {
+		return nil, fmt.Errorf("harness: running %s: worker frame mismatch (marker %d, id %q, want %q)",
+			opts.label(w.bin), frame.Marker, frame.ID, id)
+	}
+	if frame.Error != "" {
+		return nil, fmt.Errorf("harness: running %s: worker: %s", opts.label(w.bin), frame.Error)
+	}
+	var res simresult.Results
+	if err := json.Unmarshal(frame.Result, &res); err != nil {
+		return nil, fmt.Errorf("harness: running %s: decoding worker results: %v", opts.label(w.bin), err)
+	}
+	if finalSeen != nil {
+		// The worker writes the run's final heartbeat to stderr before its
+		// stdout frame, so the bytes are already in flight — wait briefly
+		// for the drain goroutine to deliver it rather than return a
+		// timeline missing its final snapshot. Bounded so a pathological
+		// stderr consumer can't wedge the request.
+		select {
+		case <-finalSeen:
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+		}
+	}
+	w.hbMu.Lock()
+	res.Timeline = w.timeline
+	w.curRun, w.timeline, w.progress, w.finalSeen = "", nil, nil, nil
+	w.hbMu.Unlock()
+	return &res, nil
+}
+
+// destroy kills the worker's process group and reaps it. Safe to call on
+// an already-dead worker.
+func (w *serveWorker) destroy() {
+	w.stdin.Close()
+	killProcGroup(w.cmd)
+	w.cmd.Wait()
+	<-w.stderrDone
+}

@@ -28,6 +28,11 @@ type Snapshot struct {
 	// streams are unchanged.
 	Worker int `json:"worker,omitempty"`
 	Suite  int `json:"suite,omitempty"`
+
+	// Run is the request id that produced this snapshot when it came out
+	// of a serve-mode worker (empty — and omitted — in one-shot runs,
+	// where the process itself identifies the run).
+	Run string `json:"run,omitempty"`
 }
 
 // Elapsed returns the run time at the snapshot.

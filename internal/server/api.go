@@ -121,10 +121,13 @@ type JobView struct {
 	RunNanos   int64 `json:"runNanos,omitempty"`
 
 	// CacheHit reports the generated binary came from the build cache,
-	// so this job paid no compile; Phases holds the traced per-phase
-	// nanoseconds (schedule/instrument/generate/compile/run).
-	CacheHit bool             `json:"cacheHit,omitempty"`
-	Phases   map[string]int64 `json:"phases,omitempty"`
+	// so this job paid no compile; WorkerReuse that an already-warm
+	// serve-mode worker executed it, so it paid no process startup;
+	// Phases holds the traced per-phase nanoseconds
+	// (schedule/instrument/generate/compile/run).
+	CacheHit    bool             `json:"cacheHit,omitempty"`
+	WorkerReuse bool             `json:"workerReuse,omitempty"`
+	Phases      map[string]int64 `json:"phases,omitempty"`
 
 	// Lint carries the advisory findings recorded at admission (a model
 	// with error-severity findings is rejected and never becomes a job).
@@ -185,6 +188,18 @@ type OptTotals struct {
 	ActorsAfter  int64 `json:"actorsAfter"`
 }
 
+// WorkerPoolView is the warm-worker-pool section of /metrics: how many
+// serve-mode processes were spawned, how many runs an already-warm
+// worker served (the amortized process startups), and how many workers
+// were killed and left to respawn after a deadline or protocol error.
+type WorkerPoolView struct {
+	PerArtifact int   `json:"perArtifact"`
+	Spawns      int64 `json:"spawns"`
+	Reuses      int64 `json:"reuses"`
+	Respawns    int64 `json:"respawns"`
+	Artifacts   int   `json:"artifacts"`
+}
+
 // MetricsView is the GET /metrics payload.
 type MetricsView struct {
 	QueueDepth  int                   `json:"queueDepth"`
@@ -194,6 +209,7 @@ type MetricsView struct {
 	UptimeNanos int64                 `json:"uptimeNanos"`
 	Jobs        map[string]int64      `json:"jobs"`
 	Cache       CacheView             `json:"cache"`
+	WorkerPool  *WorkerPoolView       `json:"workerPool,omitempty"`
 	Opt         OptTotals             `json:"opt"`
 	Phases      map[string]PhaseStats `json:"phases,omitempty"`
 }

@@ -34,6 +34,9 @@ type Outcome struct {
 	Coverage *coverage.Report
 	// CacheHit reports the binary came from the build cache.
 	CacheHit bool
+	// WorkerReuse reports the run was served by an already-warm
+	// serve-mode worker (single-run jobs through a pool).
+	WorkerReuse bool
 	// SweepRuns and Merged describe a sweep job's outcome.
 	SweepRuns int
 	Merged    *coverage.Report
@@ -99,6 +102,7 @@ func (j *job) view() JobView {
 		v.SweepRuns = o.SweepRuns
 		v.MergedCoverage = o.Merged
 		v.Opt = o.Opt
+		v.WorkerReuse = o.WorkerReuse
 	}
 	return v
 }

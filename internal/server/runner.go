@@ -19,8 +19,10 @@ type Runner func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress 
 // the shared bounded cache, execute under the job's context, and shape
 // the outcome for the job record. One cache across all jobs is the whole
 // point of the daemon — the second submission of an identical model pays
-// no compile.
-func PipelineRunner(cache *accmos.BuildCache) Runner {
+// no compile. The optional pool extends the same amortization to process
+// startup: jobs sharing an artifact run through its warm serve-mode
+// workers (nil = spawn per run).
+func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 	return func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*Outcome, error) {
 		opts := accmos.Options{
 			Steps:         spec.Steps,
@@ -30,6 +32,7 @@ func PipelineRunner(cache *accmos.BuildCache) Runner {
 			OptLevel:      spec.OptLevel,
 			Timeout:       spec.Timeout,
 			Cache:         cache,
+			Pool:          pool,
 			Trace:         tr,
 			Progress:      progress,
 			ProgressEvery: spec.Heartbeat,
@@ -60,7 +63,7 @@ func PipelineRunner(cache *accmos.BuildCache) Runner {
 		if err != nil {
 			return nil, err
 		}
-		out := &Outcome{Results: res.Results, CacheHit: res.CacheHit, Opt: res.Opt}
+		out := &Outcome{Results: res.Results, CacheHit: res.CacheHit, WorkerReuse: res.WorkerReuse, Opt: res.Opt}
 		if spec.Coverage {
 			rep := res.CoverageReport()
 			out.Coverage = &rep

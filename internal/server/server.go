@@ -41,6 +41,11 @@ type Config struct {
 	// JobTimeout caps every job's execution; a request asking for more
 	// (or for none) is clamped to it. Zero = no cap.
 	JobTimeout time.Duration
+	// PoolWorkers bounds the warm serve-mode processes the daemon keeps
+	// per compiled artifact, shared across jobs — the process-startup
+	// analogue of the build cache (default 2; < 0 disables the pool and
+	// spawns one process per run).
+	PoolWorkers int
 	// DefaultOptLevel is the optimizing-middle-end level applied to
 	// submissions that do not choose one (zero value = the facade
 	// default, O1).
@@ -74,6 +79,9 @@ func (c *Config) fillDefaults() {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 4096
 	}
+	if c.PoolWorkers == 0 {
+		c.PoolWorkers = 2
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
@@ -88,6 +96,7 @@ const defaultHeartbeat = 250 * time.Millisecond
 type Server struct {
 	cfg   Config
 	cache *accmos.BuildCache
+	pool  *accmos.WorkerPool // nil when PoolWorkers < 0
 	mux   *http.ServeMux
 	start time.Time
 
@@ -114,12 +123,17 @@ func New(cfg Config) *Server {
 			cache.SetLimit(cfg.CacheEntries)
 		}
 	}
+	var pool *accmos.WorkerPool
+	if cfg.PoolWorkers > 0 {
+		pool = accmos.NewWorkerPool(cfg.PoolWorkers)
+	}
 	if cfg.Runner == nil {
-		cfg.Runner = PipelineRunner(cache)
+		cfg.Runner = PipelineRunner(cache, pool)
 	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
+		pool:    pool,
 		jobs:    make(map[string]*job),
 		start:   time.Now(),
 		metrics: newMetrics(),
@@ -145,6 +159,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Cache exposes the daemon's build cache (read-only use: stats).
 func (s *Server) Cache() *accmos.BuildCache { return s.cache }
 
+// Pool exposes the daemon's warm worker pool (nil when disabled;
+// read-only use: stats).
+func (s *Server) Pool() *accmos.WorkerPool { return s.pool }
+
 // Drain gracefully stops the scheduler: new submissions are refused with
 // 503, already-admitted jobs (queued and running) are completed, and the
 // call returns when the pool is idle. If ctx expires first, every
@@ -161,8 +179,16 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(idle)
 	}()
+	// Once the executors are idle no job can reach the pool again, so
+	// its warm child processes are safe to kill.
+	closePool := func() {
+		if s.pool != nil {
+			s.pool.Close()
+		}
+	}
 	select {
 	case <-idle:
+		closePool()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -178,6 +204,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		<-idle
+		closePool()
 		return ctx.Err()
 	}
 }
@@ -530,7 +557,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	cs := s.cache.Stats()
-	writeJSON(w, http.StatusOK, MetricsView{
+	view := MetricsView{
 		QueueDepth:  depth,
 		Running:     running,
 		Workers:     s.cfg.Workers,
@@ -547,5 +574,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		Opt:    s.metrics.optTotals(),
 		Phases: s.metrics.phaseStats(),
-	})
+	}
+	if s.pool != nil {
+		ws := s.pool.Stats()
+		view.WorkerPool = &WorkerPoolView{
+			PerArtifact: s.pool.PerArtifact(),
+			Spawns:      ws.Spawns,
+			Reuses:      ws.Reuses,
+			Respawns:    ws.Respawns,
+			Artifacts:   ws.Artifacts,
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
 }
