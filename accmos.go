@@ -98,6 +98,27 @@ type (
 // done — warm workers are live child processes.
 func NewWorkerPool(perArtifact int) *WorkerPool { return harness.NewWorkerPool(perArtifact) }
 
+// RunError is the structured form of a generated-binary execution
+// failure: what died (model, suite, binary, correlation ID), why (a
+// Reason* constant, exit code, deadline) and bounded evidence (stderr
+// tail, last heartbeats). Extract it with errors.As; Error() renders the
+// familiar harness message.
+type RunError = harness.RunError
+
+// Machine-readable failure reasons recorded on a RunError.
+const (
+	ReasonTimeout  = harness.ReasonTimeout
+	ReasonCanceled = harness.ReasonCanceled
+	ReasonExit     = harness.ReasonExit
+	ReasonProtocol = harness.ReasonProtocol
+	ReasonWorker   = harness.ReasonWorker
+	ReasonDecode   = harness.ReasonDecode
+)
+
+// NewRunID returns a fresh correlation ID ("r-" + 12 hex digits) for
+// Options.RunID when the caller has no natural job ID of its own.
+func NewRunID() string { return obs.NewRunID() }
+
 // DefaultBuildCache returns the process-wide cache used when neither
 // Options.Cache nor Options.WorkDir is set.
 func DefaultBuildCache() *BuildCache { return harness.DefaultCache }
@@ -288,6 +309,13 @@ type Options struct {
 	// and Sweep both use it, and Workers is ignored.
 	Pool *WorkerPool
 
+	// RunID is the run's correlation ID — the job ID under accmosd, a
+	// NewRunID() value for CLI runs. When set, every progress snapshot,
+	// trace span set, and structured run error carries it, so logs and
+	// event streams from one run are joinable across processes. Optional;
+	// empty leaves everything untagged as before.
+	RunID string
+
 	// Progress receives live progress snapshots while the simulation
 	// runs: for Simulate these are the generated program's stderr
 	// heartbeats; for the in-process engines, step-loop ticks. Setting it
@@ -405,6 +433,21 @@ func GenerateSource(m *Model, opts Options) (string, error) {
 // generation — consumes the returned opt.Result, so one pass pipeline
 // accelerates every execution path.
 func prepare(m *Model, opts *Options) (*opt.Result, *TestCases, error) {
+	if opts.RunID != "" {
+		// Stamp the correlation ID everywhere this call emits telemetry:
+		// the tracer's spans, and every progress snapshot (the harness
+		// stamps heartbeats from generated binaries itself; this wrapper
+		// covers the in-process engines, which publish snapshots directly).
+		opts.Trace.SetCorr(opts.RunID)
+		if cb, corr := opts.Progress, opts.RunID; cb != nil {
+			opts.Progress = func(s Snapshot) {
+				if s.Corr == "" {
+					s.Corr = corr
+				}
+				cb(s)
+			}
+		}
+	}
 	sp := opts.Trace.Start("schedule")
 	c, err := actors.Compile(m)
 	sp.End()
@@ -494,6 +537,7 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		Steps:     opts.steps(),
 		Budget:    opts.Budget,
 		Model:     m.Name,
+		RunID:     opts.RunID,
 		Timeout:   opts.Timeout,
 		Heartbeat: opts.progressEvery(),
 		Progress:  opts.Progress,
@@ -631,6 +675,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 					SeedXor:   seedXors[i],
 					Model:     m.Name,
 					Suite:     i + 1,
+					RunID:     opts.RunID,
 					Timeout:   opts.Timeout,
 					Heartbeat: opts.progressEvery(),
 					Trace:     opts.Trace,

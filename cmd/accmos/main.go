@@ -131,8 +131,14 @@ func main() {
 	if *monitor != "" {
 		opts.Monitor = strings.Split(*monitor, ",")
 	}
+	// Every invocation gets a correlation ID: heartbeats, trace spans and
+	// harness errors all carry it, so one run's telemetry is joinable
+	// (the daemon uses its job IDs the same way).
+	runID := accmos.NewRunID()
+	opts.RunID = runID
 	if *progress {
 		opts.Progress = liveProgressLine
+		fmt.Fprintf(os.Stderr, "accmos: run %s\n", runID)
 	}
 	if *genOnly {
 		src, err := accmos.GenerateSource(m, opts)
@@ -147,6 +153,15 @@ func main() {
 		xors := make([]uint64, *sweep)
 		for i := range xors {
 			xors[i] = uint64(i) * 0x9E3779B97F4A7C15
+		}
+		// Own the worker pool here (instead of Options.Workers handing its
+		// lifetime to Sweep) so the final telemetry line can report its
+		// reuse ratio.
+		var pool *accmos.WorkerPool
+		if *workers > 0 {
+			pool = accmos.NewWorkerPool(*workers)
+			defer pool.Close()
+			opts.Pool = pool
 		}
 		sw, err := accmos.Sweep(m, opts, xors)
 		if err != nil {
@@ -177,6 +192,9 @@ func main() {
 				fmt.Printf("  %s\n", line)
 			}
 		}
+		if *progress {
+			fmt.Fprintln(os.Stderr, telemetrySummary(runID, *workDir == "", pool))
+		}
 		return
 	}
 
@@ -195,6 +213,9 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *progress {
+		fmt.Fprintln(os.Stderr, telemetrySummary(runID, *workDir == "" && *engine == "accmos", nil))
 	}
 
 	if *jsonOut {
@@ -281,6 +302,22 @@ func liveProgressLine(s accmos.Snapshot) {
 	if s.Final {
 		fmt.Fprintln(os.Stderr)
 	}
+}
+
+// telemetrySummary renders the final -progress line: the run's
+// correlation ID, the build cache's hit rate (when the run went through
+// it), and the worker pool's reuse ratio (when one served the run).
+func telemetrySummary(runID string, usedCache bool, pool *accmos.WorkerPool) string {
+	line := "accmos: run " + runID
+	if usedCache {
+		cs := accmos.DefaultBuildCache().Stats()
+		line += fmt.Sprintf("  cache %d hit / %d miss (%.0f%% hit rate)", cs.Hits, cs.Misses, cs.HitRate()*100)
+	}
+	if pool != nil {
+		ws := pool.Stats()
+		line += fmt.Sprintf("  workers %d reused / %d spawned (%.0f%% reuse)", ws.Reuses, ws.Spawns, ws.ReuseRatio()*100)
+	}
+	return line
 }
 
 func fatal(err error) {

@@ -23,7 +23,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof-addr mux
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +49,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-drain bound on SIGTERM; afterwards remaining jobs are canceled")
 		optLevel     = flag.Int("opt", 1, "default optimization level for jobs that do not set optLevel (0 = off, 1 = constant folding + CSE + dead-actor elimination)")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
+		pprofAddr    = flag.String("pprof-addr", "", "optional separate listen address for net/http/pprof (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -66,13 +70,36 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		DefaultOptLevel: defaultOpt,
 	}
+	var logger *slog.Logger
 	if !*quiet {
-		cfg.Logf = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		// Structured logging replaces the old printf lines: every per-job
+		// record carries corr=<job id>, joinable with the job's trace,
+		// heartbeats and debug bundle.
+		var handler slog.Handler
+		if *logJSON {
+			handler = slog.NewJSONHandler(os.Stderr, nil)
+		} else {
+			handler = slog.NewTextHandler(os.Stderr, nil)
 		}
+		logger = slog.New(handler).With("component", "accmosd")
+		cfg.Logger = logger
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
 	}
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener so profiling never shares the
+		// public service port; the import above registered its handlers
+		// on http.DefaultServeMux.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -163,6 +163,12 @@ type RunOptions struct {
 	Model string
 	Suite int
 
+	// RunID is the run's correlation ID (the job ID under accmosd, a
+	// generated run ID for CLI runs). The harness stamps it onto every
+	// decoded heartbeat (Snapshot.Corr) and onto run errors, so logs,
+	// NDJSON events and failures for one run are joinable. Optional.
+	RunID string
+
 	// Timeout kills the binary (and its process group) when it runs
 	// longer than this wall clock span — the guard against a wedged or
 	// runaway generated program. Zero means no deadline.
@@ -281,7 +287,7 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 	}
 	drainCh := make(chan drained, 1)
 	go func() {
-		timeline, tail, scanErr := drainStderr(stderrPipe, opts.Progress)
+		timeline, tail, scanErr := drainStderr(stderrPipe, opts.RunID, opts.Progress)
 		drainCh <- drained{timeline, tail, scanErr}
 	}()
 	dec := json.NewDecoder(stdoutPipe)
@@ -297,39 +303,63 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		tail = append(tail, fmt.Sprintf("harness: stderr scan aborted (diagnostic tail truncated): %v", d.scanErr))
 	}
 	if waitErr != nil {
+		exitCode := -1
+		if cmd.ProcessState != nil {
+			exitCode = cmd.ProcessState.ExitCode()
+		}
+		fail := func(reason string, cause error, msg string) *RunError {
+			return &RunError{
+				Model: opts.Model, Suite: opts.Suite, Bin: binPath, Corr: opts.RunID,
+				Reason: reason, ExitCode: exitCode,
+				StderrTail: tail, Heartbeats: heartbeatTail(d.timeline),
+				Err: cause, msg: msg,
+			}
+		}
 		switch {
 		case errors.Is(ctx.Err(), context.DeadlineExceeded):
 			deadline := "context deadline"
+			e := fail(ReasonTimeout, context.DeadlineExceeded, "")
 			if opts.Timeout > 0 {
 				deadline = fmt.Sprintf("%v timeout", opts.Timeout)
+				e.Timeout = opts.Timeout
 			}
-			return nil, fmt.Errorf("harness: running %s: killed after exceeding the %s: %v\n%s",
+			e.msg = fmt.Sprintf("harness: running %s: killed after exceeding the %s: %v\n%s",
 				opts.label(binPath), deadline, waitErr, strings.Join(tail, "\n"))
+			return nil, e
 		case ctx.Err() != nil:
-			return nil, fmt.Errorf("harness: running %s: killed: %w\n%s",
-				opts.label(binPath), context.Canceled, strings.Join(tail, "\n"))
+			return nil, fail(ReasonCanceled, context.Canceled,
+				fmt.Sprintf("harness: running %s: killed: %v\n%s",
+					opts.label(binPath), context.Canceled, strings.Join(tail, "\n")))
 		}
-		return nil, fmt.Errorf("harness: running %s: %v\n%s", opts.label(binPath), waitErr, strings.Join(tail, "\n"))
+		return nil, fail(ReasonExit, waitErr,
+			fmt.Sprintf("harness: running %s: %v\n%s", opts.label(binPath), waitErr, strings.Join(tail, "\n")))
 	}
 	if decErr != nil {
-		return nil, fmt.Errorf("harness: decoding results at byte offset %d: %w", decOffset, decErr)
+		return nil, &RunError{
+			Model: opts.Model, Suite: opts.Suite, Bin: binPath, Corr: opts.RunID,
+			Reason: ReasonDecode, ExitCode: 0,
+			StderrTail: tail, Heartbeats: heartbeatTail(d.timeline), Err: decErr,
+			msg: fmt.Sprintf("harness: decoding results at byte offset %d: %v", decOffset, decErr),
+		}
 	}
 	res.Timeline = d.timeline
 	return &res, nil
 }
 
 // drainStderr splits a running binary's stderr into the heartbeat
-// timeline and the tail of ordinary diagnostic lines. It reads until EOF
+// timeline and the tail of ordinary diagnostic lines, stamping every
+// decoded snapshot with the run's correlation ID. It reads until EOF
 // (i.e. process exit), so callers may cmd.Wait afterwards: even when the
 // line scanner aborts (a diagnostic line beyond its 1 MiB cap), the rest
 // of the pipe is consumed so the child can never block on a full stderr
 // buffer, and the scan error is returned instead of being swallowed.
-func drainStderr(r io.Reader, progress func(obs.Snapshot)) (timeline []obs.Snapshot, tail []string, scanErr error) {
+func drainStderr(r io.Reader, corr string, progress func(obs.Snapshot)) (timeline []obs.Snapshot, tail []string, scanErr error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if snap, ok := obs.ParseHeartbeat(line); ok {
+			snap.Corr = corr
 			timeline = append(timeline, snap)
 			if progress != nil {
 				progress(snap)

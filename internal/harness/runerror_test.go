@@ -1,0 +1,134 @@
+package harness_test
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"accmos/internal/harness"
+)
+
+// TestRunErrorStructuredOnTimeout: a timed-out run must surface as a
+// *RunError carrying the machine-readable reason, the correlation ID and
+// the deadline, while Error() keeps the familiar message and errors.Is
+// still sees the deadline cause.
+func TestRunErrorStructuredOnTimeout(t *testing.T) {
+	bin := hungBinary(t)
+	_, err := harness.Run(bin, harness.RunOptions{
+		Steps: 1, Timeout: 250 * time.Millisecond,
+		Model: "HT", RunID: "r-timeout-test",
+	})
+	if err == nil {
+		t.Fatal("a hung binary must surface as an error")
+	}
+	var re *harness.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("timeout error is not a *RunError: %T %v", err, err)
+	}
+	if re.Reason != harness.ReasonTimeout {
+		t.Errorf("reason %q, want %q", re.Reason, harness.ReasonTimeout)
+	}
+	if re.Corr != "r-timeout-test" || re.Model != "HT" || re.Bin != bin {
+		t.Errorf("identity fields: %+v", re)
+	}
+	if re.Timeout != 250*time.Millisecond {
+		t.Errorf("timeout field %v, want 250ms", re.Timeout)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("errors.Is(err, DeadlineExceeded) must hold through RunError")
+	}
+	if !strings.Contains(err.Error(), "250ms timeout") {
+		t.Errorf("message lost the legacy form: %v", err)
+	}
+}
+
+// TestRunErrorStructuredOnExit: a non-zero exit carries the exit code,
+// the stderr tail as structured lines, and the stamped heartbeat tail.
+func TestRunErrorStructuredOnExit(t *testing.T) {
+	bin := fakeBinary(t, `
+echo 'boom: stack trace line' >&2
+echo '{"accmosHB":1,"model":"X","engine":"AccMoS","steps":7}' >&2
+exit 3
+`)
+	_, err := harness.Run(bin, harness.RunOptions{Steps: 1, RunID: "r-exit-test"})
+	if err == nil {
+		t.Fatal("exit 3 must surface as an error")
+	}
+	var re *harness.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("exit error is not a *RunError: %T %v", err, err)
+	}
+	if re.Reason != harness.ReasonExit {
+		t.Errorf("reason %q, want %q", re.Reason, harness.ReasonExit)
+	}
+	if re.ExitCode != 3 {
+		t.Errorf("exit code %d, want 3", re.ExitCode)
+	}
+	found := false
+	for _, line := range re.StderrTail {
+		if strings.Contains(line, "boom: stack trace line") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stderr tail missing the diagnostic: %q", re.StderrTail)
+	}
+	if len(re.Heartbeats) != 1 || re.Heartbeats[0].Steps != 7 {
+		t.Fatalf("heartbeat tail: %+v", re.Heartbeats)
+	}
+	if re.Heartbeats[0].Corr != "r-exit-test" {
+		t.Errorf("heartbeat corr %q, want the run ID", re.Heartbeats[0].Corr)
+	}
+}
+
+// TestRunErrorHeartbeatTailBounded: only the last few heartbeats ride on
+// the error, however long the run was.
+func TestRunErrorHeartbeatTailBounded(t *testing.T) {
+	var sb strings.Builder
+	for i := 1; i <= 40; i++ {
+		sb.WriteString(`echo '{"accmosHB":1,"steps":` + strconv.Itoa(i) + `}' >&2` + "\n")
+	}
+	sb.WriteString("exit 1\n")
+	_, err := harness.Run(fakeBinary(t, sb.String()), harness.RunOptions{Steps: 1})
+	var re *harness.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("not a RunError: %v", err)
+	}
+	if len(re.Heartbeats) != 8 {
+		t.Fatalf("heartbeat tail has %d entries, want 8", len(re.Heartbeats))
+	}
+	if first, last := re.Heartbeats[0].Steps, re.Heartbeats[7].Steps; first != 33 || last != 40 {
+		t.Errorf("tail spans steps %d..%d, want 33..40", first, last)
+	}
+}
+
+// TestWorkerRunErrorStructuredOnTimeout: the pooled serve-mode path
+// produces the same structured errors as spawn-per-run.
+func TestWorkerRunErrorStructuredOnTimeout(t *testing.T) {
+	bin := hungBinary(t)
+	pool := harness.NewWorkerPool(1)
+	defer pool.Close()
+	_, _, err := pool.RunContext(context.Background(), bin, harness.RunOptions{
+		Steps: 1, Timeout: 250 * time.Millisecond, RunID: "j-000009",
+	})
+	if err == nil {
+		t.Fatal("a hung worker must surface as an error")
+	}
+	var re *harness.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("worker timeout is not a *RunError: %T %v", err, err)
+	}
+	if re.Reason != harness.ReasonTimeout || re.Corr != "j-000009" {
+		t.Errorf("reason %q corr %q, want timeout / j-000009", re.Reason, re.Corr)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("errors.Is(err, DeadlineExceeded) must hold for worker timeouts")
+	}
+	st := pool.Stats()
+	if st.Respawns != 1 {
+		t.Errorf("killed worker not counted as respawn: %+v", st)
+	}
+}

@@ -25,6 +25,9 @@ type serveRequest struct {
 	BudgetMS    int64  `json:"budgetMs"`
 	SeedXor     uint64 `json:"seedXor"`
 	HeartbeatMS int64  `json:"heartbeatMs"`
+	// Corr is the run's correlation ID, carried for log joinability;
+	// generated decoders that predate it ignore the field.
+	Corr string `json:"corr,omitempty"`
 }
 
 // serveFrame is one response line on a worker's stdout: exactly one per
@@ -40,12 +43,23 @@ type serveFrame struct {
 // serve-mode processes started, Reuses counts requests served by an
 // already-warm worker (the startup cost the pool amortized away), and
 // Respawns counts workers killed after a deadline or protocol error —
-// their slot respawns lazily on the next request.
+// their slot respawns lazily on the next request. Warm is the number of
+// workers currently parked idle (a live gauge, not a lifetime counter).
 type WorkerStats struct {
 	Spawns    int64 `json:"spawns"`
 	Reuses    int64 `json:"reuses"`
 	Respawns  int64 `json:"respawns"`
 	Artifacts int   `json:"artifacts"`
+	Warm      int   `json:"warm"`
+}
+
+// ReuseRatio is the fraction of requests an already-warm worker served:
+// Reuses / (Spawns + Reuses). Zero when the pool has done nothing.
+func (s WorkerStats) ReuseRatio() float64 {
+	if total := s.Spawns + s.Reuses; total > 0 {
+		return float64(s.Reuses) / float64(total)
+	}
+	return 0
 }
 
 // WorkerPool keeps warm serve-mode processes per built artifact, so a
@@ -87,13 +101,18 @@ func NewWorkerPool(perArtifact int) *WorkerPool {
 // PerArtifact returns the pool's per-binary worker cap.
 func (p *WorkerPool) PerArtifact() int { return p.perArtifact }
 
-// Stats returns the pool's lifetime counters.
+// Stats returns the pool's lifetime counters and the current warm-idle
+// worker count.
 func (p *WorkerPool) Stats() WorkerStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	warm := 0
+	for _, art := range p.arts {
+		warm += len(art.idle)
+	}
 	return WorkerStats{
 		Spawns: p.spawns, Reuses: p.reuses, Respawns: p.respawns,
-		Artifacts: len(p.arts),
+		Artifacts: len(p.arts), Warm: warm,
 	}
 }
 
@@ -225,6 +244,7 @@ type serveWorker struct {
 
 	hbMu       sync.Mutex
 	curRun     string
+	curCorr    string
 	progress   func(obs.Snapshot)
 	timeline   []obs.Snapshot
 	finalSeen  chan struct{} // closed when the current run's final heartbeat lands
@@ -279,6 +299,7 @@ func (w *serveWorker) drain(r io.Reader) {
 			var cb func(obs.Snapshot)
 			var fin chan struct{}
 			if snap.Run != "" && snap.Run == w.curRun {
+				snap.Corr = w.curCorr
 				w.timeline = append(w.timeline, snap)
 				cb = w.progress
 				if snap.Final && w.finalSeen != nil {
@@ -317,6 +338,14 @@ func (w *serveWorker) errTail() string {
 	return strings.Join(w.tail, "\n")
 }
 
+// evidence snapshots the bounded forensic state a RunError carries: the
+// diagnostic stderr tail and the current run's trailing heartbeats.
+func (w *serveWorker) evidence() ([]string, []obs.Snapshot) {
+	w.hbMu.Lock()
+	defer w.hbMu.Unlock()
+	return append([]string(nil), w.tail...), heartbeatTail(w.timeline)
+}
+
 // run sends one request and reads its response frame, enforcing the
 // per-request Timeout by killing the process group — the exchange
 // goroutine then unblocks on the closed pipe. A worker that errors here
@@ -330,9 +359,18 @@ func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Resu
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: running %s: %w", opts.label(w.bin), err)
 	}
+	fail := func(reason string, cause error, msg string) *RunError {
+		tail, hbs := w.evidence()
+		return &RunError{
+			Model: opts.Model, Suite: opts.Suite, Bin: w.bin, Corr: opts.RunID,
+			Reason: reason, ExitCode: -1,
+			StderrTail: tail, Heartbeats: hbs,
+			Err: cause, msg: msg,
+		}
+	}
 	w.nextID++
 	id := fmt.Sprintf("r%d", w.nextID)
-	req := serveRequest{ID: id, SeedXor: opts.SeedXor}
+	req := serveRequest{ID: id, SeedXor: opts.SeedXor, Corr: opts.RunID}
 	if opts.Heartbeat > 0 {
 		ms := opts.Heartbeat.Milliseconds()
 		if ms <= 0 {
@@ -358,7 +396,7 @@ func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Resu
 	line = append(line, '\n')
 
 	w.hbMu.Lock()
-	w.curRun, w.timeline, w.progress = id, nil, opts.Progress
+	w.curRun, w.curCorr, w.timeline, w.progress = id, opts.RunID, nil, opts.Progress
 	var finalSeen chan struct{}
 	if req.HeartbeatMS > 0 {
 		finalSeen = make(chan struct{})
@@ -385,32 +423,41 @@ func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Resu
 		killProcGroup(w.cmd)
 		<-ch
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) && opts.Timeout > 0 {
-			return nil, fmt.Errorf("harness: running %s: worker killed after exceeding the %v timeout\n%s",
-				opts.label(w.bin), opts.Timeout, w.errTail())
+			e := fail(ReasonTimeout, context.DeadlineExceeded,
+				fmt.Sprintf("harness: running %s: worker killed after exceeding the %v timeout\n%s",
+					opts.label(w.bin), opts.Timeout, w.errTail()))
+			e.Timeout = opts.Timeout
+			return nil, e
 		}
-		return nil, fmt.Errorf("harness: running %s: worker killed: %w\n%s",
-			opts.label(w.bin), ctx.Err(), w.errTail())
+		return nil, fail(ReasonCanceled, ctx.Err(),
+			fmt.Sprintf("harness: running %s: worker killed: %v\n%s",
+				opts.label(w.bin), ctx.Err(), w.errTail()))
 	case ex = <-ch:
 	}
 	if ex.err != nil {
-		return nil, fmt.Errorf("harness: running %s: worker protocol failure: %v\n%s",
-			opts.label(w.bin), ex.err, w.errTail())
+		return nil, fail(ReasonProtocol, ex.err,
+			fmt.Sprintf("harness: running %s: worker protocol failure: %v\n%s",
+				opts.label(w.bin), ex.err, w.errTail()))
 	}
 	var frame serveFrame
 	if err := json.Unmarshal(ex.frame, &frame); err != nil {
-		return nil, fmt.Errorf("harness: running %s: decoding worker frame: %v\n%s",
-			opts.label(w.bin), err, w.errTail())
+		return nil, fail(ReasonProtocol, err,
+			fmt.Sprintf("harness: running %s: decoding worker frame: %v\n%s",
+				opts.label(w.bin), err, w.errTail()))
 	}
 	if frame.Marker != 1 || frame.ID != id {
-		return nil, fmt.Errorf("harness: running %s: worker frame mismatch (marker %d, id %q, want %q)",
-			opts.label(w.bin), frame.Marker, frame.ID, id)
+		return nil, fail(ReasonProtocol, nil,
+			fmt.Sprintf("harness: running %s: worker frame mismatch (marker %d, id %q, want %q)",
+				opts.label(w.bin), frame.Marker, frame.ID, id))
 	}
 	if frame.Error != "" {
-		return nil, fmt.Errorf("harness: running %s: worker: %s", opts.label(w.bin), frame.Error)
+		return nil, fail(ReasonWorker, nil,
+			fmt.Sprintf("harness: running %s: worker: %s", opts.label(w.bin), frame.Error))
 	}
 	var res simresult.Results
 	if err := json.Unmarshal(frame.Result, &res); err != nil {
-		return nil, fmt.Errorf("harness: running %s: decoding worker results: %v", opts.label(w.bin), err)
+		return nil, fail(ReasonDecode, err,
+			fmt.Sprintf("harness: running %s: decoding worker results: %v", opts.label(w.bin), err))
 	}
 	if finalSeen != nil {
 		// The worker writes the run's final heartbeat to stderr before its
@@ -426,7 +473,7 @@ func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Resu
 	}
 	w.hbMu.Lock()
 	res.Timeline = w.timeline
-	w.curRun, w.timeline, w.progress, w.finalSeen = "", nil, nil, nil
+	w.curRun, w.curCorr, w.timeline, w.progress, w.finalSeen = "", "", nil, nil, nil
 	w.hbMu.Unlock()
 	return &res, nil
 }

@@ -34,12 +34,20 @@ const fanoutBuffer = 64
 // bounded history, so a client attaching mid-run still sees how the job
 // progressed. Safe for concurrent use; Publish never blocks.
 type Fanout struct {
-	mu     sync.Mutex
-	subs   map[int]chan Snapshot
-	next   int
-	replay []Snapshot // bounded history for late subscribers
-	max    int
-	closed bool
+	mu      sync.Mutex
+	subs    map[int]*fanoutSub
+	next    int
+	replay  []Snapshot // bounded history for late subscribers
+	max     int
+	closed  bool
+	dropped int64 // lifetime drops, including departed subscribers
+}
+
+// fanoutSub is one subscriber: its delivery channel and how many
+// snapshots were dropped on it because it fell behind.
+type fanoutSub struct {
+	ch      chan Snapshot
+	dropped int64
 }
 
 // NewFanout creates a fan-out retaining up to replay snapshots for late
@@ -48,7 +56,40 @@ func NewFanout(replay int) *Fanout {
 	if replay <= 0 {
 		replay = DefaultReplay
 	}
-	return &Fanout{subs: make(map[int]chan Snapshot), max: replay}
+	return &Fanout{subs: make(map[int]*fanoutSub), max: replay}
+}
+
+// FanoutStats reports a fan-out's subscriber health: the number of live
+// subscribers, each live subscriber's dropped-snapshot count, and the
+// lifetime total across all subscribers ever attached — the signal that
+// a consumer (an /events client, the daemon's own bridge) cannot keep up
+// with the progress stream.
+type FanoutStats struct {
+	Subscribers  int     `json:"subscribers"`
+	Dropped      []int64 `json:"dropped,omitempty"`
+	DroppedTotal int64   `json:"droppedTotal"`
+}
+
+// Stats snapshots the fan-out's drop counters.
+func (f *Fanout) Stats() FanoutStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FanoutStats{Subscribers: len(f.subs), DroppedTotal: f.dropped}
+	for _, sub := range f.subs {
+		if sub.dropped > 0 {
+			s.Dropped = append(s.Dropped, sub.dropped)
+		}
+	}
+	return s
+}
+
+// History returns a copy of the replay window — the most recent
+// snapshots published, usable after Close (e.g. for a failed job's debug
+// bundle).
+func (f *Fanout) History() []Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Snapshot(nil), f.replay...)
 }
 
 // DefaultReplay is the history window a Fanout keeps for subscribers
@@ -69,13 +110,15 @@ func (f *Fanout) Publish(s Snapshot) {
 	if len(f.replay) > f.max {
 		f.replay = f.replay[len(f.replay)-f.max:]
 	}
-	for _, ch := range f.subs {
+	for _, sub := range f.subs {
 		for {
 			select {
-			case ch <- s:
+			case sub.ch <- s:
 			default:
 				select {
-				case <-ch: // drop oldest, retry
+				case <-sub.ch: // drop oldest, retry
+					sub.dropped++
+					f.dropped++
 					continue
 				default:
 				}
@@ -103,16 +146,16 @@ func (f *Fanout) Subscribe() (<-chan Snapshot, func()) {
 	}
 	id := f.next
 	f.next++
-	f.subs[id] = ch
+	f.subs[id] = &fanoutSub{ch: ch}
 	f.mu.Unlock()
 
 	var once sync.Once
 	cancel := func() {
 		once.Do(func() {
 			f.mu.Lock()
-			if ch, ok := f.subs[id]; ok {
+			if sub, ok := f.subs[id]; ok {
 				delete(f.subs, id)
-				close(ch)
+				close(sub.ch)
 			}
 			f.mu.Unlock()
 		})
@@ -131,8 +174,8 @@ func (f *Fanout) Close() {
 		return
 	}
 	f.closed = true
-	for id, ch := range f.subs {
+	for id, sub := range f.subs {
 		delete(f.subs, id)
-		close(ch)
+		close(sub.ch)
 	}
 }

@@ -101,3 +101,47 @@ func TestFanoutSlowSubscriberNeverBlocksPublisher(t *testing.T) {
 		t.Errorf("drop-oldest should keep the newest snapshot: last is %d, want %d", last, n)
 	}
 }
+
+func TestFanoutStatsCountDrops(t *testing.T) {
+	f := NewFanout(1)
+	_, cancelSlow := f.Subscribe() // never reads: capacity fanoutBuffer
+	const n = fanoutBuffer + 25
+	for i := int64(1); i <= n; i++ {
+		f.Publish(Snapshot{Steps: i})
+	}
+	st := f.Stats()
+	if st.Subscribers != 1 {
+		t.Errorf("subscribers = %d, want 1", st.Subscribers)
+	}
+	// The slow subscriber's buffer holds fanoutBuffer snapshots (its
+	// replay share was empty at Subscribe time); everything beyond that
+	// displaced an older pending snapshot.
+	if want := int64(n - fanoutBuffer); st.DroppedTotal != want {
+		t.Errorf("droppedTotal = %d, want %d", st.DroppedTotal, want)
+	}
+	if len(st.Dropped) != 1 || st.Dropped[0] != st.DroppedTotal {
+		t.Errorf("per-subscriber drops %v, want one entry equal to total %d", st.Dropped, st.DroppedTotal)
+	}
+
+	// The total survives the subscriber leaving.
+	cancelSlow()
+	st = f.Stats()
+	if st.Subscribers != 0 || st.DroppedTotal != int64(n-fanoutBuffer) {
+		t.Errorf("stats after unsubscribe: %+v", st)
+	}
+	if len(st.Dropped) != 0 {
+		t.Errorf("departed subscriber still listed: %v", st.Dropped)
+	}
+}
+
+func TestFanoutHistory(t *testing.T) {
+	f := NewFanout(3)
+	for i := int64(1); i <= 5; i++ {
+		f.Publish(Snapshot{Steps: i})
+	}
+	f.Close()
+	hist := f.History()
+	if len(hist) != 3 || hist[0].Steps != 3 || hist[2].Steps != 5 {
+		t.Errorf("history after close: %v, want steps 3..5", hist)
+	}
+}

@@ -51,8 +51,32 @@ func (s *Span) End() {
 type Tracer struct {
 	mu    sync.Mutex
 	start time.Time
+	corr  string
 	roots []*Span
 	stack []*Span
+}
+
+// SetCorr attaches a correlation ID (a job ID under accmosd, a generated
+// run ID for CLI runs) to the trace, so its serialized form is joinable
+// with log lines, heartbeats and debug bundles carrying the same ID.
+// Nil-safe.
+func (t *Tracer) SetCorr(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.corr = id
+	t.mu.Unlock()
+}
+
+// Corr returns the trace's correlation ID ("" when unset). Nil-safe.
+func (t *Tracer) Corr() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.corr
 }
 
 // NewTracer starts a tracer; all span offsets are relative to this call.
@@ -96,8 +120,10 @@ func (t *Tracer) end(s *Span) {
 	// s was not on the stack (already ended): nothing to pop.
 }
 
-// Trace is the serializable form of a tracer's span tree.
+// Trace is the serializable form of a tracer's span tree. Corr is the
+// correlation ID shared with the run's log lines and heartbeats.
 type Trace struct {
+	Corr  string  `json:"corr,omitempty"`
 	Spans []*Span `json:"spans"`
 }
 
@@ -109,7 +135,7 @@ func (t *Tracer) Trace() *Trace {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return &Trace{Spans: t.roots}
+	return &Trace{Corr: t.corr, Spans: t.roots}
 }
 
 // WriteJSON serializes the trace as indented JSON.

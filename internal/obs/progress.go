@@ -2,9 +2,26 @@ package obs
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"time"
 )
+
+// NewRunID generates a short random correlation ID for a run that has no
+// externally assigned one (CLI invocations; daemon jobs reuse the job
+// ID). The "r-" prefix keeps run IDs tell-apart from accmosd's "j-" job
+// IDs in merged log streams.
+func NewRunID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; a fixed fallback still
+		// yields a usable (if non-unique) ID rather than an error path
+		// nobody handles.
+		return "r-000000000000"
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
 
 // Snapshot is one live progress observation of a running simulation —
 // the payload of a generated program's NDJSON heartbeat line and of the
@@ -33,6 +50,12 @@ type Snapshot struct {
 	// of a serve-mode worker (empty — and omitted — in one-shot runs,
 	// where the process itself identifies the run).
 	Run string `json:"run,omitempty"`
+
+	// Corr is the correlation ID of the run that produced this snapshot —
+	// the job ID under accmosd, a generated run ID for CLI runs — stamped
+	// host-side by the harness, so every NDJSON event is joinable with
+	// the run's log lines and trace spans.
+	Corr string `json:"corr,omitempty"`
 }
 
 // Elapsed returns the run time at the snapshot.

@@ -13,9 +13,15 @@
 //	POST   /v1/jobs             submit a model           -> 202 SubmitResponse
 //	GET    /v1/jobs/{id}        job status + results     -> 200 JobView
 //	GET    /v1/jobs/{id}/events live NDJSON heartbeats   -> 200 stream
+//	GET    /v1/jobs/{id}/debug  failure forensics        -> 200 DebugBundle
 //	DELETE /v1/jobs/{id}        cancel                   -> 200 JobView
 //	GET    /healthz             liveness / drain state
 //	GET    /metrics             queue, cache and latency counters
+//	                            (JSON; ?format=prom for Prometheus text)
+//
+// Every job's ID doubles as its correlation ID: log lines, trace spans,
+// heartbeats on the events stream and debug bundles all carry it, so one
+// job's telemetry is joinable across the daemon and its child processes.
 package server
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	accmos "accmos"
 	"accmos/internal/coverage"
+	"accmos/internal/obs"
 	"accmos/internal/simresult"
 )
 
@@ -190,28 +197,79 @@ type OptTotals struct {
 
 // WorkerPoolView is the warm-worker-pool section of /metrics: how many
 // serve-mode processes were spawned, how many runs an already-warm
-// worker served (the amortized process startups), and how many workers
-// were killed and left to respawn after a deadline or protocol error.
+// worker served (the amortized process startups), how many workers were
+// killed and left to respawn after a deadline or protocol error, and how
+// many are parked idle right now (Warm, a live gauge).
 type WorkerPoolView struct {
 	PerArtifact int   `json:"perArtifact"`
 	Spawns      int64 `json:"spawns"`
 	Reuses      int64 `json:"reuses"`
 	Respawns    int64 `json:"respawns"`
 	Artifacts   int   `json:"artifacts"`
+	Warm        int   `json:"warm"`
 }
 
-// MetricsView is the GET /metrics payload.
+// MetricsView is the GET /metrics payload (the JSON rendering of the
+// same registry ?format=prom exposes as Prometheus text).
 type MetricsView struct {
-	QueueDepth  int                   `json:"queueDepth"`
-	Running     int                   `json:"running"`
-	Workers     int                   `json:"workers"`
-	Draining    bool                  `json:"draining"`
-	UptimeNanos int64                 `json:"uptimeNanos"`
-	Jobs        map[string]int64      `json:"jobs"`
-	Cache       CacheView             `json:"cache"`
-	WorkerPool  *WorkerPoolView       `json:"workerPool,omitempty"`
-	Opt         OptTotals             `json:"opt"`
-	Phases      map[string]PhaseStats `json:"phases,omitempty"`
+	QueueDepth  int              `json:"queueDepth"`
+	Running     int              `json:"running"`
+	Workers     int              `json:"workers"`
+	Draining    bool             `json:"draining"`
+	UptimeNanos int64            `json:"uptimeNanos"`
+	Jobs        map[string]int64 `json:"jobs"`
+	// EventsDropped counts progress snapshots lost across all job event
+	// streams because a subscriber fell behind (lifetime total).
+	EventsDropped int64                 `json:"eventsDropped"`
+	Cache         CacheView             `json:"cache"`
+	WorkerPool    *WorkerPoolView       `json:"workerPool,omitempty"`
+	Opt           OptTotals             `json:"opt"`
+	Phases        map[string]PhaseStats `json:"phases,omitempty"`
+}
+
+// DebugBundle is the GET /v1/jobs/{id}/debug payload: the bounded
+// forensic record the daemon captures the moment a job reaches failed or
+// canceled — what died (correlated by the job ID), why (reason, exit
+// code, deadline), the evidence (stderr tail, last heartbeats, phase
+// trace) and the daemon state around it (queue, cache, pool). It is
+// retained with the job record, so the post-mortem survives until
+// retention evicts the job.
+type DebugBundle struct {
+	ID   string `json:"id"`
+	Corr string `json:"corr"`
+
+	State       JobState   `json:"state"`
+	Model       string     `json:"model,omitempty"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	// Error is the full error text; Reason its machine-readable class
+	// (a harness Reason* constant, "canceled", or "error" for
+	// non-execution failures). ExitCode is the generated binary's exit
+	// status (-1 when unknown); TimeoutMS the deadline that fired on a
+	// timeout; Bin the binary that was executing.
+	Error     string `json:"error,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	ExitCode  int    `json:"exitCode"`
+	TimeoutMS int64  `json:"timeoutMs,omitempty"`
+	Bin       string `json:"bin,omitempty"`
+
+	// StderrTail holds the last non-heartbeat stderr lines of the
+	// generated binary; Heartbeats the last progress snapshots before
+	// death (each stamped with Corr); Trace the pipeline phase spans;
+	// Phases the flattened per-phase nanoseconds.
+	StderrTail []string         `json:"stderrTail,omitempty"`
+	Heartbeats []obs.Snapshot   `json:"heartbeats,omitempty"`
+	Trace      *obs.Trace       `json:"trace,omitempty"`
+	Phases     map[string]int64 `json:"phases,omitempty"`
+
+	// Daemon state at capture time, for correlating the failure with
+	// load (was the queue saturated? the cache thrashing?).
+	QueueDepth int             `json:"queueDepth"`
+	Running    int             `json:"running"`
+	Cache      CacheView       `json:"cache"`
+	WorkerPool *WorkerPoolView `json:"workerPool,omitempty"`
 }
 
 // HealthView is the GET /healthz payload.

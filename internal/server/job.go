@@ -15,6 +15,11 @@ type JobSpec struct {
 	ModelName string
 	Model     *accmos.Model
 
+	// Corr is the job's correlation ID (= the job ID). The runner
+	// threads it into the facade so trace spans, heartbeats and run
+	// errors all carry it.
+	Corr string
+
 	Steps      int64
 	Budget     time.Duration
 	Timeout    time.Duration
@@ -59,9 +64,11 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	errMsg    string
+	runErr    error // the raw runner error (errors.As target for forensics)
 	outcome   *Outcome
 	phases    map[string]int64
 	cacheHit  bool
+	debug     *DebugBundle // captured at finish for failed/canceled jobs
 
 	cancelRequested bool
 	cancelRun       func() // non-nil while running

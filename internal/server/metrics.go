@@ -1,104 +1,143 @@
 package server
 
 import (
-	"sort"
-	"sync"
+	"io"
+	"math"
 	"time"
 
 	accmos "accmos"
 	"accmos/internal/obs"
 )
 
-// phaseSamples bounds the per-phase latency reservoir: quantiles are
-// computed over the most recent phaseSamples observations, so a
-// long-lived daemon reports current behaviour, not its whole history.
-const phaseSamples = 512
+// jobStates enumerates the accmosd_jobs_total label values. Every series
+// is pre-created at startup so the exposed skeleton — and the JSON
+// counters map — is complete and stable from the first scrape.
+var jobStates = []string{"submitted", "done", "failed", "canceled", "rejected"}
 
-// phaseHist accumulates one pipeline phase's latency distribution.
-type phaseHist struct {
-	count int64
-	total time.Duration
-	max   time.Duration
-	ring  []int64
-	idx   int
-}
-
-func (h *phaseHist) add(d time.Duration) {
-	h.count++
-	h.total += d
-	if d > h.max {
-		h.max = d
-	}
-	if len(h.ring) < phaseSamples {
-		h.ring = append(h.ring, d.Nanoseconds())
-		return
-	}
-	h.ring[h.idx] = d.Nanoseconds()
-	h.idx = (h.idx + 1) % phaseSamples
-}
-
-func (h *phaseHist) stats() PhaseStats {
-	s := PhaseStats{
-		Count:      h.count,
-		TotalNanos: h.total.Nanoseconds(),
-		MaxNanos:   h.max.Nanoseconds(),
-	}
-	if len(h.ring) == 0 {
-		return s
-	}
-	sorted := append([]int64(nil), h.ring...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	q := func(p float64) int64 {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	s.P50Nanos, s.P90Nanos, s.P99Nanos = q(0.50), q(0.90), q(0.99)
-	return s
-}
-
-// metrics aggregates the daemon's counters; independent of the Server
-// mutex so /metrics never contends with the scheduler.
+// metrics is the daemon's telemetry: an obs.Registry exposed both as the
+// legacy JSON MetricsView and as Prometheus text exposition. Counter and
+// histogram updates are lock-cheap and independent of the Server mutex;
+// live state (queue depth, warm workers, cache population) is exported
+// through scrape-time gauge funcs so it can never go stale.
 type metrics struct {
-	mu        sync.Mutex
-	submitted int64
-	done      int64
-	failed    int64
-	canceled  int64
-	rejected  int64 // 429s: work refused by admission control
-	opt       OptTotals
-	phases    map[string]*phaseHist
+	reg *obs.Registry
+
+	jobs      *obs.CounterVec   // accmosd_jobs_total{state}
+	phases    *obs.HistogramVec // accmosd_phase_seconds{phase}
+	optJobs   *obs.CounterVec   // accmosd_opt_jobs_total{level}
+	optActors *obs.CounterVec   // accmosd_opt_actors_total{stage}
 }
 
-func newMetrics() *metrics {
-	return &metrics{phases: make(map[string]*phaseHist)}
+// newMetrics builds the registry. Registration order is the exposition
+// order, and families with no samples yet still print their HELP/TYPE
+// header, so the scrape skeleton is golden-testable. s provides the live
+// state the gauge funcs read; its cache/pool/mutex must be initialised
+// before the first scrape (they are — New registers routes afterwards).
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.jobs = reg.Counter("accmosd_jobs_total",
+		"Jobs by lifecycle event: submitted at admission, done/failed/canceled at completion, rejected at 429 admission refusals.",
+		"state")
+	for _, st := range jobStates {
+		m.jobs.With(st)
+	}
+	reg.GaugeFunc("accmosd_queue_depth", "Jobs admitted but not yet running.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue))
+	})
+	reg.GaugeFunc("accmosd_running_jobs", "Jobs currently executing.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.running)
+	})
+	reg.GaugeFunc("accmosd_workers", "Configured concurrent job executors.", func() float64 {
+		return float64(s.cfg.Workers)
+	})
+	reg.GaugeFunc("accmosd_draining", "1 while the daemon refuses new work and drains, 0 otherwise.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.draining {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("accmosd_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+
+	m.phases = reg.Histogram("accmosd_phase_seconds",
+		"Pipeline phase latency (schedule/optimize/instrument/generate/compile/run) over completed jobs.",
+		nil, "phase")
+
+	m.optJobs = reg.Counter("accmosd_opt_jobs_total",
+		"Completed jobs by optimizing-middle-end level.", "level")
+	m.optJobs.With("O0")
+	m.optJobs.With("O1")
+	m.optActors = reg.Counter("accmosd_opt_actors_total",
+		"Scheduled actors the optimizer saw (stage=before) and kept (stage=after), summed over completed jobs.",
+		"stage")
+	m.optActors.With("before")
+	m.optActors.With("after")
+
+	reg.GaugeFunc("accmosd_cache_entries", "Compiled binaries resident in the build cache.", func() float64 {
+		return float64(s.cache.Stats().Entries)
+	})
+	reg.CounterFunc("accmosd_cache_hits_total", "Build-cache hits (jobs that paid no compile).", func() float64 {
+		return float64(s.cache.Stats().Hits)
+	})
+	reg.CounterFunc("accmosd_cache_misses_total", "Build-cache misses (jobs that compiled).", func() float64 {
+		return float64(s.cache.Stats().Misses)
+	})
+	reg.CounterFunc("accmosd_cache_evictions_total", "Build-cache evictions.", func() float64 {
+		return float64(s.cache.Stats().Evictions)
+	})
+
+	reg.CounterFunc("accmosd_events_dropped_total",
+		"Progress snapshots dropped across all job event streams because a subscriber fell behind.",
+		func() float64 { return float64(s.eventsDropped()) })
+
+	if s.pool != nil {
+		reg.CounterFunc("accmosd_pool_spawns_total", "Serve-mode worker processes started.", func() float64 {
+			return float64(s.pool.Stats().Spawns)
+		})
+		reg.CounterFunc("accmosd_pool_reuses_total", "Runs served by an already-warm worker.", func() float64 {
+			return float64(s.pool.Stats().Reuses)
+		})
+		reg.CounterFunc("accmosd_pool_respawns_total", "Workers killed after a deadline or protocol error.", func() float64 {
+			return float64(s.pool.Stats().Respawns)
+		})
+		reg.GaugeFunc("accmosd_pool_warm_workers", "Worker processes currently parked idle.", func() float64 {
+			return float64(s.pool.Stats().Warm)
+		})
+		reg.GaugeFunc("accmosd_pool_artifacts", "Distinct compiled artifacts with a worker set.", func() float64 {
+			return float64(s.pool.Stats().Artifacts)
+		})
+	}
+	return m
 }
 
-func (m *metrics) count(field *int64) {
-	m.mu.Lock()
-	*field++
-	m.mu.Unlock()
-}
+// countJob bumps one accmosd_jobs_total series.
+func (m *metrics) countJob(state string) { m.jobs.With(state).Inc() }
+
+// writePrometheus renders the registry in the text exposition format.
+func (m *metrics) writePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
 
 // recordTrace folds every span of a completed job's phase trace into the
 // per-phase histograms. Nested spans are walked depth-first, so e.g. the
 // "compile" span inside a traced pipeline lands in the "compile" bucket
 // whatever its parent.
-func (m *metrics) recordTrace(tr *obs.Tracer) {
+func (m *metrics) recordTrace(tr *accmos.Tracer) {
 	if tr == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var walk func(spans []*obs.Span)
 	walk = func(spans []*obs.Span) {
 		for _, s := range spans {
 			if d := s.Duration(); d > 0 || s.EndNanos >= s.StartNanos {
-				h := m.phases[s.Name]
-				if h == nil {
-					h = &phaseHist{}
-					m.phases[s.Name] = h
-				}
-				h.add(d)
+				m.phases.With(s.Name).Observe(d.Seconds())
 			}
 			walk(s.Children)
 		}
@@ -111,41 +150,48 @@ func (m *metrics) recordOpt(o *accmos.OptStats) {
 	if o == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if o.Level == "O0" {
-		m.opt.O0Jobs++
+		m.optJobs.With("O0").Inc()
 	} else {
-		m.opt.O1Jobs++
+		m.optJobs.With("O1").Inc()
 	}
-	m.opt.ActorsBefore += int64(o.ActorsBefore)
-	m.opt.ActorsAfter += int64(o.ActorsAfter)
+	m.optActors.With("before").Add(int64(o.ActorsBefore))
+	m.optActors.With("after").Add(int64(o.ActorsAfter))
 }
 
 func (m *metrics) optTotals() OptTotals {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.opt
-}
-
-func (m *metrics) jobCounts() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return map[string]int64{
-		"submitted": m.submitted,
-		"done":      m.done,
-		"failed":    m.failed,
-		"canceled":  m.canceled,
-		"rejected":  m.rejected,
+	return OptTotals{
+		O0Jobs:       m.optJobs.With("O0").Value(),
+		O1Jobs:       m.optJobs.With("O1").Value(),
+		ActorsBefore: m.optActors.With("before").Value(),
+		ActorsAfter:  m.optActors.With("after").Value(),
 	}
 }
 
+func (m *metrics) jobCounts() map[string]int64 {
+	out := make(map[string]int64, len(jobStates))
+	for _, st := range jobStates {
+		out[st] = m.jobs.With(st).Value()
+	}
+	return out
+}
+
+// secondsToNanos converts a histogram's float seconds back to the JSON
+// view's integer nanoseconds.
+func secondsToNanos(s float64) int64 { return int64(math.Round(s * 1e9)) }
+
 func (m *metrics) phaseStats() map[string]PhaseStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]PhaseStats, len(m.phases))
-	for name, h := range m.phases {
-		out[name] = h.stats()
+	series := m.phases.Series()
+	out := make(map[string]PhaseStats, len(series))
+	for name, st := range series {
+		out[name] = PhaseStats{
+			Count:      st.Count,
+			TotalNanos: secondsToNanos(st.Sum),
+			MaxNanos:   secondsToNanos(st.Max),
+			P50Nanos:   secondsToNanos(st.P50),
+			P90Nanos:   secondsToNanos(st.P90),
+			P99Nanos:   secondsToNanos(st.P99),
+		}
 	}
 	return out
 }

@@ -33,6 +33,7 @@ func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 			Timeout:       spec.Timeout,
 			Cache:         cache,
 			Pool:          pool,
+			RunID:         spec.Corr,
 			Trace:         tr,
 			Progress:      progress,
 			ProgressEvery: spec.Heartbeat,

@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,6 +60,11 @@ type Config struct {
 	Runner Runner
 	// Logf receives operational log lines (default: discarded).
 	Logf func(format string, args ...interface{})
+	// Logger receives structured operational logs; every per-job record
+	// carries a "corr" attribute equal to the job ID, joinable with the
+	// job's trace spans, heartbeats and debug bundle (default:
+	// discarded).
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -85,6 +92,9 @@ func (c *Config) fillDefaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // defaultHeartbeat is the events-stream snapshot interval when a
@@ -108,9 +118,25 @@ type Server struct {
 	seq       int64
 	running   int
 	draining  bool
+	// evictedDrops accumulates the dropped-snapshot totals of evicted
+	// jobs' fanouts, so accmosd_events_dropped_total stays monotonic
+	// across retention.
+	evictedDrops int64
 
 	wg      sync.WaitGroup
 	metrics *metrics
+}
+
+// eventsDropped sums dropped progress snapshots across every retained
+// job's event stream plus the evicted remainder — a lifetime total.
+func (s *Server) eventsDropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.evictedDrops
+	for _, j := range s.jobs {
+		total += j.fanout.Stats().DroppedTotal
+	}
+	return total
 }
 
 // New builds a server and starts its worker pool.
@@ -131,18 +157,19 @@ func New(cfg Config) *Server {
 		cfg.Runner = PipelineRunner(cache, pool)
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache,
-		pool:    pool,
-		jobs:    make(map[string]*job),
-		start:   time.Now(),
-		metrics: newMetrics(),
+		cfg:   cfg,
+		cache: cache,
+		pool:  pool,
+		jobs:  make(map[string]*job),
+		start: time.Now(),
 	}
+	s.metrics = newMetrics(s)
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/debug", s.handleDebug)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -171,8 +198,10 @@ func (s *Server) Pool() *accmos.WorkerPool { return s.pool }
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	queued, running := len(s.queue), s.running
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.cfg.Logger.Info("draining", "queued", queued, "running", running)
 
 	idle := make(chan struct{})
 	go func() {
@@ -245,10 +274,21 @@ func (s *Server) worker() {
 func (s *Server) execute(j *job, ctx context.Context, cancel context.CancelFunc) {
 	defer cancel()
 	tr := accmos.NewTracer()
-	outcome, err := s.cfg.Runner(ctx, j.spec, tr, j.fanout.Publish)
+	tr.SetCorr(j.id)
+	// Stamp the correlation ID on every snapshot crossing the fanout:
+	// the pipeline runner stamps heartbeats itself, but stub runners (and
+	// future remote backends) publish raw snapshots.
+	progress := func(snap obs.Snapshot) {
+		if snap.Corr == "" {
+			snap.Corr = j.id
+		}
+		j.fanout.Publish(snap)
+	}
+	outcome, err := s.cfg.Runner(ctx, j.spec, tr, progress)
 
 	s.mu.Lock()
 	s.running--
+	j.runErr = err
 	switch {
 	case err == nil:
 		j.outcome = outcome
@@ -281,22 +321,114 @@ func (s *Server) finishLocked(j *job, state JobState, errMsg string, tr *accmos.
 	}
 	switch state {
 	case JobDone:
-		s.metrics.count(&s.metrics.done)
+		s.metrics.countJob("done")
 	case JobFailed:
-		s.metrics.count(&s.metrics.failed)
+		s.metrics.countJob("failed")
 	case JobCanceled:
-		s.metrics.count(&s.metrics.canceled)
+		s.metrics.countJob("canceled")
+	}
+	if state == JobFailed || state == JobCanceled {
+		s.captureDebugLocked(j, tr)
 	}
 	j.fanout.Close()
 	close(j.done)
 	s.cfg.Logf("accmosd: job %s %s (%s)", j.id, state, j.spec.ModelName)
+	attrs := []interface{}{
+		"corr", j.id, "state", string(state), "model", j.spec.ModelName,
+	}
+	if !j.started.IsZero() {
+		attrs = append(attrs,
+			"queueMs", j.started.Sub(j.submitted).Milliseconds(),
+			"runMs", j.finished.Sub(j.started).Milliseconds())
+	}
+	if errMsg != "" {
+		reason := "error"
+		if d := j.debug; d != nil {
+			reason = d.Reason
+		}
+		attrs = append(attrs, "reason", reason, "err", firstLine(errMsg))
+		s.cfg.Logger.Error("job finished", attrs...)
+	} else {
+		s.cfg.Logger.Info("job finished", attrs...)
+	}
 
 	s.doneOrder = append(s.doneOrder, j.id)
 	for len(s.doneOrder) > s.cfg.RetainJobs {
+		if old := s.jobs[s.doneOrder[0]]; old != nil {
+			s.evictedDrops += old.fanout.Stats().DroppedTotal
+		}
 		delete(s.jobs, s.doneOrder[0])
 		s.doneOrder = s.doneOrder[1:]
 	}
 	s.cond.Broadcast()
+}
+
+// debugHeartbeats bounds the snapshots a debug bundle keeps when the
+// failure carried no structured run error (stub runners, cancellations):
+// the tail of the fanout's replay history.
+const debugHeartbeats = 8
+
+// captureDebugLocked records the failure forensics on the job: the
+// structured run error's evidence when the harness produced one, the
+// event stream's trailing heartbeats otherwise, plus the trace and the
+// daemon state around the failure. Caller holds s.mu; everything stored
+// is bounded.
+func (s *Server) captureDebugLocked(j *job, tr *accmos.Tracer) {
+	b := &DebugBundle{
+		ID:          j.id,
+		Corr:        j.id,
+		State:       j.state,
+		Model:       j.spec.ModelName,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+		ExitCode:    -1,
+		Phases:      j.phases,
+		QueueDepth:  len(s.queue),
+		Running:     s.running,
+		Cache:       cacheView(s.cache.Stats()),
+		WorkerPool:  s.poolView(),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		b.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		b.FinishedAt = &t
+	}
+	var re *accmos.RunError
+	if errors.As(j.runErr, &re) {
+		b.Reason = re.Reason
+		b.ExitCode = re.ExitCode
+		b.TimeoutMS = re.Timeout.Milliseconds()
+		b.Bin = re.Bin
+		b.StderrTail = re.StderrTail
+		b.Heartbeats = re.Heartbeats
+	} else if j.state == JobCanceled {
+		b.Reason = "canceled"
+	} else {
+		b.Reason = "error"
+	}
+	if len(b.Heartbeats) == 0 {
+		hist := j.fanout.History()
+		if len(hist) > debugHeartbeats {
+			hist = hist[len(hist)-debugHeartbeats:]
+		}
+		b.Heartbeats = hist
+	}
+	if tr != nil {
+		b.Trace = tr.Trace()
+	}
+	j.debug = b
+}
+
+// firstLine truncates a multi-line error message for a log attribute (the
+// full text stays on the job record and its debug bundle).
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // phaseTotals flattens a trace into per-phase total nanoseconds.
@@ -406,11 +538,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
-		s.metrics.count(&s.metrics.rejected)
+		s.metrics.countJob("rejected")
 		sec := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 		if sec < 1 {
 			sec = 1
 		}
+		s.cfg.Logger.Warn("submission rejected", "model", m.Name, "queueDepth", s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:         fmt.Sprintf("queue is full (%d jobs)", s.cfg.QueueDepth),
@@ -419,8 +552,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
+	id := fmt.Sprintf("j-%06d", s.seq)
+	spec.Corr = id // the job ID doubles as the run's correlation ID
 	j := &job{
-		id:        fmt.Sprintf("j-%06d", s.seq),
+		id:        id,
 		seq:       s.seq,
 		priority:  req.Priority,
 		spec:      spec,
@@ -436,8 +571,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.cond.Signal()
 	s.mu.Unlock()
 
-	s.metrics.count(&s.metrics.submitted)
+	s.metrics.countJob("submitted")
 	s.cfg.Logf("accmosd: job %s queued (%s, depth %d)", j.id, m.Name, depth)
+	s.cfg.Logger.Info("job queued",
+		"corr", j.id, "model", m.Name, "priority", req.Priority, "queueDepth", depth)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, State: JobQueued, QueueDepth: depth})
 }
 
@@ -550,40 +687,95 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// wantsPrometheus decides the /metrics rendering: ?format=prom (or
+// =prometheus) forces the text exposition, ?format=json forces JSON, and
+// with no format parameter the Accept header decides — a Prometheus
+// scraper advertises text/plain or application/openmetrics-text, while
+// curl's */* (and the existing JSON consumers) keep the JSON default.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.metrics.writePrometheus(w)
+		return
+	}
 	s.mu.Lock()
 	depth := len(s.queue)
 	running := s.running
 	draining := s.draining
 	s.mu.Unlock()
-	cs := s.cache.Stats()
 	view := MetricsView{
-		QueueDepth:  depth,
-		Running:     running,
-		Workers:     s.cfg.Workers,
-		Draining:    draining,
-		UptimeNanos: time.Since(s.start).Nanoseconds(),
-		Jobs:        s.metrics.jobCounts(),
-		Cache: CacheView{
-			Entries:   cs.Entries,
-			Limit:     cs.Limit,
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Evictions: cs.Evictions,
-			HitRate:   cs.HitRate(),
-		},
-		Opt:    s.metrics.optTotals(),
-		Phases: s.metrics.phaseStats(),
-	}
-	if s.pool != nil {
-		ws := s.pool.Stats()
-		view.WorkerPool = &WorkerPoolView{
-			PerArtifact: s.pool.PerArtifact(),
-			Spawns:      ws.Spawns,
-			Reuses:      ws.Reuses,
-			Respawns:    ws.Respawns,
-			Artifacts:   ws.Artifacts,
-		}
+		QueueDepth:    depth,
+		Running:       running,
+		Workers:       s.cfg.Workers,
+		Draining:      draining,
+		UptimeNanos:   time.Since(s.start).Nanoseconds(),
+		Jobs:          s.metrics.jobCounts(),
+		EventsDropped: s.eventsDropped(),
+		Cache:         cacheView(s.cache.Stats()),
+		WorkerPool:    s.poolView(),
+		Opt:           s.metrics.optTotals(),
+		Phases:        s.metrics.phaseStats(),
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// cacheView shapes build-cache stats for the wire.
+func cacheView(cs accmos.CacheStats) CacheView {
+	return CacheView{
+		Entries:   cs.Entries,
+		Limit:     cs.Limit,
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		HitRate:   cs.HitRate(),
+	}
+}
+
+// poolView shapes worker-pool stats for the wire (nil when disabled).
+func (s *Server) poolView() *WorkerPoolView {
+	if s.pool == nil {
+		return nil
+	}
+	ws := s.pool.Stats()
+	return &WorkerPoolView{
+		PerArtifact: s.pool.PerArtifact(),
+		Spawns:      ws.Spawns,
+		Reuses:      ws.Reuses,
+		Respawns:    ws.Respawns,
+		Artifacts:   ws.Artifacts,
+		Warm:        ws.Warm,
+	}
+}
+
+// handleDebug serves a failed or canceled job's forensic bundle. A job
+// that finished cleanly (or is still pending) has none — that is a 404
+// with a state-specific message, not an error in the daemon.
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	bundle := j.debug
+	state := j.state
+	s.mu.Unlock()
+	if bundle == nil {
+		writeError(w, http.StatusNotFound, "job %s has no debug bundle (state %s; bundles are captured for failed and canceled jobs)", j.id, state)
+		return
+	}
+	writeJSON(w, http.StatusOK, bundle)
 }
