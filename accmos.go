@@ -244,10 +244,12 @@ type OptStats struct {
 
 // Options configures a simulation through the facade.
 type Options struct {
-	// Steps bounds the simulation length (default 1000). Ignored when
-	// Budget is set.
+	// Steps bounds the simulation length (default 1000). With Budget
+	// also set, the run stops at whichever bound is reached first; zero
+	// with Budget set means budget-only.
 	Steps int64
-	// Budget bounds wall-clock execution instead of step count.
+	// Budget bounds wall-clock execution instead of (or alongside) the
+	// step count.
 	Budget time.Duration
 
 	// Coverage enables actor/condition/decision/MC-DC collection.
@@ -309,6 +311,18 @@ type Options struct {
 	// and Sweep both use it, and Workers is ignored.
 	Pool *WorkerPool
 
+	// DisableBatch turns off batched lane execution for Sweep. By
+	// default a step-bounded sweep (no Budget)
+	// routes groups of seeds through the generated batch entry point —
+	// one step loop over all lanes — instead of one request per seed.
+	// Output hashes, diagnostics and the sweep's merged coverage are
+	// bit-identical either way, but a batch reports coverage once,
+	// OR-merged over its lanes, so batched runs carry no per-suite
+	// coverage detail (Result.CoverageReport returns the zero report).
+	// Set this to force the per-run (pooled or spawn) path — for
+	// per-suite coverage breakdowns, or to compare the two modes.
+	DisableBatch bool
+
 	// RunID is the run's correlation ID — the job ID under accmosd, a
 	// NewRunID() value for CLI runs. When set, every progress snapshot,
 	// trace span set, and structured run error carries it, so logs and
@@ -347,6 +361,17 @@ func (o *Options) steps() int64 {
 	return o.Steps
 }
 
+// runSteps is the step bound handed to the harness: the 1000-step
+// default applies only to unbudgeted runs — under a Budget, a zero
+// Steps means budget-only and an explicit Steps bounds the run
+// alongside the budget (whichever is reached first wins).
+func (o *Options) runSteps() int64 {
+	if o.Budget > 0 {
+		return o.Steps
+	}
+	return o.steps()
+}
+
 // Result is a simulation outcome.
 type Result struct {
 	*simresult.Results
@@ -361,6 +386,14 @@ type Result struct {
 	// serve-mode worker — the per-run process startup was amortized away
 	// (false for spawn-per-run execution and for a pool's first run).
 	WorkerReuse bool
+
+	// Batched reports that this run was one lane of a batched sweep
+	// request: its suite shared one generated step loop (and, pooled,
+	// one request frame) with the other lanes of its batch. ExecNanos is
+	// then the batch wall clock split evenly across lanes, and coverage
+	// lives only in the sweep's OR-merged record (Results.Coverage is
+	// nil — set Options.DisableBatch for per-suite coverage).
+	Batched bool
 
 	// Opt reports what the optimizing middle-end did (nil only for
 	// results that never went through prepare).
@@ -534,7 +567,7 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		return nil, err
 	}
 	ro := harness.RunOptions{
-		Steps:     opts.steps(),
+		Steps:     opts.runSteps(),
 		Budget:    opts.Budget,
 		Model:     m.Name,
 		RunID:     opts.RunID,
@@ -603,16 +636,25 @@ func (s *SweepResult) MergedUncovered() []string {
 // suite per seedXor (each XORed into the embedded uniform seeds), merging
 // coverage across suites — the test-adequacy workflow the paper motivates:
 // keep adding random suites until the merged coverage stops growing.
-// Coverage is forced on. Suites run concurrently across a bounded worker
-// pool (Options.Parallelism, default GOMAXPROCS); the merged coverage and
-// the Runs order are deterministic regardless of worker count.
+// Coverage is forced on. When the options allow it (no Budget,
+// DisableBatch unset), groups of seeds execute through the generated
+// batch entry point — one cache-hot step loop over all lanes — and
+// fall back to per-run execution (pooled or spawn) otherwise; hashes,
+// diagnostics and merged coverage are bit-identical either way, though
+// batched lanes skip per-suite coverage detail. Per-run suites run concurrently
+// across a bounded worker pool (Options.Parallelism, default
+// GOMAXPROCS); the merged coverage and the Runs order are deterministic
+// regardless of worker count or batching.
 func Sweep(m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
 	return SweepContext(context.Background(), m, opts, seedXors)
 }
 
 // SweepContext is Sweep bounded by a context: cancelling ctx (or an
 // Options.Timeout expiring on any suite) kills the in-flight generated
-// binaries and returns the first error instead of finishing the sweep.
+// binaries and returns the first error. Alongside a non-nil error the
+// returned SweepResult is the partial sweep: suites that never finished
+// leave nil entries in Runs (callers must nil-check before dereferencing)
+// and the merged coverage covers only the completed suites.
 func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64) (*SweepResult, error) {
 	if len(seedXors) == 0 {
 		return nil, fmt.Errorf("accmos: Sweep needs at least one seed")
@@ -643,6 +685,15 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 		defer pool.Close()
 	}
 
+	// Batched lane execution: when nothing demands per-run semantics —
+	// no wall-clock Budget (batch runs are step-bounded) — groups of
+	// seeds run through the generated batch entry point instead of one
+	// request per seed. Progress still streams, but each heartbeat
+	// aggregates over a whole batch's lanes.
+	if !opts.DisableBatch && opts.Budget == 0 {
+		return sweepBatch(ctx, m, &opts, or, prog, bin, compileTime, cacheHit, seedXors, workers, pool)
+	}
+
 	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
 	runs := make([]*Result, len(seedXors))
 	runCtx, cancel := context.WithCancel(ctx)
@@ -670,7 +721,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 					continue
 				}
 				ro := harness.RunOptions{
-					Steps:     opts.steps(),
+					Steps:     opts.runSteps(),
 					Budget:    opts.Budget,
 					SeedXor:   seedXors[i],
 					Model:     m.Name,
@@ -722,13 +773,135 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 	}
 	close(jobs)
 	wg.Wait()
+	// Errors still hand back the partial sweep: completed suites keep
+	// their Runs slots (unfinished ones stay nil) and the merged
+	// coverage reflects what actually ran.
+	sw.Runs = runs
 	if firstErr != nil {
-		return nil, firstErr
+		return sw, firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return sw, err
 	}
+	return sw, nil
+}
+
+// sweepBatch executes a sweep through the generated batch entry point:
+// the seeds are partitioned into contiguous chunks — at most `workers`
+// concurrent requests, each covering at least minBatchLanes lanes when
+// the seed count allows — and every chunk dispatches as one batched
+// lane run: pooled (one serve frame for the whole chunk) when a pool is
+// available, a single spawn otherwise. Per-lane results land in their
+// seed's Runs slot and coverage is OR-merged under the sweep mutex, so
+// Runs order and merged coverage match per-run execution exactly.
+func sweepBatch(ctx context.Context, m *Model, opts *Options, or *opt.Result, prog *codegen.Program, bin string, compileTime time.Duration, cacheHit bool, seedXors []uint64, workers int, pool *WorkerPool) (*SweepResult, error) {
+	// Below this many lanes per request, framing overhead eats the
+	// batching win; prefer fewer, fuller batches over maximal fan-out.
+	const minBatchLanes = 8
+	nb := workers
+	if maxNB := (len(seedXors) + minBatchLanes - 1) / minBatchLanes; nb > maxNB {
+		nb = maxNB
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
+	runs := make([]*Result, len(seedXors))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mergeMu  sync.Mutex // guards sw.merged and runs
+		cbMu     sync.Mutex // serialises the caller's Progress callback
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // kill in-flight batches
+		})
+	}
+	for b := 0; b < nb; b++ {
+		lo, hi := b*len(seedXors)/nb, (b+1)*len(seedXors)/nb
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(batch, lo, hi int) {
+			defer wg.Done()
+			if runCtx.Err() != nil {
+				return
+			}
+			chunk := seedXors[lo:hi]
+			ro := harness.RunOptions{
+				Steps:     opts.steps(),
+				Model:     m.Name,
+				Suite:     lo + 1, // first suite of the chunk, for error labels
+				RunID:     opts.RunID,
+				Heartbeat: opts.progressEvery(),
+				Trace:     opts.Trace,
+			}
+			if cb := opts.Progress; cb != nil {
+				suite := lo + 1
+				ro.Progress = func(s Snapshot) {
+					// One snapshot per batch heartbeat: Steps counts
+					// all lanes' progress combined, tagged with the
+					// chunk's first suite and its batch index.
+					s.Worker, s.Suite = batch, suite
+					cbMu.Lock()
+					defer cbMu.Unlock()
+					cb(s)
+				}
+			}
+			if opts.Timeout > 0 {
+				// Options.Timeout is a per-run bound; one batch request
+				// covers the whole chunk's worth of stepping.
+				ro.Timeout = opts.Timeout * time.Duration(len(chunk))
+			}
+			var (
+				res    []*simresult.Results
+				cov    *coverage.Raw
+				reused bool
+				err    error
+			)
+			if pool != nil {
+				res, cov, reused, err = pool.RunBatch(runCtx, bin, ro, chunk)
+			} else {
+				res, cov, err = harness.RunBatch(runCtx, bin, ro, chunk)
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			mergeMu.Lock()
+			defer mergeMu.Unlock()
+			// Lanes share the batch's monotone bitmaps, so the batch
+			// reports one OR-merged coverage section instead of a copy
+			// per lane; per-run coverage detail needs DisableBatch.
+			if cov != nil {
+				if err := sw.merged.Merge(cov); err != nil {
+					fail(err)
+					return
+				}
+			}
+			for j, r := range res {
+				r.CompileNanos = compileTime.Nanoseconds()
+				runs[lo+j] = &Result{
+					Results: r, layout: prog.Layout, CacheHit: cacheHit,
+					WorkerReuse: reused, Batched: true, Opt: optStats(opts, or),
+				}
+			}
+		}(b+1, lo, hi)
+	}
+	wg.Wait()
 	sw.Runs = runs
+	if firstErr != nil {
+		return sw, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return sw, err
+	}
 	return sw, nil
 }
 

@@ -301,6 +301,7 @@ func TestSweepTagsSnapshotsWithWorkerAndSuite(t *testing.T) {
 		Steps:         5000,
 		TestCases:     accmos.RandomTestCases(m, 77, -100, 100),
 		Parallelism:   2,
+		DisableBatch:  true, // per-suite snapshot tagging is a per-run-path contract
 		ProgressEvery: time.Millisecond,
 		Progress: func(s accmos.Snapshot) {
 			mu.Lock()

@@ -48,6 +48,7 @@ func main() {
 		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
 		parallel  = flag.Int("parallel", 0, "concurrent suite executions for -sweep (0 = GOMAXPROCS, 1 = sequential)")
 		workers   = flag.Int("workers", 0, "warm serve-mode worker processes for -sweep: suites reuse up to N live binaries instead of spawning one process per run (0 = spawn per run)")
+		noBatch   = flag.Bool("no-batch", false, "disable lane-vectorized batch execution for -sweep (one request per suite; results are bit-identical)")
 		timeout   = flag.Duration("timeout", 0, "kill a generated-binary run exceeding this wall-clock deadline, e.g. 30s (0 = none)")
 		progress  = flag.Bool("progress", false, "show a live progress line (steps/sec, coverage) on stderr")
 		traceJSON = flag.String("trace-json", "", "write the pipeline phase trace (parse/schedule/instrument/generate/compile/run) as JSON to this file")
@@ -114,19 +115,20 @@ func main() {
 		fatal(err)
 	}
 	opts := accmos.Options{
-		OptLevel:    level,
-		Steps:       *steps,
-		Budget:      time.Duration(*budgetMS) * time.Millisecond,
-		Coverage:    *coverage,
-		Diagnose:    *diag,
-		StopOnDiag:  diagnose.Kind(*stopOn),
-		StopOnActor: *stopActor,
-		TestCases:   tcs,
-		WorkDir:     *workDir,
-		Timeout:     *timeout,
-		Parallelism: *parallel,
-		Workers:     *workers,
-		Trace:       tracer,
+		OptLevel:     level,
+		Steps:        *steps,
+		Budget:       time.Duration(*budgetMS) * time.Millisecond,
+		Coverage:     *coverage,
+		Diagnose:     *diag,
+		StopOnDiag:   diagnose.Kind(*stopOn),
+		StopOnActor:  *stopActor,
+		TestCases:    tcs,
+		WorkDir:      *workDir,
+		Timeout:      *timeout,
+		Parallelism:  *parallel,
+		Workers:      *workers,
+		DisableBatch: *noBatch,
+		Trace:        tracer,
 	}
 	if *monitor != "" {
 		opts.Monitor = strings.Split(*monitor, ",")
@@ -169,6 +171,15 @@ func main() {
 		}
 		fmt.Printf("sweep: %d random suites x %d steps on %s\n", *sweep, opts.Steps, m.Name)
 		for i, run := range sw.Runs {
+			if run == nil { // suites cancelled mid-sweep leave nil slots
+				continue
+			}
+			if run.Results.Coverage == nil {
+				// Batched lanes report coverage only in the merged
+				// record below; -no-batch restores per-suite detail.
+				fmt.Printf("  suite %2d: (batched)  %v\n", i, time.Duration(run.ExecNanos))
+				continue
+			}
 			rep := run.CoverageReport()
 			fmt.Printf("  suite %2d: actor %5.1f%%  cond %5.1f%%  dec %5.1f%%  mc/dc %5.1f%%  (%v)\n",
 				i, rep.Actor, rep.Cond, rep.Dec, rep.MCDC, time.Duration(run.ExecNanos))
@@ -179,6 +190,9 @@ func main() {
 		if *workers > 0 {
 			warm := 0
 			for _, run := range sw.Runs {
+				if run == nil {
+					continue
+				}
 				if run.WorkerReuse {
 					warm++
 				}

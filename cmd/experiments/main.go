@@ -4,6 +4,7 @@
 //	experiments -run table3     # Table 3: coverage within equal budgets
 //	experiments -run opt        # optimizing middle-end: O0 vs O1 on all engines
 //	experiments -run serve      # worker pool: spawn-per-run vs warm serve-mode workers
+//	experiments -run batch      # batched lanes: per-run serve frames vs one batch request
 //	experiments -run casestudy  # §4 error-injection study on CSEV
 //	experiments -run figure1    # Figure 1 motivating measurement
 //	experiments -run all
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "experiment: table2 | table3 | opt | serve | casestudy | figure1 | all")
+		run         = flag.String("run", "all", "experiment: table2 | table3 | opt | serve | batch | casestudy | figure1 | all")
 		steps       = flag.Int64("steps", 200_000, "Table 2 simulation steps (paper: 50000000)")
 		budgetScale = flag.Float64("budget-scale", 0.1, "Table 3 budget scale; 1.0 = the paper's 5/15/60s")
 		models      = flag.String("models", "", "comma-separated model subset (default: all ten)")
@@ -129,6 +130,18 @@ func main() {
 		fmt.Println()
 		if metrics != nil {
 			metrics.AddServe(rows)
+		}
+	}
+	if want("batch") {
+		ran = true
+		rows, err := experiments.BenchBatch(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.FormatBatch(os.Stdout, rows)
+		fmt.Println()
+		if metrics != nil {
+			metrics.AddBatch(rows)
 		}
 	}
 	if want("casestudy") {

@@ -108,6 +108,14 @@ func (p *Program) Hash() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// stateVar is one tracked mutable global: its name and its Go type.
+// Plain assignment of the type must copy the value (scalars and arrays —
+// the shapes actor templates emit); slice-typed runtime state
+// (diagRecords, monSamples) is handled explicitly by laneState.
+type stateVar struct {
+	name, typ string
+}
+
 // Generator drives one generation run and implements actors.ProgramSink.
 type Generator struct {
 	c    *actors.Compiled
@@ -120,12 +128,13 @@ type Generator struct {
 	inits   []string
 	updates []string
 
-	// resets holds one assignment per mutable zero-valued global,
-	// restoring it to its fresh-process value; modelReset runs them all
-	// before replaying modelInit so serve mode can reuse the process.
-	// Initializer-bearing declarations (read-only tables) and function
-	// declarations are excluded — they carry no per-run state.
-	resets []string
+	// stateVars lists every mutable zero-valued global ("var NAME TYPE"):
+	// the per-run state modelReset restores to its fresh-process value
+	// before replaying modelInit, and the state the batch entry point
+	// swaps in and out per seed lane (laneState holds one field per
+	// entry). Initializer-bearing declarations (read-only tables) and
+	// function declarations are excluded — they carry no per-run state.
+	stateVars []stateVar
 
 	// outVar names each actor output's generated variable.
 	outVar map[string][]string
@@ -316,7 +325,7 @@ func (g *Generator) Global(decl string) {
 	g.globals = append(g.globals, decl)
 	if body, ok := strings.CutPrefix(decl, "var "); ok && !strings.Contains(body, "=") {
 		if name, typ, ok := strings.Cut(body, " "); ok {
-			g.resets = append(g.resets, fmt.Sprintf("%s = *new(%s)", name, typ))
+			g.stateVars = append(g.stateVars, stateVar{name: name, typ: typ})
 		}
 	}
 }

@@ -252,15 +252,47 @@ func emitHeartbeat(runID string, steps int64, elapsed time.Duration, final bool)
 		modelName, steps, elapsed.Nanoseconds(), jsonFloat(sps), jsonFloat(cov), diagTotal, fin, run)
 }
 
-// serveRequest is one warm-worker run request — a single NDJSON line on
+// batchChunk is how many steps a lane runs before runBatch rotates to
+// the next lane: large enough to amortize the laneSave/laneLoad state
+// swap (multi-KB on big models), small enough that lanes stay
+// interleaved and the heartbeat cadence holds.
+const batchChunk = 64
+
+// parseSeedList decodes the -batch-seeds flag: comma-separated uint64
+// seed-xor values (0x-prefixed hex accepted), one lane per entry.
+func parseSeedList(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty seed list")
+	}
+	return out, nil
+}
+
+// serveRequest is one warm-worker request — a single NDJSON line on
 // stdin in serve mode. Keep in sync with the harness worker pool's
-// request encoder (internal/harness).
+// request encoder (internal/harness). A request with accmosBatch set
+// runs one lane per seedXors entry through runBatch instead of a
+// single run; steps and budgetMs both bound a single run when both are
+// positive (whichever is reached first wins).
 type serveRequest struct {
-	ID          string ` + "`json:\"id\"`" + `
-	Steps       int64  ` + "`json:\"steps\"`" + `
-	BudgetMS    int64  ` + "`json:\"budgetMs\"`" + `
-	SeedXor     uint64 ` + "`json:\"seedXor\"`" + `
-	HeartbeatMS int64  ` + "`json:\"heartbeatMs\"`" + `
+	Batch       int      ` + "`json:\"accmosBatch\"`" + `
+	ID          string   ` + "`json:\"id\"`" + `
+	Steps       int64    ` + "`json:\"steps\"`" + `
+	BudgetMS    int64    ` + "`json:\"budgetMs\"`" + `
+	SeedXor     uint64   ` + "`json:\"seedXor\"`" + `
+	SeedXors    []uint64 ` + "`json:\"seedXors\"`" + `
+	HeartbeatMS int64    ` + "`json:\"heartbeatMs\"`" + `
 }
 
 // writeFrame emits one NDJSON response frame on stdout and flushes, so
@@ -279,6 +311,28 @@ func writeFrame(out *bufio.Writer, id string, result []byte, errMsg string) {
 	out.Flush()
 }
 
+// writeBatchFrame emits one batch response: a small header frame naming
+// the request id, lane count and the batch's OR-merged coverage, then
+// one line per lane result — so the host can split lanes with cheap
+// line reads and decode them in parallel instead of scanning one giant
+// JSON value.
+func writeBatchFrame(out *bufio.Writer, id string, lanes [][]byte, cov []byte) {
+	out.WriteString("{\"accmosRun\":1,\"id\":")
+	out.WriteString(strconv.Quote(id))
+	out.WriteString(",\"laneCount\":")
+	out.WriteString(strconv.Itoa(len(lanes)))
+	if cov != nil {
+		out.WriteString(",\"coverage\":")
+		out.Write(cov)
+	}
+	out.WriteString("}\n")
+	for _, lane := range lanes {
+		out.Write(lane)
+		out.WriteByte('\n')
+	}
+	out.Flush()
+}
+
 // serveLoop is the warm-worker mode behind the -serve flag: read NDJSON
 // run requests from stdin, execute each against fully re-initialized
 // model state (modelReset), and answer with one NDJSON result frame per
@@ -286,9 +340,12 @@ func writeFrame(out *bufio.Writer, id string, result []byte, errMsg string) {
 // id. The process exits when stdin reaches EOF — the host closes the
 // pipe to retire a worker gracefully.
 //
-// Request fields are used verbatim: steps simulates exactly that many
-// steps when budgetMs <= 0 (steps <= 0 falls back to the binary's
-// -steps default); heartbeatMs <= 0 disables heartbeats for that run.
+// Request fields are used verbatim: steps and budgetMs each bound the
+// run when positive — with both set, whichever is reached first wins;
+// with both <= 0, the binary's -steps default applies. heartbeatMs <= 0
+// disables heartbeats for that run. Batch requests (accmosBatch set)
+// run every seedXors lane through the batched loop and answer with a
+// laneCount header frame followed by one result line per lane.
 func serveLoop(defSteps int64) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 64*1024), 8*1024*1024)
@@ -303,15 +360,31 @@ func serveLoop(defSteps int64) {
 			writeFrame(out, req.ID, nil, "decoding request: "+err.Error())
 			continue
 		}
+		hb := time.Duration(req.HeartbeatMS) * time.Millisecond
+		if req.Batch != 0 {
+			if len(req.SeedXors) == 0 {
+				writeFrame(out, req.ID, nil, "batch request carries no seedXors")
+				continue
+			}
+			if req.BudgetMS > 0 {
+				writeFrame(out, req.ID, nil, "batch requests are step-bounded; budgetMs is unsupported")
+				continue
+			}
+			steps := req.Steps
+			if steps <= 0 {
+				steps = defSteps
+			}
+			writeBatchFrame(out, req.ID, runBatch(req.SeedXors, steps, hb, req.ID), covJSON())
+			continue
+		}
 		seedXor = req.SeedXor
 		modelReset()
 		steps := req.Steps
 		if steps <= 0 && req.BudgetMS <= 0 {
 			steps = defSteps
 		}
-		hb := time.Duration(req.HeartbeatMS) * time.Millisecond
 		executed, elapsed := runSim(steps, req.BudgetMS, hb, req.ID)
-		writeFrame(out, req.ID, resultsJSON(executed, elapsed.Nanoseconds()), "")
+		writeFrame(out, req.ID, resultsJSON(executed, elapsed.Nanoseconds(), true), "")
 	}
 	if err := in.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "accmos: serve: reading requests:", err)

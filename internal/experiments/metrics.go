@@ -182,6 +182,26 @@ func (m *Metrics) AddServe(rows []ServeRow) {
 	}
 }
 
+// AddBatch appends one row per (model, suite size, mode) from the
+// batched lane-execution benchmark. WallNanos is the whole-sweep wall
+// clock; StepsPerSec is sweep throughput (runs x steps over the sweep
+// wall). Batch rows carry the pooled-over-batch speedup and its pass
+// verdict (>= the 5x acceptance bar and bit-identical).
+func (m *Metrics) AddBatch(rows []BatchRow) {
+	for _, r := range rows {
+		ok := r.HashOK
+		m.Rows = append(m.Rows, MetricRow{
+			Experiment: "batch", Model: r.Model, Engine: "AccMoS",
+			Steps: r.Steps, WallNanos: r.Wall.Nanoseconds(),
+			StepsPerSec:  stepsPerSec(int64(r.Runs)*r.Steps, r.Wall),
+			CompileNanos: r.Compile.Nanoseconds(),
+			HashOK:       &ok,
+			Mode:         r.Mode, Runs: r.Runs,
+			Speedup: r.Speedup, SpeedupOK: r.SpeedupOK,
+		})
+	}
+}
+
 func stepsPerSec(steps int64, wall time.Duration) float64 {
 	if wall <= 0 {
 		return 0

@@ -20,10 +20,14 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"accmos/internal/codegen"
+	"accmos/internal/coverage"
 	"accmos/internal/obs"
 	"accmos/internal/simresult"
 )
@@ -148,7 +152,10 @@ func splitLines(s string) []string {
 
 // RunOptions selects the simulated span for one execution.
 type RunOptions struct {
-	Steps  int64         // -steps (ignored when Budget > 0)
+	// Steps bounds the simulated step count (-steps). With Budget also
+	// set, the run stops at whichever bound is reached first; Steps <= 0
+	// under a Budget means budget-only.
+	Steps  int64
 	Budget time.Duration // wall-clock budget (-budget-ms)
 	// SeedXor perturbs the program's embedded uniform test-case seeds
 	// (-seed-xor), so one binary sweeps many random suites.
@@ -207,6 +214,20 @@ func (o *RunOptions) label(binPath string) string {
 // progress stream or a long panic trace.
 const errTailLines = 20
 
+// clampMS renders a positive duration in the whole milliseconds the
+// generated program's flag/request contract speaks, clamping
+// sub-millisecond spans up to 1: emitting 0 would read as "disabled"
+// on the other side (the PR 2 -budget-ms=0 regression class). One
+// helper for every path — spawn flags and serve frames alike — so the
+// clamp can't drift between them again.
+func clampMS(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	return ms
+}
+
 // Run executes a built simulation binary and decodes its results. The
 // binary's stderr is consumed as a line stream: heartbeat records are
 // decoded into progress snapshots (delivered to opts.Progress and
@@ -222,6 +243,184 @@ func Run(binPath string, opts RunOptions) (*simresult.Results, error) {
 // until the process chooses to exit.
 func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresult.Results, error) {
 	defer opts.Trace.Start("run").End()
+	args := []string{}
+	if opts.SeedXor != 0 {
+		args = append(args, fmt.Sprintf("-seed-xor=%d", opts.SeedXor))
+	}
+	if opts.Heartbeat > 0 {
+		args = append(args, fmt.Sprintf("-heartbeat-ms=%d", clampMS(opts.Heartbeat)))
+	}
+	if opts.Budget > 0 {
+		args = append(args, fmt.Sprintf("-budget-ms=%d", clampMS(opts.Budget)))
+		// An explicit step count rides along with the budget: the run
+		// stops at whichever bound is reached first — the same semantics
+		// a serve-mode request carries, so pooled and spawn-per-run
+		// execution of a steps+budget run agree.
+		if opts.Steps > 0 {
+			args = append(args, fmt.Sprintf("-steps=%d", opts.Steps))
+		}
+	} else {
+		args = append(args, fmt.Sprintf("-steps=%d", opts.Steps))
+	}
+	var res simresult.Results
+	timeline, err := execDecode(ctx, binPath, args, opts, &res)
+	if err != nil {
+		return nil, err
+	}
+	res.Timeline = timeline
+	return &res, nil
+}
+
+// batchDoc consumes the stdout of a -batch-seeds invocation: a header
+// line naming the lane count and carrying the batch's OR-merged
+// coverage, then one raw result line per lane in request seed order.
+// Line-splitting keeps the harness from scanning one giant JSON value;
+// the raw lanes decode in parallel afterwards.
+type batchDoc struct {
+	want  int
+	lanes [][]byte
+	cov   *coverage.Raw
+}
+
+func (b *batchDoc) consume(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("reading batch header: %w", err)
+	}
+	var hdr struct {
+		Marker    int           `json:"accmosBatch"`
+		LaneCount int           `json:"laneCount"`
+		Coverage  *coverage.Raw `json:"coverage"`
+	}
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return fmt.Errorf("decoding batch header: %w", err)
+	}
+	if hdr.Marker != 1 || hdr.LaneCount != b.want {
+		return fmt.Errorf("batch document mismatch (marker %d, %d lanes for %d seeds)",
+			hdr.Marker, hdr.LaneCount, b.want)
+	}
+	b.cov = hdr.Coverage
+	b.lanes = make([][]byte, 0, hdr.LaneCount)
+	for i := 0; i < hdr.LaneCount; i++ {
+		lane, err := br.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("reading batch lane %d of %d: %w", i+1, hdr.LaneCount, err)
+		}
+		b.lanes = append(b.lanes, lane)
+	}
+	return nil
+}
+
+// seedList renders seed xors as the generated -batch-seeds flag value.
+func seedList(xs []uint64) string {
+	var sb strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", x)
+	}
+	return sb.String()
+}
+
+// RunBatch executes one spawn of the built binary in batched lane mode:
+// one lane per seedXor, all stepped to opts.Steps through the generated
+// batch loop, returning the per-lane results in seed order plus the
+// batch's OR-merged coverage (nil when coverage is off). Batch runs are
+// step-bounded (opts.Budget must be zero); Timeout bounds the whole
+// batch. Per-lane ExecNanos is the batch wall clock split evenly — the
+// lane results are bit-identical to sequential runs in everything the
+// equivalence oracle compares (hash, diagnostics), timing aside, and
+// the merged coverage equals the OR of the sequential runs' bitmaps.
+func RunBatch(ctx context.Context, binPath string, opts RunOptions, seedXors []uint64) ([]*simresult.Results, *coverage.Raw, error) {
+	defer opts.Trace.Start("run").End()
+	if len(seedXors) == 0 {
+		return nil, nil, fmt.Errorf("harness: RunBatch needs at least one seed")
+	}
+	if opts.Budget > 0 {
+		return nil, nil, fmt.Errorf("harness: RunBatch is step-bounded; Budget is unsupported")
+	}
+	args := []string{
+		"-batch-seeds=" + seedList(seedXors),
+		fmt.Sprintf("-steps=%d", opts.Steps),
+	}
+	if opts.Heartbeat > 0 {
+		args = append(args, fmt.Sprintf("-heartbeat-ms=%d", clampMS(opts.Heartbeat)))
+	}
+	doc := batchDoc{want: len(seedXors)}
+	if _, err := execDecode(ctx, binPath, args, opts, &doc); err != nil {
+		return nil, nil, err
+	}
+	out, i, err := decodeLanes(doc.lanes)
+	if err != nil {
+		return nil, nil, &RunError{
+			Model: opts.Model, Suite: opts.Suite, Bin: binPath, Corr: opts.RunID,
+			Reason: ReasonDecode, ExitCode: 0, Err: err,
+			msg: fmt.Sprintf("harness: running %s: decoding batch lane %d: %v", opts.label(binPath), i, err),
+		}
+	}
+	return out, doc.cov, nil
+}
+
+// decodeLanes unmarshals the per-lane result documents of a batch run,
+// fanned out across CPUs — per-lane decode is the dominant harness-side
+// cost of a short-horizon batch, and each lane is independent. Returns
+// the index of the first lane that failed to decode alongside its error.
+func decodeLanes(lanes [][]byte) ([]*simresult.Results, int, error) {
+	out := make([]*simresult.Results, len(lanes))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	var (
+		next   atomic.Int64
+		badIdx atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+	)
+	badIdx.Store(int64(len(lanes)))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(lanes) || int64(i) > badIdx.Load() {
+					return
+				}
+				var r simresult.Results
+				if simresult.DecodeGenerated(lanes[i], &r) {
+					out[i] = &r
+					continue
+				}
+				if err := json.Unmarshal(lanes[i], &r); err != nil {
+					mu.Lock()
+					if int64(i) < badIdx.Load() {
+						badIdx.Store(int64(i))
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = &r
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, int(badIdx.Load()), first
+	}
+	return out, 0, nil
+}
+
+// execDecode runs one spawn of a built binary: it starts the process
+// (own process group), drains stderr into the heartbeat timeline and
+// diagnostic tail, streams the stdout document into out, and converts
+// every failure mode into a structured *RunError. Shared by RunContext
+// (simresult document) and RunBatch (batch lane document).
+func execDecode(ctx context.Context, binPath string, args []string, opts RunOptions, out any) ([]obs.Snapshot, error) {
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -229,29 +428,6 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("harness: running %s: %w", opts.label(binPath), err)
-	}
-	args := []string{}
-	if opts.SeedXor != 0 {
-		args = append(args, fmt.Sprintf("-seed-xor=%d", opts.SeedXor))
-	}
-	if opts.Heartbeat > 0 {
-		ms := opts.Heartbeat.Milliseconds()
-		if ms <= 0 {
-			ms = 1
-		}
-		args = append(args, fmt.Sprintf("-heartbeat-ms=%d", ms))
-	}
-	if opts.Budget > 0 {
-		ms := opts.Budget.Milliseconds()
-		if ms <= 0 {
-			// A sub-millisecond budget must still bound the run: clamp
-			// up rather than emit -budget-ms=0, which the generated
-			// program reads as "no budget, use the default step count".
-			ms = 1
-		}
-		args = append(args, fmt.Sprintf("-budget-ms=%d", ms))
-	} else {
-		args = append(args, fmt.Sprintf("-steps=%d", opts.Steps))
 	}
 	cmd := exec.Command(binPath, args...)
 	setProcGroup(cmd)
@@ -290,10 +466,15 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 		timeline, tail, scanErr := drainStderr(stderrPipe, opts.RunID, opts.Progress)
 		drainCh <- drained{timeline, tail, scanErr}
 	}()
-	dec := json.NewDecoder(stdoutPipe)
-	var res simresult.Results
-	decErr := dec.Decode(&res)
-	decOffset := dec.InputOffset()
+	var decErr error
+	var decOffset int64
+	if sc, ok := out.(interface{ consume(io.Reader) error }); ok {
+		decErr = sc.consume(stdoutPipe)
+	} else {
+		dec := json.NewDecoder(stdoutPipe)
+		decErr = dec.Decode(out)
+		decOffset = dec.InputOffset()
+	}
 	io.Copy(io.Discard, stdoutPipe)
 	d := <-drainCh
 	waitErr := cmd.Wait()
@@ -342,8 +523,7 @@ func RunContext(ctx context.Context, binPath string, opts RunOptions) (*simresul
 			msg: fmt.Sprintf("harness: decoding results at byte offset %d: %v", decOffset, decErr),
 		}
 	}
-	res.Timeline = d.timeline
-	return &res, nil
+	return d.timeline, nil
 }
 
 // drainStderr splits a running binary's stderr into the heartbeat

@@ -132,3 +132,186 @@ func TestWorkerRunErrorStructuredOnTimeout(t *testing.T) {
 		t.Errorf("killed worker not counted as respawn: %+v", st)
 	}
 }
+
+// The batch lane protocol has more ways to go wrong than a single-run
+// frame — a header promising lanes that never arrive, a lane count that
+// contradicts the request, lanes that aren't result documents, a worker
+// dying mid-batch — and each must surface as a structured *RunError with
+// the right machine-readable reason, not a hang or a misattributed lane.
+
+// TestWorkerBatchTruncatedLanes: the worker answers the batch header but
+// exits before writing its promised lanes. The lane read hits EOF and the
+// exchange must fail as a protocol error naming the missing lane.
+func TestWorkerBatchTruncatedLanes(t *testing.T) {
+	bin := fakeBinary(t, `
+read line
+id=$(echo "$line" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+echo "{\"accmosRun\":1,\"id\":\"$id\",\"laneCount\":2}"
+`)
+	pool := harness.NewWorkerPool(1)
+	defer pool.Close()
+	_, _, _, err := pool.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4, RunID: "b-trunc"}, []uint64{1, 2})
+	if err == nil {
+		t.Fatal("a truncated batch must surface as an error")
+	}
+	var re *harness.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("truncated batch is not a *RunError: %T %v", err, err)
+	}
+	if re.Reason != harness.ReasonProtocol {
+		t.Errorf("reason %q, want %q", re.Reason, harness.ReasonProtocol)
+	}
+	if !strings.Contains(err.Error(), "reading batch lane 1 of 2") {
+		t.Errorf("error must name the missing lane: %v", err)
+	}
+	st := pool.Stats()
+	if st.Respawns != 1 {
+		t.Errorf("a worker that truncates a batch must be retired: %+v", st)
+	}
+	if st.Batches != 0 {
+		t.Errorf("a failed batch must not count as dispatched: %+v", st)
+	}
+}
+
+// TestWorkerBatchLaneCountMismatch: a syntactically clean batch whose
+// lane count contradicts the request's seed count can never be
+// attributed lane-by-lane; it must be rejected before any decode.
+func TestWorkerBatchLaneCountMismatch(t *testing.T) {
+	bin := fakeBinary(t, `
+read line
+id=$(echo "$line" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+echo "{\"accmosRun\":1,\"id\":\"$id\",\"laneCount\":3}"
+echo '{}'
+echo '{}'
+echo '{}'
+`)
+	pool := harness.NewWorkerPool(1)
+	defer pool.Close()
+	_, _, _, err := pool.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4}, []uint64{1, 2})
+	var re *harness.RunError
+	if !errors.As(err, &re) || re.Reason != harness.ReasonProtocol {
+		t.Fatalf("lane-count mismatch must be a protocol RunError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "batch frame mismatch (3 lanes for 2 seeds)") {
+		t.Errorf("error must name both counts: %v", err)
+	}
+}
+
+// TestWorkerBatchBadLaneDecode: the lane count matches but a lane isn't a
+// result document — a decode failure, distinct from protocol breakage,
+// pointing at the offending lane.
+func TestWorkerBatchBadLaneDecode(t *testing.T) {
+	bin := fakeBinary(t, `
+read line
+id=$(echo "$line" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+echo "{\"accmosRun\":1,\"id\":\"$id\",\"laneCount\":2}"
+echo '{"model":"X","engine":"AccMoS","steps":4,"execNanos":1,"outputHash":7,"diagTotal":0}'
+echo 'not a result document'
+`)
+	pool := harness.NewWorkerPool(1)
+	defer pool.Close()
+	_, _, _, err := pool.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4}, []uint64{1, 2})
+	var re *harness.RunError
+	if !errors.As(err, &re) || re.Reason != harness.ReasonDecode {
+		t.Fatalf("a garbage lane must be a decode RunError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "decoding batch lane 1") {
+		t.Errorf("error must point at the bad lane: %v", err)
+	}
+}
+
+// TestWorkerBatchErrorFrame: a worker can refuse a batch with an error
+// frame; that's a clean exchange, but the batch fails as a worker error
+// and the worker is retired.
+func TestWorkerBatchErrorFrame(t *testing.T) {
+	bin := fakeBinary(t, `
+read line
+id=$(echo "$line" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+echo "{\"accmosRun\":1,\"id\":\"$id\",\"error\":\"lanes exploded\"}"
+`)
+	pool := harness.NewWorkerPool(1)
+	defer pool.Close()
+	_, _, _, err := pool.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4}, []uint64{1, 2})
+	var re *harness.RunError
+	if !errors.As(err, &re) || re.Reason != harness.ReasonWorker {
+		t.Fatalf("an error frame must be a worker-error RunError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "lanes exploded") {
+		t.Errorf("error must carry the worker's message: %v", err)
+	}
+	if st := pool.Stats(); st.Respawns != 1 {
+		t.Errorf("an error frame must still retire the worker: %+v", st)
+	}
+}
+
+// TestWorkerBatchDeathMidBatchCarriesStderr: a worker that crashes
+// between lanes must fail the batch AND preserve its dying words in the
+// structured stderr tail — the forensic trail for "which lane killed it".
+func TestWorkerBatchDeathMidBatchCarriesStderr(t *testing.T) {
+	bin := fakeBinary(t, `
+read line
+id=$(echo "$line" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+echo 'boom: lane 2 panicked' >&2
+echo "{\"accmosRun\":1,\"id\":\"$id\",\"laneCount\":3}"
+echo '{"model":"X","engine":"AccMoS","steps":4,"execNanos":1,"outputHash":7,"diagTotal":0}'
+sleep 0.3
+exit 2
+`)
+	pool := harness.NewWorkerPool(1)
+	defer pool.Close()
+	_, _, _, err := pool.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4, RunID: "b-death"}, []uint64{1, 2, 3})
+	var re *harness.RunError
+	if !errors.As(err, &re) || re.Reason != harness.ReasonProtocol {
+		t.Fatalf("mid-batch death must be a protocol RunError: %v", err)
+	}
+	if re.Corr != "b-death" {
+		t.Errorf("correlation id %q, want b-death", re.Corr)
+	}
+	found := false
+	for _, line := range re.StderrTail {
+		if strings.Contains(line, "boom: lane 2 panicked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stderr tail missing the crash diagnostic: %q", re.StderrTail)
+	}
+}
+
+// TestSpawnBatchTruncatedDoc: the spawn-per-batch path (-batch-seeds)
+// reads a header plus N lane lines from a one-shot process; a document
+// that ends early must name the missing lane rather than decode garbage.
+func TestSpawnBatchTruncatedDoc(t *testing.T) {
+	bin := fakeBinary(t, `
+echo '{"accmosBatch":1,"laneCount":2}'
+echo '{"model":"X","engine":"AccMoS","steps":4,"execNanos":1,"outputHash":7,"diagTotal":0}'
+`)
+	_, _, err := harness.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4}, []uint64{1, 2})
+	if err == nil || !strings.Contains(err.Error(), "reading batch lane 2 of 2") {
+		t.Fatalf("truncated batch document must name the missing lane: %v", err)
+	}
+}
+
+// TestSpawnBatchHeaderMismatch: a spawn batch header promising a lane
+// count other than the requested seed count is rejected up front.
+func TestSpawnBatchHeaderMismatch(t *testing.T) {
+	bin := fakeBinary(t, `
+echo '{"accmosBatch":1,"laneCount":5}'
+echo '{}'
+echo '{}'
+echo '{}'
+echo '{}'
+echo '{}'
+`)
+	_, _, err := harness.RunBatch(context.Background(), bin,
+		harness.RunOptions{Steps: 4}, []uint64{1, 2})
+	if err == nil || !strings.Contains(err.Error(), "batch document mismatch (marker 1, 5 lanes for 2 seeds)") {
+		t.Fatalf("header mismatch must be rejected: %v", err)
+	}
+}

@@ -12,43 +12,55 @@ import (
 	"sync"
 	"time"
 
+	"accmos/internal/coverage"
 	"accmos/internal/obs"
 	"accmos/internal/simresult"
 )
 
-// serveRequest is one run request sent to a serve-mode worker — a single
+// serveRequest is one request sent to a serve-mode worker — a single
 // NDJSON line on its stdin. Keep in sync with the serveRequest decoder in
-// internal/codegen's generated runtime.
+// internal/codegen's generated runtime. Steps and BudgetMS both bound a
+// run when both are positive (whichever is reached first wins). Batch
+// set to 1 with SeedXors turns the request into a batched lane run.
 type serveRequest struct {
-	ID          string `json:"id"`
-	Steps       int64  `json:"steps"`
-	BudgetMS    int64  `json:"budgetMs"`
-	SeedXor     uint64 `json:"seedXor"`
-	HeartbeatMS int64  `json:"heartbeatMs"`
+	Batch       int      `json:"accmosBatch,omitempty"`
+	ID          string   `json:"id"`
+	Steps       int64    `json:"steps"`
+	BudgetMS    int64    `json:"budgetMs"`
+	SeedXor     uint64   `json:"seedXor"`
+	SeedXors    []uint64 `json:"seedXors,omitempty"`
+	HeartbeatMS int64    `json:"heartbeatMs"`
 	// Corr is the run's correlation ID, carried for log joinability;
 	// generated decoders that predate it ignore the field.
 	Corr string `json:"corr,omitempty"`
 }
 
-// serveFrame is one response line on a worker's stdout: exactly one per
-// request, carrying either the simresult document or an error.
+// serveFrame is the response header line on a worker's stdout: exactly
+// one per request, carrying the simresult document (single runs), an
+// error, or — for batch requests — the count of raw result lines that
+// follow the frame, one per lane.
 type serveFrame struct {
-	Marker int             `json:"accmosRun"`
-	ID     string          `json:"id"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
+	Marker    int             `json:"accmosRun"`
+	ID        string          `json:"id"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	LaneCount int             `json:"laneCount,omitempty"`
+	Coverage  *coverage.Raw   `json:"coverage,omitempty"`
 }
 
 // WorkerStats summarizes a pool's lifetime activity. Spawns counts
 // serve-mode processes started, Reuses counts requests served by an
 // already-warm worker (the startup cost the pool amortized away), and
 // Respawns counts workers killed after a deadline or protocol error —
-// their slot respawns lazily on the next request. Warm is the number of
-// workers currently parked idle (a live gauge, not a lifetime counter).
+// their slot respawns lazily on the next request. Batches counts batch
+// requests dispatched (each covering many lanes in one frame). Warm is
+// the number of workers currently parked idle (a live gauge, not a
+// lifetime counter).
 type WorkerStats struct {
 	Spawns    int64 `json:"spawns"`
 	Reuses    int64 `json:"reuses"`
 	Respawns  int64 `json:"respawns"`
+	Batches   int64 `json:"batches,omitempty"`
 	Artifacts int   `json:"artifacts"`
 	Warm      int   `json:"warm"`
 }
@@ -76,7 +88,7 @@ type WorkerPool struct {
 	arts   map[string]*poolArtifact
 	closed bool
 
-	spawns, reuses, respawns int64
+	spawns, reuses, respawns, batches int64
 }
 
 // poolArtifact is the per-binary worker set: slots holds one token per
@@ -112,7 +124,7 @@ func (p *WorkerPool) Stats() WorkerStats {
 	}
 	return WorkerStats{
 		Spawns: p.spawns, Reuses: p.reuses, Respawns: p.respawns,
-		Artifacts: len(p.arts), Warm: warm,
+		Batches: p.batches, Artifacts: len(p.arts), Warm: warm,
 	}
 }
 
@@ -125,10 +137,62 @@ func (p *WorkerPool) Stats() WorkerStats {
 // served the request.
 func (p *WorkerPool) RunContext(ctx context.Context, binPath string, opts RunOptions) (res *simresult.Results, reused bool, err error) {
 	defer opts.Trace.Start("run").End()
+	art, err := p.artifact(binPath)
+	if err != nil {
+		return nil, false, err
+	}
+	w, reused, err := p.acquire(ctx, art, &opts)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err = w.run(ctx, opts)
+	p.release(art, w, reused, err != nil)
+	if err != nil {
+		return nil, reused, err
+	}
+	return res, reused, nil
+}
+
+// RunBatch executes one batched lane request on a warm worker for
+// binPath: one lane per seedXor, all stepped to opts.Steps through the
+// generated batch loop in a single request/response frame, returning
+// per-lane results in seed order plus the batch's OR-merged coverage
+// (nil when coverage is off). Batch requests are step-bounded
+// (opts.Budget must be zero); opts.Timeout bounds the whole batch —
+// callers scale it by the lane count when they mean a per-run deadline.
+func (p *WorkerPool) RunBatch(ctx context.Context, binPath string, opts RunOptions, seedXors []uint64) (res []*simresult.Results, cov *coverage.Raw, reused bool, err error) {
+	defer opts.Trace.Start("run").End()
+	if len(seedXors) == 0 {
+		return nil, nil, false, errors.New("harness: RunBatch needs at least one seed")
+	}
+	if opts.Budget > 0 {
+		return nil, nil, false, errors.New("harness: RunBatch is step-bounded; Budget is unsupported")
+	}
+	art, err := p.artifact(binPath)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	w, reused, err := p.acquire(ctx, art, &opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	res, cov, err = w.runBatch(ctx, opts, seedXors)
+	p.release(art, w, reused, err != nil)
+	if err != nil {
+		return nil, nil, reused, err
+	}
 	p.mu.Lock()
+	p.batches++
+	p.mu.Unlock()
+	return res, cov, reused, nil
+}
+
+// artifact returns (creating on first use) the per-binary worker set.
+func (p *WorkerPool) artifact(binPath string) (*poolArtifact, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
-		p.mu.Unlock()
-		return nil, false, errors.New("harness: worker pool is closed")
+		return nil, errors.New("harness: worker pool is closed")
 	}
 	art := p.arts[binPath]
 	if art == nil {
@@ -142,22 +206,21 @@ func (p *WorkerPool) RunContext(ctx context.Context, binPath string, opts RunOpt
 		}
 		p.arts[binPath] = art
 	}
-	p.mu.Unlock()
+	return art, nil
+}
 
-	w, reused, err := p.acquire(ctx, art, &opts)
-	if err != nil {
-		return nil, false, err
-	}
-	res, err = w.run(ctx, opts)
-	if err != nil {
-		// Deadline or protocol failure: this process's state is suspect,
-		// so it never returns to the idle set.
+// release returns a worker to the idle set after a successful request,
+// or destroys it and frees its slot: a worker that erred has suspect
+// state and must never serve again (its slot respawns on demand), and a
+// pool closed mid-request must not re-park live processes.
+func (p *WorkerPool) release(art *poolArtifact, w *serveWorker, reused, failed bool) {
+	if failed {
 		w.destroy()
 		art.slots <- struct{}{}
 		p.mu.Lock()
 		p.respawns++
 		p.mu.Unlock()
-		return nil, reused, err
+		return
 	}
 	p.mu.Lock()
 	if reused {
@@ -171,7 +234,6 @@ func (p *WorkerPool) RunContext(ctx context.Context, binPath string, opts RunOpt
 	} else {
 		art.idle <- w
 	}
-	return res, reused, nil
 }
 
 // acquire obtains a worker: an idle one when available (preferred — that
@@ -346,52 +408,91 @@ func (w *serveWorker) evidence() ([]string, []obs.Snapshot) {
 	return append([]string(nil), w.tail...), heartbeatTail(w.timeline)
 }
 
-// run sends one request and reads its response frame, enforcing the
-// per-request Timeout by killing the process group — the exchange
-// goroutine then unblocks on the closed pipe. A worker that errors here
-// must not be reused; the pool destroys it.
+// fail builds a structured RunError around the worker's current
+// evidence (diagnostic stderr tail, trailing heartbeats).
+func (w *serveWorker) fail(opts RunOptions, reason string, cause error, msg string) *RunError {
+	tail, hbs := w.evidence()
+	return &RunError{
+		Model: opts.Model, Suite: opts.Suite, Bin: w.bin, Corr: opts.RunID,
+		Reason: reason, ExitCode: -1,
+		StderrTail: tail, Heartbeats: hbs,
+		Err: cause, msg: msg,
+	}
+}
+
+// run sends one simulation request and decodes its result document.
+// A worker that errors here must not be reused; the pool destroys it.
 func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Results, error) {
+	// The frame carries the step count AND the budget: with both set the
+	// worker stops at whichever bound is reached first — the same
+	// semantics spawn-per-run passes via flags, so pooled and spawned
+	// execution of a steps+budget run stay bit-identical.
+	req := serveRequest{SeedXor: opts.SeedXor, Steps: opts.Steps}
+	if opts.Budget > 0 {
+		req.BudgetMS = clampMS(opts.Budget)
+	}
+	frame, _, timeline, err := w.exchange(ctx, opts, req)
+	if err != nil {
+		return nil, err
+	}
+	var res simresult.Results
+	if !simresult.DecodeGenerated(frame.Result, &res) {
+		if err := json.Unmarshal(frame.Result, &res); err != nil {
+			return nil, w.fail(opts, ReasonDecode, err,
+				fmt.Sprintf("harness: running %s: decoding worker results: %v", opts.label(w.bin), err))
+		}
+	}
+	res.Timeline = timeline
+	return &res, nil
+}
+
+// runBatch sends one batched lane request (one lane per seedXor, all
+// stepped to opts.Steps) and decodes the per-lane result lines. The
+// aggregate batch heartbeats are not attached to any single lane.
+func (w *serveWorker) runBatch(ctx context.Context, opts RunOptions, seedXors []uint64) ([]*simresult.Results, *coverage.Raw, error) {
+	req := serveRequest{Batch: 1, SeedXors: seedXors, Steps: opts.Steps}
+	frame, lanes, _, err := w.exchange(ctx, opts, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lanes) != len(seedXors) {
+		return nil, nil, w.fail(opts, ReasonProtocol, nil,
+			fmt.Sprintf("harness: running %s: batch frame mismatch (%d lanes for %d seeds)",
+				opts.label(w.bin), len(lanes), len(seedXors)))
+	}
+	out, i, err := decodeLanes(lanes)
+	if err != nil {
+		return nil, nil, w.fail(opts, ReasonDecode, err,
+			fmt.Sprintf("harness: running %s: decoding batch lane %d: %v", opts.label(w.bin), i, err))
+	}
+	return out, frame.Coverage, nil
+}
+
+// exchange assigns the request id, sends one request frame and reads
+// its validated response frame, enforcing the per-request Timeout by
+// killing the process group — the exchange goroutine then unblocks on
+// the closed pipe. It owns the heartbeat registration for the request
+// and returns the collected timeline alongside the frame. Frame
+// validation (marker, id, worker error) happens here; result decoding
+// is the caller's.
+func (w *serveWorker) exchange(ctx context.Context, opts RunOptions, req serveRequest) (*serveFrame, [][]byte, []obs.Snapshot, error) {
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("harness: running %s: %w", opts.label(w.bin), err)
-	}
-	fail := func(reason string, cause error, msg string) *RunError {
-		tail, hbs := w.evidence()
-		return &RunError{
-			Model: opts.Model, Suite: opts.Suite, Bin: w.bin, Corr: opts.RunID,
-			Reason: reason, ExitCode: -1,
-			StderrTail: tail, Heartbeats: hbs,
-			Err: cause, msg: msg,
-		}
+		return nil, nil, nil, fmt.Errorf("harness: running %s: %w", opts.label(w.bin), err)
 	}
 	w.nextID++
 	id := fmt.Sprintf("r%d", w.nextID)
-	req := serveRequest{ID: id, SeedXor: opts.SeedXor, Corr: opts.RunID}
+	req.ID, req.Corr = id, opts.RunID
 	if opts.Heartbeat > 0 {
-		ms := opts.Heartbeat.Milliseconds()
-		if ms <= 0 {
-			ms = 1
-		}
-		req.HeartbeatMS = ms
-	}
-	if opts.Budget > 0 {
-		ms := opts.Budget.Milliseconds()
-		if ms <= 0 {
-			// Same clamp as RunContext: a sub-millisecond budget must
-			// still bound the run rather than select the step default.
-			ms = 1
-		}
-		req.BudgetMS = ms
-	} else {
-		req.Steps = opts.Steps
+		req.HeartbeatMS = clampMS(opts.Heartbeat)
 	}
 	line, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("harness: encoding request: %w", err)
+		return nil, nil, nil, fmt.Errorf("harness: encoding request: %w", err)
 	}
 	line = append(line, '\n')
 
@@ -404,60 +505,80 @@ func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Resu
 	w.finalSeen = finalSeen
 	w.hbMu.Unlock()
 
-	type exchange struct {
+	type exchanged struct {
 		frame []byte
+		lanes [][]byte
 		err   error
 	}
-	ch := make(chan exchange, 1)
+	ch := make(chan exchanged, 1)
 	go func() {
 		if _, err := w.stdin.Write(line); err != nil {
-			ch <- exchange{nil, fmt.Errorf("writing request: %w", err)}
+			ch <- exchanged{err: fmt.Errorf("writing request: %w", err)}
 			return
 		}
 		frame, err := w.out.ReadBytes('\n')
-		ch <- exchange{frame, err}
+		if err != nil {
+			ch <- exchanged{frame: frame, err: err}
+			return
+		}
+		// Batch responses follow the header frame with one raw result
+		// line per lane; read them here so the cancellation kill path
+		// below covers a worker wedged mid-batch too.
+		var lanes [][]byte
+		if req.Batch != 0 {
+			var hdr struct {
+				LaneCount int `json:"laneCount"`
+			}
+			if json.Unmarshal(frame, &hdr) == nil && hdr.LaneCount > 0 {
+				lanes = make([][]byte, 0, hdr.LaneCount)
+				for i := 0; i < hdr.LaneCount; i++ {
+					lane, err := w.out.ReadBytes('\n')
+					if err != nil {
+						ch <- exchanged{frame: frame, err: fmt.Errorf("reading batch lane %d of %d: %w", i+1, hdr.LaneCount, err)}
+						return
+					}
+					lanes = append(lanes, lane)
+				}
+			}
+		}
+		ch <- exchanged{frame: frame, lanes: lanes}
 	}()
-	var ex exchange
+	var ex exchanged
 	select {
 	case <-ctx.Done():
 		killProcGroup(w.cmd)
 		<-ch
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) && opts.Timeout > 0 {
-			e := fail(ReasonTimeout, context.DeadlineExceeded,
+			e := w.fail(opts, ReasonTimeout, context.DeadlineExceeded,
 				fmt.Sprintf("harness: running %s: worker killed after exceeding the %v timeout\n%s",
 					opts.label(w.bin), opts.Timeout, w.errTail()))
 			e.Timeout = opts.Timeout
-			return nil, e
+			return nil, nil, nil, e
 		}
-		return nil, fail(ReasonCanceled, ctx.Err(),
+		return nil, nil, nil, w.fail(opts, ReasonCanceled, ctx.Err(),
 			fmt.Sprintf("harness: running %s: worker killed: %v\n%s",
 				opts.label(w.bin), ctx.Err(), w.errTail()))
 	case ex = <-ch:
 	}
 	if ex.err != nil {
-		return nil, fail(ReasonProtocol, ex.err,
+		return nil, nil, nil, w.fail(opts, ReasonProtocol, ex.err,
 			fmt.Sprintf("harness: running %s: worker protocol failure: %v\n%s",
 				opts.label(w.bin), ex.err, w.errTail()))
 	}
 	var frame serveFrame
 	if err := json.Unmarshal(ex.frame, &frame); err != nil {
-		return nil, fail(ReasonProtocol, err,
+		return nil, nil, nil, w.fail(opts, ReasonProtocol, err,
 			fmt.Sprintf("harness: running %s: decoding worker frame: %v\n%s",
 				opts.label(w.bin), err, w.errTail()))
 	}
 	if frame.Marker != 1 || frame.ID != id {
-		return nil, fail(ReasonProtocol, nil,
+		return nil, nil, nil, w.fail(opts, ReasonProtocol, nil,
 			fmt.Sprintf("harness: running %s: worker frame mismatch (marker %d, id %q, want %q)",
 				opts.label(w.bin), frame.Marker, frame.ID, id))
 	}
 	if frame.Error != "" {
-		return nil, fail(ReasonWorker, nil,
+		return nil, nil, nil, w.fail(opts, ReasonWorker, nil,
 			fmt.Sprintf("harness: running %s: worker: %s", opts.label(w.bin), frame.Error))
-	}
-	var res simresult.Results
-	if err := json.Unmarshal(frame.Result, &res); err != nil {
-		return nil, fail(ReasonDecode, err,
-			fmt.Sprintf("harness: running %s: decoding worker results: %v", opts.label(w.bin), err))
 	}
 	if finalSeen != nil {
 		// The worker writes the run's final heartbeat to stderr before its
@@ -472,10 +593,10 @@ func (w *serveWorker) run(ctx context.Context, opts RunOptions) (*simresult.Resu
 		}
 	}
 	w.hbMu.Lock()
-	res.Timeline = w.timeline
+	timeline := w.timeline
 	w.curRun, w.curCorr, w.timeline, w.progress, w.finalSeen = "", "", nil, nil, nil
 	w.hbMu.Unlock()
-	return &res, nil
+	return &frame, ex.lanes, timeline, nil
 }
 
 // destroy kills the worker's process group and reaps it. Safe to call on

@@ -29,7 +29,10 @@ type JobSpec struct {
 	Seed       uint64
 	Lo, Hi     float64
 	SweepSeeds []uint64
-	Heartbeat  time.Duration
+	// DisableBatch forces sweep suites through per-run dispatch instead
+	// of the lane-vectorized batch entry point.
+	DisableBatch bool
+	Heartbeat    time.Duration
 }
 
 // Outcome is what a runner returns for a completed job.
@@ -42,8 +45,10 @@ type Outcome struct {
 	// WorkerReuse reports the run was served by an already-warm
 	// serve-mode worker (single-run jobs through a pool).
 	WorkerReuse bool
-	// SweepRuns and Merged describe a sweep job's outcome.
+	// SweepRuns and Merged describe a sweep job's outcome; Batched
+	// reports its suites ran through the lane-vectorized entry point.
 	SweepRuns int
+	Batched   bool
 	Merged    *coverage.Report
 	// Opt reports what the optimizing middle-end did.
 	Opt *accmos.OptStats
@@ -107,6 +112,7 @@ func (j *job) view() JobView {
 		v.Result = o.Results
 		v.Coverage = o.Coverage
 		v.SweepRuns = o.SweepRuns
+		v.Batched = o.Batched
 		v.MergedCoverage = o.Merged
 		v.Opt = o.Opt
 		v.WorkerReuse = o.WorkerReuse

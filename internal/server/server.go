@@ -512,6 +512,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		SweepSeeds: req.SweepSeeds,
 		Heartbeat:  defaultHeartbeat,
 	}
+	if req.Batch != nil {
+		spec.DisableBatch = !*req.Batch
+	}
 	if req.OptLevel != nil {
 		lv, err := accmos.OptLevelFromInt(*req.OptLevel)
 		if err != nil {

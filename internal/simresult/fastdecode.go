@@ -1,0 +1,141 @@
+package simresult
+
+import (
+	"bytes"
+	"encoding/base64"
+
+	"accmos/internal/coverage"
+)
+
+// DecodeGenerated parses the result document a generated binary emits,
+// exploiting the fixed field order of the generated resultsJSON encoder
+// (model, engine, steps, execNanos, outputHash, optional coverage,
+// diagTotal, then optional diagnosis/monitor sections). It returns false
+// without touching *r whenever the document deviates from that happy
+// path — a diag-carrying run, an escaped string, a different producer —
+// and the caller falls back to encoding/json. On a short-horizon batch
+// the per-lane decode is the dominant harness cost, and this path is
+// roughly an order of magnitude cheaper than reflection-based unmarshal.
+func DecodeGenerated(b []byte, r *Results) bool {
+	d := fastDoc{b: b}
+	var out Results
+	if !d.lit(`{"model":"`) {
+		return false
+	}
+	model, ok := d.str()
+	if !ok {
+		return false
+	}
+	if !d.lit(`","engine":"`) {
+		return false
+	}
+	engine, ok := d.str()
+	if !ok {
+		return false
+	}
+	if !d.lit(`","steps":`) {
+		return false
+	}
+	steps, ok := d.num()
+	if !ok {
+		return false
+	}
+	if !d.lit(`,"execNanos":`) {
+		return false
+	}
+	nanos, ok := d.num()
+	if !ok {
+		return false
+	}
+	if !d.lit(`,"outputHash":`) {
+		return false
+	}
+	hash, ok := d.num()
+	if !ok {
+		return false
+	}
+	if d.lit(`,"coverage":{"actor":"`) {
+		cov := &coverage.Raw{}
+		for i, dst := range []*[]byte{&cov.Actor, &cov.Cond, &cov.Dec, &cov.MCDC} {
+			enc, ok := d.str()
+			if !ok {
+				return false
+			}
+			raw, err := base64.StdEncoding.DecodeString(string(enc))
+			if err != nil {
+				return false
+			}
+			*dst = raw
+			switch i {
+			case 0:
+				ok = d.lit(`","cond":"`)
+			case 1:
+				ok = d.lit(`","dec":"`)
+			case 2:
+				ok = d.lit(`","mcdc":"`)
+			case 3:
+				ok = d.lit(`"}`)
+			}
+			if !ok {
+				return false
+			}
+		}
+		out.Coverage = cov
+	}
+	if !d.lit(`,"diagTotal":`) {
+		return false
+	}
+	diagTotal, ok := d.num()
+	// Any trailing section (diag counts, monitors) drops to the slow path.
+	if !ok || !d.lit(`}`) || len(bytes.TrimSpace(d.b)) != 0 {
+		return false
+	}
+	out.Model = string(model)
+	out.Engine = string(engine)
+	out.Steps = int64(steps)
+	out.ExecNanos = int64(nanos)
+	out.OutputHash = hash
+	out.DiagTotal = int64(diagTotal)
+	*r = out
+	return true
+}
+
+// fastDoc is a cursor over the undecoded remainder of the document.
+type fastDoc struct{ b []byte }
+
+// lit consumes the exact literal, reporting whether it was present.
+func (d *fastDoc) lit(s string) bool {
+	if len(d.b) < len(s) || string(d.b[:len(s)]) != s {
+		return false
+	}
+	d.b = d.b[len(s):]
+	return true
+}
+
+// str consumes up to the next closing quote, rejecting any string that
+// needs unescaping.
+func (d *fastDoc) str() ([]byte, bool) {
+	i := bytes.IndexByte(d.b, '"')
+	if i < 0 || bytes.IndexByte(d.b[:i], '\\') >= 0 {
+		return nil, false
+	}
+	s := d.b[:i]
+	d.b = d.b[i:]
+	return s, true
+}
+
+// num consumes a non-negative decimal integer (the generated encoder
+// never emits negative or fractional values for these fields).
+func (d *fastDoc) num() (uint64, bool) {
+	var v uint64
+	n := 0
+	for n < len(d.b) && d.b[n] >= '0' && d.b[n] <= '9' {
+		v = v*10 + uint64(d.b[n]-'0')
+		n++
+	}
+	if n == 0 || n > 20 {
+		return 0, false
+	}
+	d.b = d.b[n:]
+	return v, true
+}

@@ -1,0 +1,67 @@
+package simresult
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestDecodeGeneratedMatchesJSON: for documents on the generated
+// encoder's happy path, the fast scanner must produce exactly what
+// encoding/json would — same fields, same coverage bitmaps.
+func TestDecodeGeneratedMatchesJSON(t *testing.T) {
+	docs := []string{
+		// The no-coverage shape a batch lane emits.
+		`{"model":"CSEV","engine":"AccMoS","steps":1500,"execNanos":812345,"outputHash":18446744073709551615,"diagTotal":0}`,
+		// The coverage-carrying shape of a single run ("AA==" is one zero
+		// byte, "AAE=" two bytes with the second bit set).
+		`{"model":"SWEEP","engine":"AccMoS","steps":400,"execNanos":99,"outputHash":7,` +
+			`"coverage":{"actor":"AAE=","cond":"AA==","dec":"AQ==","mcdc":"AA=="},"diagTotal":0}`,
+		// Trailing newline, as read off the wire.
+		`{"model":"X","engine":"AccMoS","steps":1,"execNanos":0,"outputHash":0,"diagTotal":3}` + "\n",
+	}
+	for _, doc := range docs {
+		var fast, slow Results
+		if !DecodeGenerated([]byte(doc), &fast) {
+			t.Errorf("fast path rejected a canonical document: %s", doc)
+			continue
+		}
+		if err := json.Unmarshal([]byte(doc), &slow); err != nil {
+			t.Fatalf("reference decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("fast decode diverges from encoding/json:\n fast %+v\n slow %+v\n doc %s", fast, slow, doc)
+		}
+	}
+}
+
+// TestDecodeGeneratedFallsBack: anything off the fixed-field-order happy
+// path must return false WITHOUT modifying the destination, so the caller
+// can hand the same struct to encoding/json.
+func TestDecodeGeneratedFallsBack(t *testing.T) {
+	docs := []struct {
+		name string
+		doc  string
+	}{
+		{"different field order", `{"engine":"AccMoS","model":"X","steps":1,"execNanos":0,"outputHash":0,"diagTotal":0}`},
+		{"escaped model name", `{"model":"a\"b","engine":"AccMoS","steps":1,"execNanos":0,"outputHash":0,"diagTotal":0}`},
+		{"diag records section", `{"model":"X","engine":"AccMoS","steps":1,"execNanos":0,"outputHash":0,"diagTotal":2,"diagCounts":{"overflow":2}}`},
+		{"monitor section", `{"model":"X","engine":"AccMoS","steps":1,"execNanos":0,"outputHash":0,"diagTotal":0,"monitorHits":{"Acc":1}}`},
+		{"negative number", `{"model":"X","engine":"AccMoS","steps":-1,"execNanos":0,"outputHash":0,"diagTotal":0}`},
+		{"bad base64 bitmap", `{"model":"X","engine":"AccMoS","steps":1,"execNanos":0,"outputHash":0,"coverage":{"actor":"!!","cond":"AA==","dec":"AA==","mcdc":"AA=="},"diagTotal":0}`},
+		{"truncated document", `{"model":"X","engine":"AccMoS","steps":1,"execNanos":0`},
+		{"trailing garbage", `{"model":"X","engine":"AccMoS","steps":1,"execNanos":0,"outputHash":0,"diagTotal":0}{}`},
+		{"not json at all", `boom: stack trace`},
+	}
+	for _, tc := range docs {
+		sentinel := Results{Model: "UNTOUCHED", Steps: 42}
+		got := sentinel
+		if DecodeGenerated([]byte(tc.doc), &got) {
+			t.Errorf("%s: fast path accepted a non-canonical document", tc.name)
+			continue
+		}
+		if !reflect.DeepEqual(got, sentinel) {
+			t.Errorf("%s: a rejected decode modified the destination: %+v", tc.name, got)
+		}
+	}
+}
