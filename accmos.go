@@ -398,6 +398,13 @@ type Result struct {
 	// Opt reports what the optimizing middle-end did (nil only for
 	// results that never went through prepare).
 	Opt *OptStats
+
+	// ArtifactHash is the content-hash key of the generated program
+	// (codegen.Program.Hash): the build-cache key of the binary this run
+	// executed. A fleet coordinator uses it to learn which nodes hold
+	// which artifacts ("" for the in-process engines, which compile
+	// nothing).
+	ArtifactHash string
 }
 
 // CoverageReport computes the four coverage percentages, or a zero report
@@ -459,6 +466,26 @@ func GenerateSource(m *Model, opts Options) (string, error) {
 		return "", err
 	}
 	return prog.Source, nil
+}
+
+// ProgramHash returns the content-hash key the build cache would use for
+// m under opts — the codegen.Program.Hash of the generated (but not
+// compiled) program. Two callers computing it with identical model
+// documents and options get identical keys, which is what lets a fleet
+// coordinator route jobs to the node whose cache already holds the
+// binary without ever compiling anything itself. Sweep jobs force
+// coverage on (exactly as Sweep does), so pass the options the job will
+// actually run with.
+func ProgramHash(m *Model, opts Options) (string, error) {
+	or, tcs, err := prepare(m, &opts)
+	if err != nil {
+		return "", err
+	}
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
+	if err != nil {
+		return "", err
+	}
+	return prog.Hash(), nil
 }
 
 // prepare compiles the model, fills the test-case default, and runs the
@@ -589,7 +616,7 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		return nil, err
 	}
 	res.CompileNanos = compileTime.Nanoseconds()
-	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, WorkerReuse: reused, Opt: optStats(&opts, or)}, nil
+	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, WorkerReuse: reused, Opt: optStats(&opts, or), ArtifactHash: prog.Hash()}, nil
 }
 
 // buildProgram compiles prog honouring the WorkDir contract: a pinned
@@ -764,7 +791,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 						continue
 					}
 				}
-				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, WorkerReuse: reused, Opt: optStats(&opts, or)}
+				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, WorkerReuse: reused, Opt: optStats(&opts, or), ArtifactHash: prog.Hash()}
 			}
 		}(w)
 	}
@@ -890,6 +917,7 @@ func sweepBatch(ctx context.Context, m *Model, opts *Options, or *opt.Result, pr
 				runs[lo+j] = &Result{
 					Results: r, layout: prog.Layout, CacheHit: cacheHit,
 					WorkerReuse: reused, Batched: true, Opt: optStats(opts, or),
+					ArtifactHash: prog.Hash(),
 				}
 			}
 		}(b+1, lo, hi)

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -42,19 +44,70 @@ func (c *Client) poll() time.Duration {
 	return 50 * time.Millisecond
 }
 
+// retryAttempts and the backoff bounds shape doRetry: ~6 tries spanning
+// a few seconds, enough to ride out a daemon restart without turning a
+// hard outage into a long hang.
+const (
+	retryAttempts = 6
+	retryBase     = 100 * time.Millisecond
+	retryMax      = 2 * time.Second
+)
+
+// isDialError reports a connection-level failure that happened before
+// the request reached the daemon — connection refused, no route, DNS.
+// Only these are retried: a request that may have been processed (e.g.
+// a reset mid-response) is never resent, so a POST can't double-submit.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// doRetry issues the request built by build, retrying transient dial
+// failures with capped exponential backoff. build is called per attempt
+// so request bodies are fresh each time.
+func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := retryBase
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= retryAttempts || !isDialError(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(backoff):
+		}
+		if backoff < retryMax {
+			backoff *= 2
+			if backoff > retryMax {
+				backoff = retryMax
+			}
+		}
+	}
+}
+
 // Submit posts one job and returns its id.
 func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return "", fmt.Errorf("experiments: encoding submission: %w", err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimSuffix(c.BaseURL, "/")+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return "", fmt.Errorf("experiments: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(httpReq)
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimSuffix(c.BaseURL, "/")+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		return httpReq, nil
+	})
 	if err != nil {
 		return "", fmt.Errorf("experiments: submitting job: %w", err)
 	}
@@ -72,12 +125,14 @@ func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (string, 
 
 // Job fetches one job's current view.
 func (c *Client) Job(ctx context.Context, id string) (*server.JobView, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimSuffix(c.BaseURL, "/")+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-	resp, err := c.httpClient().Do(httpReq)
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			strings.TrimSuffix(c.BaseURL, "/")+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		return httpReq, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: polling job %s: %w", id, err)
 	}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"accmos/internal/benchmodels"
+	"accmos/internal/fleet"
+	"accmos/internal/server"
+	"accmos/internal/slx"
+)
+
+// FleetRow is one fleet-scaling measurement: the same repeat-heavy job
+// mix pushed through a coordinator backed by N single-worker runners.
+// Because routing is warm (repeat models pin to the node that compiled
+// them), each model compiles exactly once per fleet regardless of N —
+// adding runners parallelizes both the compiles and the runs, which is
+// what the throughput column measures.
+type FleetRow struct {
+	Nodes   int
+	Models  int
+	Repeats int
+	Jobs    int
+
+	Wall       time.Duration
+	JobsPerSec float64
+
+	// Fleet routing counters observed after the mix: warm routes prove the
+	// affinity scheduler worked; transfers count artifact ships to
+	// spilled-to nodes; retries should be zero on a healthy run.
+	WarmRoutes int64
+	Transfers  int64
+	Retries    int64
+
+	// HashOK: every repeat of a model produced the same OutputHash, and
+	// hashes match the single-node reference — the fleet is bit-identical
+	// to one daemon.
+	HashOK bool
+	// Speedup is the 1-node wall over this row's wall (1.0 for the
+	// single-node row itself). Bounded above by the host's core count:
+	// the benchmark fleet shares one machine.
+	Speedup float64
+}
+
+// fleetBenchRepeats is how many times each model is resubmitted — the
+// repeat traffic that warm routing exists for.
+const fleetBenchRepeats = 8
+
+// fleetBenchModels bounds the model mix so the benchmark stays
+// laptop-sized; the mix still spans several distinct program hashes so
+// the ring has something to shard.
+const fleetBenchModels = 4
+
+// fleetStepScale multiplies cfg.Steps for fleet jobs so each run takes
+// roughly a hundred milliseconds: long enough that the measured makespan
+// reflects simulation work spread across nodes, not coordinator poll
+// latency. Note the speedup column is bounded by the host's cores — the
+// runners are in-process, so a single-core host shows ~1.0 by
+// construction (see the cpus field in the metrics document).
+const fleetStepScale = 1
+
+// BenchFleet runs the job mix at 1, 2 and 4 runners and reports
+// throughput scaling plus routing counters.
+func BenchFleet(cfg Config) ([]FleetRow, error) {
+	cfg.fillDefaults()
+	names := cfg.Models
+	if len(names) > fleetBenchModels {
+		names = names[:fleetBenchModels]
+	}
+	docs := make(map[string]string, len(names))
+	for _, name := range names {
+		m, err := benchmodels.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := slx.Encode(&buf, m); err != nil {
+			return nil, fmt.Errorf("experiments: serializing %s: %w", name, err)
+		}
+		docs[name] = buf.String()
+	}
+
+	var rows []FleetRow
+	var baseWall time.Duration
+	var refHashes map[string]uint64
+	for _, nodes := range []int{1, 2, 4} {
+		row, hashes, err := runFleetMix(cfg, names, docs, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet bench at %d node(s): %w", nodes, err)
+		}
+		if nodes == 1 {
+			baseWall = row.Wall
+			refHashes = hashes
+			row.Speedup = 1
+		} else {
+			if row.Wall > 0 {
+				row.Speedup = float64(baseWall) / float64(row.Wall)
+			}
+			for name, h := range hashes {
+				if refHashes[name] != h {
+					row.HashOK = false
+				}
+			}
+		}
+		cfg.logf("fleet %d node(s): %d jobs in %v (%.1f jobs/s, warm %d, transfers %d, hashOK %v)",
+			row.Nodes, row.Jobs, row.Wall, row.JobsPerSec, row.WarmRoutes, row.Transfers, row.HashOK)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// serveOn starts an HTTP server for h on an ephemeral localhost port,
+// returning its base URL and a shutdown func.
+func serveOn(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func runFleetMix(cfg Config, names []string, docs map[string]string, nodes int) (FleetRow, map[string]uint64, error) {
+	row := FleetRow{Nodes: nodes, Models: len(names), Repeats: fleetBenchRepeats, HashOK: true}
+
+	coord, err := fleet.NewCoordinator(fleet.Config{
+		PollEvery: 10 * time.Millisecond,
+		DeadAfter: 5 * time.Second,
+	})
+	if err != nil {
+		return row, nil, err
+	}
+	defer coord.Close()
+	coordURL, stopCoord, err := serveOn(coord.Handler())
+	if err != nil {
+		return row, nil, err
+	}
+	defer stopCoord()
+
+	// Single-worker runners: the fleet's concurrency is its node count,
+	// so throughput scaling is attributable to sharding, not local
+	// parallelism.
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		srv := server.New(server.Config{Workers: 1, PoolWorkers: -1})
+		url, stopHTTP, err := serveOn(srv.Handler())
+		if err != nil {
+			return row, nil, err
+		}
+		actx, acancel := context.WithCancel(context.Background())
+		agent := &fleet.Agent{Coordinator: coordURL, Advertise: url, Server: srv, Interval: 100 * time.Millisecond}
+		go agent.Run(actx)
+		stops = append(stops, func() {
+			acancel()
+			stopHTTP()
+			dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer dcancel()
+			srv.Drain(dctx)
+		})
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for coord.Health().LiveNodes < nodes {
+		if time.Now().After(deadline) {
+			return row, nil, fmt.Errorf("only %d of %d runners joined", coord.Health().LiveNodes, nodes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	client := &Client{BaseURL: coordURL, Poll: 10 * time.Millisecond}
+	ctx := context.Background()
+	steps := cfg.Steps * fleetStepScale
+	submit := func(name string) (string, error) {
+		return client.Submit(ctx, server.SubmitRequest{
+			Model: docs[name], Steps: steps, Seed: cfg.Seed, Lo: -100, Hi: 100,
+			Tenant: "bench",
+		})
+	}
+
+	// Seed phase (un-timed): run each model once so its home node
+	// compiles it. Without this every repeat dispatches before any holder
+	// exists and all N nodes compile all M models — the measured phase
+	// would time Go's compiler, not the fleet. Production traffic has the
+	// same shape: repeat models arrive warm.
+	hashes := make(map[string]uint64, len(names))
+	for _, name := range names {
+		id, err := submit(name)
+		if err != nil {
+			return row, nil, err
+		}
+		view, err := client.Wait(ctx, id)
+		if err != nil {
+			return row, nil, err
+		}
+		if view.State != server.JobDone || view.Result == nil {
+			return row, nil, fmt.Errorf("seed job %s: %s: %s", id, view.State, view.Error)
+		}
+		hashes[name] = view.Result.OutputHash
+	}
+
+	// Measured phase: the repeat mix, submitted all at once.
+	start := time.Now()
+	var ids []string
+	for r := 0; r < fleetBenchRepeats; r++ {
+		for _, name := range names {
+			id, err := submit(name)
+			if err != nil {
+				return row, nil, err
+			}
+			ids = append(ids, id)
+		}
+	}
+	for i, id := range ids {
+		view, err := client.Wait(ctx, id)
+		if err != nil {
+			return row, nil, err
+		}
+		if view.State != server.JobDone {
+			return row, nil, fmt.Errorf("job %s: %s: %s", id, view.State, view.Error)
+		}
+		name := names[i%len(names)]
+		if view.Result == nil {
+			return row, nil, fmt.Errorf("job %s has no result", id)
+		}
+		if hashes[name] != view.Result.OutputHash {
+			row.HashOK = false
+		}
+	}
+	row.Wall = time.Since(start)
+	row.Jobs = len(ids)
+	if row.Wall > 0 {
+		row.JobsPerSec = float64(row.Jobs) / row.Wall.Seconds()
+	}
+
+	resp, err := http.Get(coordURL + "/metrics")
+	if err != nil {
+		return row, nil, err
+	}
+	var mv fleet.MetricsView
+	decErr := json.NewDecoder(resp.Body).Decode(&mv)
+	resp.Body.Close()
+	if decErr != nil {
+		return row, nil, decErr
+	}
+	row.WarmRoutes = mv.WarmRoutes
+	row.Transfers = mv.Transfers
+	row.Retries = mv.Retries
+	return row, hashes, nil
+}
+
+// FormatFleet renders the fleet-scaling table.
+func FormatFleet(w io.Writer, rows []FleetRow) {
+	fmt.Fprintf(w, "Fleet scaling: repeat-model mix through the coordinator (warm affinity routing)\n")
+	fmt.Fprintf(w, "In-process runners share this host's %d core(s) — that bounds the speedup column.\n", runtime.NumCPU())
+	fmt.Fprintf(w, "%-7s %-6s %-10s %-10s %-6s %-10s %-8s %-8s %-7s\n",
+		"nodes", "jobs", "wall", "jobs/s", "warm", "transfers", "retries", "speedup", "hashOK")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %-6d %-10v %-10.1f %-6d %-10d %-8d %-8.2f %-7v\n",
+			r.Nodes, r.Jobs, r.Wall.Round(time.Millisecond), r.JobsPerSec,
+			r.WarmRoutes, r.Transfers, r.Retries, r.Speedup, r.HashOK)
+	}
+}

@@ -52,19 +52,30 @@ type MetricRow struct {
 	Respawns  int64   `json:"respawns,omitempty"`
 	Speedup   float64 `json:"speedup,omitempty"`
 	SpeedupOK bool    `json:"speedupOK,omitempty"`
+	// Fleet fields, set on "fleet" experiment rows: runner count, the
+	// job mix's routing counters, and retries off dead runners (zero on a
+	// healthy run). WallNanos is the whole mix's makespan; Speedup is
+	// over the single-node row.
+	Nodes      int   `json:"nodes,omitempty"`
+	WarmRoutes int64 `json:"warmRoutes,omitempty"`
+	Transfers  int64 `json:"transfers,omitempty"`
+	Retries    int64 `json:"retries,omitempty"`
 }
 
 // Metrics is the -metrics-json document: run configuration plus rows.
 // Host-identifying fields are limited to the Go platform triple so
 // committed baselines (BENCH_table2.json) diff cleanly.
 type Metrics struct {
-	Schema    string      `json:"schema"`
-	GoVersion string      `json:"goVersion"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	Steps     int64       `json:"steps"`
-	Seed      uint64      `json:"seed"`
-	Rows      []MetricRow `json:"rows"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is the host's usable core count — the ceiling on any
+	// parallelism speedup in these rows (fleet, serve, -parallel).
+	CPUs  int         `json:"cpus"`
+	Steps int64       `json:"steps"`
+	Seed  uint64      `json:"seed"`
+	Rows  []MetricRow `json:"rows"`
 }
 
 // NewMetrics starts a metrics document for one experiments invocation.
@@ -75,6 +86,7 @@ func NewMetrics(cfg Config) *Metrics {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
 		Steps:     cfg.Steps,
 		Seed:      cfg.Seed,
 	}
@@ -198,6 +210,28 @@ func (m *Metrics) AddBatch(rows []BatchRow) {
 			HashOK:       &ok,
 			Mode:         r.Mode, Runs: r.Runs,
 			Speedup: r.Speedup, SpeedupOK: r.SpeedupOK,
+		})
+	}
+}
+
+// AddFleet appends one row per fleet size from the scaling benchmark.
+// StepsPerSec here is jobs/sec over the mix's makespan (steps-per-sec
+// is meaningless across heterogeneous models).
+func (m *Metrics) AddFleet(rows []FleetRow) {
+	for _, r := range rows {
+		ok := r.HashOK
+		m.Rows = append(m.Rows, MetricRow{
+			Experiment: "fleet", Model: "mix", Engine: "AccMoS",
+			WallNanos:   r.Wall.Nanoseconds(),
+			StepsPerSec: r.JobsPerSec,
+			HashOK:      &ok,
+			Runs:        r.Jobs,
+			Speedup:     r.Speedup,
+			SpeedupOK:   r.Speedup >= 1,
+			Nodes:       r.Nodes,
+			WarmRoutes:  r.WarmRoutes,
+			Transfers:   r.Transfers,
+			Retries:     r.Retries,
 		})
 	}
 }

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"accmos/internal/server"
+)
+
+// Agent is the runner-side half of the fleet protocol: an ordinary
+// accmosd joins a coordinator and keeps heartbeating its health and
+// cache stats. Heartbeats double as registration (the coordinator
+// upserts unknown nodes), so a coordinator restart heals itself — the
+// fleet reassembles within one heartbeat interval with no operator
+// action.
+type Agent struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Advertise is the URL peers should reach this runner at.
+	Advertise string
+	// Server is the local daemon whose health and cache stats the
+	// heartbeat reports.
+	Server *server.Server
+	// Interval between heartbeats (default 1s). The coordinator's
+	// DeadAfter should be a few multiples of it.
+	Interval time.Duration
+	// Client performs the HTTP calls (default: 5s timeout).
+	Client *http.Client
+	// Logger receives join/retry logs (default: discarded).
+	Logger *slog.Logger
+}
+
+// Run joins the coordinator (retrying with capped backoff until the
+// first heartbeat lands) and then heartbeats until ctx is canceled.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.Coordinator == "" || a.Advertise == "" || a.Server == nil {
+		return fmt.Errorf("fleet agent needs Coordinator, Advertise and Server")
+	}
+	interval := a.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	client := a.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	log := a.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	// First contact, with capped backoff so a runner started before its
+	// coordinator still joins.
+	backoff := interval / 4
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	for {
+		if err := a.beat(client); err == nil {
+			log.Info("joined fleet", "coordinator", a.Coordinator, "advertise", a.Advertise)
+			break
+		} else {
+			log.Warn("fleet join failed; retrying", "coordinator", a.Coordinator, "err", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		if err := a.beat(client); err != nil {
+			log.Warn("heartbeat failed", "coordinator", a.Coordinator, "err", err)
+		}
+	}
+}
+
+// beat posts one heartbeat carrying this runner's current readiness
+// and build-cache counters.
+func (a *Agent) beat(client *http.Client) error {
+	hb := Heartbeat{
+		URL:    a.Advertise,
+		Health: a.Server.Health(),
+		Cache:  a.Server.Cache().Stats(),
+	}
+	payload, err := json.Marshal(hb)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(a.Coordinator+"/v1/fleet/heartbeat", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("coordinator: %s", resp.Status)
+	}
+	return nil
+}

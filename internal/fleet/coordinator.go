@@ -1,0 +1,1107 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/server"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// DeadAfter evicts a runner that has not heartbeated for this long;
+	// its in-flight jobs are retried elsewhere (default 5s).
+	DeadAfter time.Duration
+	// PollEvery is the interval at which dispatched jobs are polled on
+	// their runner (default 50ms).
+	PollEvery time.Duration
+	// MaxRetries bounds how many times one job is re-dispatched after
+	// runner deaths or dispatch failures before it fails (default 3).
+	MaxRetries int
+	// RetryBase/RetryMax shape the capped exponential backoff between a
+	// job's retries (defaults 100ms / 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// SpillLoad is the in-flight job count on a key's home node beyond
+	// which dispatch considers less-loaded nodes (default 4; the warm
+	// node is still preferred below this threshold because a cache hit
+	// is usually worth more than perfect balance).
+	SpillLoad int
+	// TenantRate/TenantBurst set the per-tenant token-bucket quota in
+	// jobs per second (rate 0 = unlimited; burst 0 defaults to rate).
+	TenantRate  float64
+	TenantBurst float64
+	// StoreDir, when set, persists the job log there: accepted jobs
+	// survive a coordinator restart and are re-dispatched on recovery.
+	StoreDir string
+	// DefaultOptLevel and JobTimeout are the admission defaults, matching
+	// the accmosd flags of the same name. They apply at the coordinator
+	// so rejection happens before any network hop.
+	DefaultOptLevel accmos.OptLevel
+	JobTimeout      time.Duration
+	// MaxBodyBytes bounds a submission body (default 8 MiB).
+	MaxBodyBytes int64
+	// RetainJobs bounds finished job records kept queryable (default 4096).
+	RetainJobs int
+	// Vnodes is the consistent-hash virtual-node fanout (default 64).
+	Vnodes int
+	// Client performs all runner HTTP calls (default: a client with a
+	// 30s overall timeout).
+	Client *http.Client
+	// Logger receives structured operational logs (default: discarded).
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 5 * time.Second
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 50 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+	if c.SpillLoad <= 0 {
+		c.SpillLoad = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// Job states as the coordinator tracks them. Queued and dispatched are
+// coordinator-side; terminal states mirror the runner's verdict.
+const (
+	stateQueued     = "queued"
+	stateDispatched = "dispatched"
+	stateDone       = "done"
+	stateFailed     = "failed"
+	stateCanceled   = "canceled"
+)
+
+// fjob is one fleet job. Epoch is the at-most-once guard: every
+// re-dispatch (retry, cancel, recovery) increments it, and a poll
+// goroutine only applies results while its epoch is still current — a
+// result from a runner presumed dead can never clobber the retry's.
+type fjob struct {
+	id     string
+	tenant string
+	req    server.SubmitRequest
+	key    string // program content hash: the routing and artifact key
+
+	state       string
+	node        string // dispatch target while dispatched; last node after
+	remoteID    string
+	epoch       int
+	retries     int
+	notBefore   time.Time
+	submittedAt time.Time
+	errMsg      string
+	view        *server.JobView // latest view polled from the runner
+}
+
+// JobView is the coordinator's GET /v1/jobs/{id} payload: the runner's
+// own view (verbatim — results, phases, cache bits) plus the fleet
+// placement fields.
+type JobView struct {
+	server.JobView
+	Node    string `json:"node,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Epoch   int    `json:"epoch,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+}
+
+// nodeState is everything the coordinator knows about one runner.
+type nodeState struct {
+	url      string
+	alive    bool
+	lastSeen time.Time
+	health   server.HealthView
+	cache    accmos.CacheStats
+	inflight int // coordinator-dispatched jobs not yet terminal
+}
+
+// Coordinator is the fleet's front door: it speaks the same /v1/jobs
+// API as a single accmosd, but behind it jobs are sharded across
+// runner nodes by consistent hash on the generated program's content
+// hash, artifacts are shipped to cold nodes, dead runners' jobs are
+// retried, and accepted work survives coordinator restarts.
+type Coordinator struct {
+	cfg     Config
+	log     *slog.Logger
+	client  *http.Client
+	mux     *http.ServeMux
+	metrics *metrics
+	quotas  *Quotas
+	ring    *Ring
+	store   *Store
+	start   time.Time
+	done    chan struct{}
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	nodes     map[string]*nodeState
+	jobs      map[string]*fjob
+	queue     []*fjob
+	holders   map[string]map[string]bool // program key -> nodes holding its artifact
+	doneOrder []string
+	nextID    int
+	closed    bool
+}
+
+// NewCoordinator builds and starts a coordinator: recovers any jobs
+// pending in the store, then runs the dispatcher and the heartbeat
+// reaper until Close.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg.fillDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		client:  cfg.Client,
+		quotas:  NewQuotas(cfg.TenantRate, cfg.TenantBurst),
+		ring:    NewRing(cfg.Vnodes),
+		start:   time.Now(),
+		done:    make(chan struct{}),
+		nodes:   make(map[string]*nodeState),
+		jobs:    make(map[string]*fjob),
+		holders: make(map[string]map[string]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.metrics = newMetrics(c)
+
+	if cfg.StoreDir != "" {
+		store, pending, err := Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		c.store = store
+		for _, p := range pending {
+			c.recover(p)
+		}
+		if err := store.Compact(pendingSnapshot(c)); err != nil {
+			c.log.Warn("job store compaction failed", "err", err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/fleet/nodes", c.handleNodes)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux = mux
+
+	go c.dispatcher()
+	go c.reaper()
+	return c, nil
+}
+
+// Handler exposes the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the dispatcher, reaper and poll loops and releases the
+// store. Queued jobs stay in the store and recover on the next start.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	c.cond.Broadcast()
+	if c.store != nil {
+		c.store.Close()
+	}
+}
+
+// recover requeues one job from the store with a bumped epoch. A job
+// that had been dispatched before the crash may have completed on its
+// runner — the new coordinator cannot know, so it re-runs it
+// (at-least-once across restarts; harmless because simulation is
+// deterministic and results are content-addressed).
+func (c *Coordinator) recover(p PendingJob) {
+	j := &fjob{
+		id:          p.ID,
+		tenant:      p.Tenant,
+		req:         p.Req,
+		state:       stateQueued,
+		epoch:       p.Epoch + 1,
+		retries:     p.Retries,
+		submittedAt: time.Now(),
+	}
+	if spec, _, err := server.SpecFromRequest(p.Req, c.cfg.DefaultOptLevel, c.cfg.JobTimeout); err == nil {
+		if key, err := server.ProgramKey(spec); err == nil {
+			j.key = key
+		}
+	}
+	c.jobs[j.id] = j
+	c.queue = append(c.queue, j)
+	if n := numericSuffix(p.ID); n >= c.nextID {
+		c.nextID = n + 1
+	}
+	c.log.Info("job recovered from store", "corr", j.id, "epoch", j.epoch)
+}
+
+// numericSuffix parses the trailing digit run of a job id, so a
+// restarted coordinator resumes minting above every recovered id.
+func numericSuffix(id string) int {
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	n := 0
+	for ; i < len(id); i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return n
+}
+
+func pendingSnapshot(c *Coordinator) []PendingJob {
+	var out []PendingJob
+	for _, j := range c.queue {
+		out = append(out, PendingJob{ID: j.id, Tenant: j.tenant, Req: j.req, Epoch: j.epoch, Retries: j.retries})
+	}
+	return out
+}
+
+func (c *Coordinator) appendWAL(rec Record) {
+	if c.store == nil {
+		return
+	}
+	if err := c.store.Append(rec); err != nil {
+		c.log.Warn("job store append failed", "op", rec.Op, "corr", rec.ID, "err", err)
+	}
+}
+
+// ---- HTTP handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, server.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding submission: %v", err)
+		return
+	}
+	if !c.quotas.Allow(req.Tenant, time.Now()) {
+		c.metrics.quotaRejects.Inc()
+		c.metrics.jobs.With("rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, server.ErrorResponse{
+			Error:         fmt.Sprintf("tenant %q over quota", req.Tenant),
+			RetryAfterSec: 1,
+		})
+		return
+	}
+	// Admit here — same path as a standalone accmosd — so a rejection
+	// costs no dispatch, and compute the program's content hash, which
+	// is both the routing key and the artifact handle.
+	spec, _, err := server.SpecFromRequest(req, c.cfg.DefaultOptLevel, c.cfg.JobTimeout)
+	if err != nil {
+		c.metrics.jobs.With("rejected").Inc()
+		if ae, ok := err.(*server.AdmissionError); ok {
+			writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: ae.Msg, Lint: ae.Lint})
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := server.ProgramKey(spec)
+	if err != nil {
+		c.metrics.jobs.With("rejected").Inc()
+		writeError(w, http.StatusBadRequest, "generating program: %v", err)
+		return
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+		return
+	}
+	id := fmt.Sprintf("f-%06d", c.nextID)
+	c.nextID++
+	j := &fjob{
+		id: id, tenant: req.Tenant, req: req, key: key,
+		state: stateQueued, submittedAt: time.Now(),
+	}
+	c.jobs[id] = j
+	c.queue = append(c.queue, j)
+	depth := len(c.queue)
+	c.mu.Unlock()
+
+	c.appendWAL(Record{Op: "submit", ID: id, Tenant: req.Tenant, Req: &req})
+	c.metrics.jobs.With("submitted").Inc()
+	c.log.Info("job accepted", "corr", id, "tenant", req.Tenant, "key", key[:12])
+	c.cond.Broadcast()
+	writeJSON(w, http.StatusAccepted, server.SubmitResponse{ID: id, State: server.JobQueued, QueueDepth: depth})
+}
+
+// viewLocked renders a job in wire form. For dispatched jobs the
+// embedded view is whatever the last poll saw; placement fields are
+// always the coordinator's own truth.
+func (c *Coordinator) viewLocked(j *fjob) JobView {
+	var v JobView
+	if j.view != nil {
+		v.JobView = *j.view
+	}
+	v.ID = j.id
+	v.SubmittedAt = j.submittedAt
+	v.Tenant = j.tenant
+	v.Node = j.node
+	v.Epoch = j.epoch
+	v.Retries = j.retries
+	switch j.state {
+	case stateQueued:
+		v.State = server.JobQueued
+	case stateDispatched:
+		if v.State == "" || v.State.Terminal() {
+			v.State = server.JobRunning
+		}
+	case stateDone:
+		v.State = server.JobDone
+	case stateFailed:
+		v.State = server.JobFailed
+	case stateCanceled:
+		v.State = server.JobCanceled
+	}
+	if j.errMsg != "" && v.Error == "" {
+		v.Error = j.errMsg
+	}
+	return v
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	v := c.viewLocked(j)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	var remote, remoteID string
+	switch j.state {
+	case stateQueued:
+		c.removeQueuedLocked(j)
+		c.finishLocked(j, stateCanceled, "canceled by client")
+	case stateDispatched:
+		remote, remoteID = j.node, j.remoteID
+		j.epoch++ // orphan the poll goroutine: its result must not land
+		if n := c.nodes[j.node]; n != nil {
+			n.inflight--
+		}
+		c.finishLocked(j, stateCanceled, "canceled by client")
+	}
+	v := c.viewLocked(j)
+	c.mu.Unlock()
+	if remote != "" {
+		req, _ := http.NewRequest(http.MethodDelete, remote+"/v1/jobs/"+remoteID, nil)
+		if resp, err := c.client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleEvents proxies the runner's live NDJSON stream for a dispatched
+// job; for a queued or finished job it emits the current view as a
+// single line, mirroring a completed accmosd stream.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	node, remoteID, state := j.node, j.remoteID, j.state
+	v := c.viewLocked(j)
+	c.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if state != stateDispatched {
+		json.NewEncoder(w).Encode(v)
+		return
+	}
+	resp, err := c.client.Get(node + "/v1/jobs/" + remoteID + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		json.NewEncoder(w).Encode(v)
+		return
+	}
+	defer resp.Body.Close()
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// JoinRequest registers a runner with the coordinator.
+type JoinRequest struct {
+	URL string `json:"url"`
+}
+
+// Heartbeat is a runner's periodic liveness + load report. The
+// coordinator upserts unknown nodes, so a heartbeat doubles as (re-)
+// registration — after a coordinator restart the fleet reassembles
+// itself within one heartbeat interval, no operator action needed.
+type Heartbeat struct {
+	URL    string            `json:"url"`
+	Health server.HealthView `json:"health"`
+	Cache  accmos.CacheStats `json:"cache"`
+}
+
+func (c *Coordinator) upsertNode(url string, hb *Heartbeat) {
+	c.mu.Lock()
+	n, ok := c.nodes[url]
+	if !ok {
+		n = &nodeState{url: url}
+		c.nodes[url] = n
+		c.log.Info("node joined", "node", url)
+	}
+	revived := !n.alive
+	n.alive = true
+	n.lastSeen = time.Now()
+	if hb != nil {
+		n.health = hb.Health
+		n.cache = hb.Cache
+		c.metrics.nodeHits.With(url).Set(hb.Cache.Hits)
+		c.metrics.nodeMisses.With(url).Set(hb.Cache.Misses)
+	}
+	c.mu.Unlock()
+	c.ring.Add(url)
+	if revived {
+		c.cond.Broadcast()
+	}
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		writeError(w, http.StatusBadRequest, "join needs a url")
+		return
+	}
+	c.upsertNode(req.URL, nil)
+	c.mu.Lock()
+	nodes := len(c.nodes)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "nodes": nodes})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil || hb.URL == "" {
+		writeError(w, http.StatusBadRequest, "heartbeat needs a url")
+		return
+	}
+	c.upsertNode(hb.URL, &hb)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// NodeView is one runner in GET /v1/fleet/nodes.
+type NodeView struct {
+	URL       string            `json:"url"`
+	Alive     bool              `json:"alive"`
+	AgeNanos  int64             `json:"lastHeartbeatAgeNanos"`
+	Inflight  int               `json:"inflight"`
+	Artifacts int               `json:"artifacts"`
+	HitRate   float64           `json:"cacheHitRate"`
+	Health    server.HealthView `json:"health"`
+	Cache     accmos.CacheStats `json:"cache"`
+}
+
+func (c *Coordinator) nodeViews() []NodeView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]NodeView, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		held := 0
+		for _, set := range c.holders {
+			if set[n.url] {
+				held++
+			}
+		}
+		out = append(out, NodeView{
+			URL: n.url, Alive: n.alive, AgeNanos: now.Sub(n.lastSeen).Nanoseconds(),
+			Inflight: n.inflight, Artifacts: held, HitRate: n.cache.HitRate(),
+			Health: n.health, Cache: n.cache,
+		})
+	}
+	sortNodeViews(out)
+	return out
+}
+
+func sortNodeViews(v []NodeView) {
+	for i := 1; i < len(v); i++ {
+		for k := i; k > 0 && v[k].URL < v[k-1].URL; k-- {
+			v[k], v[k-1] = v[k-1], v[k]
+		}
+	}
+}
+
+func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.nodeViews())
+}
+
+// HealthView is the coordinator's /healthz payload.
+type HealthView struct {
+	Status      string `json:"status"`
+	Role        string `json:"role"`
+	QueueDepth  int    `json:"queueDepth"`
+	Inflight    int    `json:"inflight"`
+	Nodes       int    `json:"nodes"`
+	LiveNodes   int    `json:"liveNodes"`
+	UptimeNanos int64  `json:"uptimeNanos"`
+}
+
+// Health snapshots the coordinator's readiness.
+func (c *Coordinator) Health() HealthView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hv := HealthView{
+		Status: "ok", Role: "coordinator",
+		QueueDepth: len(c.queue), Nodes: len(c.nodes),
+		UptimeNanos: time.Since(c.start).Nanoseconds(),
+	}
+	for _, n := range c.nodes {
+		if n.alive {
+			hv.LiveNodes++
+		}
+	}
+	for _, j := range c.jobs {
+		if j.state == stateDispatched {
+			hv.Inflight++
+		}
+	}
+	if hv.LiveNodes == 0 {
+		hv.Status = "no-runners"
+	}
+	return hv
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+// MetricsView is the coordinator's JSON /metrics payload; ?format=prom
+// selects Prometheus text exposition of the same registry.
+type MetricsView struct {
+	Jobs            map[string]int64 `json:"jobs"`
+	QueueDepth      int              `json:"queueDepth"`
+	Inflight        int              `json:"inflight"`
+	WarmRoutes      int64            `json:"warmRoutes"`
+	SpillRoutes     int64            `json:"spillRoutes"`
+	Transfers       int64            `json:"artifactTransfers"`
+	Retries         int64            `json:"retries"`
+	Evictions       int64            `json:"nodeEvictions"`
+	QuotaRejections int64            `json:"quotaRejections"`
+	Nodes           []NodeView       `json:"nodes"`
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if f := r.URL.Query().Get("format"); f == "prom" || f == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.metrics.writePrometheus(w)
+		return
+	}
+	hv := c.Health()
+	writeJSON(w, http.StatusOK, MetricsView{
+		Jobs:            c.metrics.jobCounts(),
+		QueueDepth:      hv.QueueDepth,
+		Inflight:        hv.Inflight,
+		WarmRoutes:      c.metrics.warmRoutes.Value(),
+		SpillRoutes:     c.metrics.spillRoutes.Value(),
+		Transfers:       c.metrics.transfers.Value(),
+		Retries:         c.metrics.retries.Value(),
+		Evictions:       c.metrics.evictions.Value(),
+		QuotaRejections: c.metrics.quotaRejects.Value(),
+		Nodes:           c.nodeViews(),
+	})
+}
+
+// ---- scheduling ----
+
+// removeQueuedLocked drops j from the dispatch queue.
+func (c *Coordinator) removeQueuedLocked(j *fjob) {
+	for i, q := range c.queue {
+		if q == j {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// finishLocked records a terminal state and trims old records.
+func (c *Coordinator) finishLocked(j *fjob, state, errMsg string) {
+	j.state = state
+	if errMsg != "" && j.errMsg == "" {
+		j.errMsg = errMsg
+	}
+	switch state {
+	case stateDone:
+		c.metrics.jobs.With("done").Inc()
+		c.appendWAL(Record{Op: "done", ID: j.id})
+	case stateFailed:
+		c.metrics.jobs.With("failed").Inc()
+		c.appendWAL(Record{Op: "fail", ID: j.id, Err: j.errMsg})
+	case stateCanceled:
+		c.metrics.jobs.With("canceled").Inc()
+		c.appendWAL(Record{Op: "cancel", ID: j.id})
+	}
+	c.doneOrder = append(c.doneOrder, j.id)
+	for len(c.doneOrder) > c.cfg.RetainJobs {
+		delete(c.jobs, c.doneOrder[0])
+		c.doneOrder = c.doneOrder[1:]
+	}
+	c.log.Info("job finished", "corr", j.id, "state", state, "node", j.node, "retries", j.retries)
+}
+
+// nextReadyLocked pops the first queued job whose backoff has elapsed,
+// provided at least one live node exists. The second return is the
+// soonest notBefore among still-waiting jobs (zero when none wait).
+func (c *Coordinator) nextReadyLocked(now time.Time) (*fjob, time.Time) {
+	anyLive := false
+	for _, n := range c.nodes {
+		if n.alive {
+			anyLive = true
+			break
+		}
+	}
+	if !anyLive {
+		return nil, time.Time{}
+	}
+	var soonest time.Time
+	for i, j := range c.queue {
+		if j.notBefore.After(now) {
+			if soonest.IsZero() || j.notBefore.Before(soonest) {
+				soonest = j.notBefore
+			}
+			continue
+		}
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		return j, time.Time{}
+	}
+	return nil, soonest
+}
+
+// chooseLocked picks the dispatch target for key: the consistent-hash
+// home unless it is overloaded, in which case the least-loaded live
+// node (preferring artifact holders) takes the job. Returns the
+// target, whether it already holds the artifact, whether the route
+// spilled off the home, and a live holder to transfer from when cold.
+func (c *Coordinator) chooseLocked(key string) (target string, warm, spilled bool, source string) {
+	prefs := c.ring.Lookup(key, 0)
+	var live []string
+	for _, u := range prefs {
+		if n := c.nodes[u]; n != nil && n.alive {
+			live = append(live, u)
+		}
+	}
+	if len(live) == 0 {
+		return "", false, false, ""
+	}
+	target = live[0]
+	load := func(u string) int { return c.nodes[u].inflight }
+	if load(target) >= c.cfg.SpillLoad && len(live) > 1 {
+		// Home is saturated: spill to the least-loaded live node, with
+		// warm holders winning ties so spill still prefers a free ride.
+		best := target
+		for _, u := range live[1:] {
+			if load(u) < load(best) || (load(u) == load(best) && c.holders[key][u] && !c.holders[key][best]) {
+				best = u
+			}
+		}
+		if best != target && load(best) < load(target) {
+			target = best
+			spilled = true
+		}
+	}
+	warm = c.holders[key][target]
+	if !warm {
+		for u := range c.holders[key] {
+			if n := c.nodes[u]; n != nil && n.alive && u != target {
+				source = u
+				break
+			}
+		}
+	}
+	return target, warm, spilled, source
+}
+
+// dispatcher is the scheduling loop: one dispatch at a time, blocking
+// on the cond until a job is ready and a node is live. Serial dispatch
+// keeps placement decisions consistent (each sees the inflight counts
+// left by the previous) at a throughput far beyond what job runtimes
+// make relevant.
+func (c *Coordinator) dispatcher() {
+	for {
+		c.mu.Lock()
+		var j *fjob
+		for {
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			var wakeAt time.Time
+			j, wakeAt = c.nextReadyLocked(time.Now())
+			if j != nil {
+				break
+			}
+			if !wakeAt.IsZero() {
+				// Backoffs pending: arrange a wake-up at the soonest one.
+				d := time.Until(wakeAt)
+				time.AfterFunc(d, c.cond.Broadcast)
+			}
+			c.cond.Wait()
+		}
+		target, warm, spilled, source := c.chooseLocked(j.key)
+		if target == "" {
+			c.queue = append([]*fjob{j}, c.queue...)
+			c.cond.Wait()
+			c.mu.Unlock()
+			continue
+		}
+		epoch := j.epoch
+		c.mu.Unlock()
+		c.dispatch(j, epoch, target, warm, spilled, source)
+	}
+}
+
+// dispatch ships the artifact if needed and submits the job to target.
+func (c *Coordinator) dispatch(j *fjob, epoch int, target string, warm, spilled bool, source string) {
+	if spilled {
+		c.metrics.spillRoutes.Inc()
+	}
+	if warm {
+		c.metrics.warmRoutes.Inc()
+	} else if source != "" {
+		if err := c.transfer(j.key, source, target); err != nil {
+			c.log.Warn("artifact transfer failed; target will compile", "corr", j.id, "from", source, "to", target, "err", err)
+		} else {
+			c.metrics.transfers.Inc()
+			c.mu.Lock()
+			c.holdLocked(j.key, target)
+			c.mu.Unlock()
+		}
+	}
+
+	payload, _ := json.Marshal(j.req)
+	resp, err := c.client.Post(target+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		c.requeue(j, epoch, fmt.Sprintf("dispatch to %s: %v", target, err))
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		var sub server.SubmitResponse
+		if err := json.Unmarshal(body, &sub); err != nil {
+			c.requeue(j, epoch, fmt.Sprintf("dispatch to %s: bad ack: %v", target, err))
+			return
+		}
+		c.mu.Lock()
+		if j.epoch != epoch || j.state != stateQueued {
+			// Canceled while we were on the wire; reap the orphan.
+			c.mu.Unlock()
+			req, _ := http.NewRequest(http.MethodDelete, target+"/v1/jobs/"+sub.ID, nil)
+			if resp, err := c.client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			return
+		}
+		j.state = stateDispatched
+		j.node = target
+		j.remoteID = sub.ID
+		if n := c.nodes[target]; n != nil {
+			n.inflight++
+		}
+		c.mu.Unlock()
+		c.appendWAL(Record{Op: "dispatch", ID: j.id, Node: target, Epoch: epoch})
+		c.log.Info("job dispatched", "corr", j.id, "node", target, "remote", sub.ID, "warm", warm, "spilled", spilled)
+		go c.poll(j, epoch, target, sub.ID)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Back off briefly without burning a retry: the runner is alive,
+		// just full.
+		c.mu.Lock()
+		j.notBefore = time.Now().Add(c.cfg.RetryBase)
+		c.queue = append(c.queue, j)
+		c.mu.Unlock()
+		time.AfterFunc(c.cfg.RetryBase, c.cond.Broadcast)
+	default:
+		// The runner rejected the job outright (4xx admission, 5xx).
+		c.mu.Lock()
+		c.finishLocked(j, stateFailed, fmt.Sprintf("runner %s refused job: %s: %s", target, resp.Status, truncate(body, 512)))
+		c.mu.Unlock()
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// requeue puts a failed dispatch back with capped exponential backoff,
+// or fails it once retries are exhausted.
+func (c *Coordinator) requeue(j *fjob, epoch int, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.epoch != epoch || j.state != stateQueued && j.state != stateDispatched {
+		return
+	}
+	j.epoch++
+	j.retries++
+	j.node = ""
+	j.remoteID = ""
+	if j.retries > c.cfg.MaxRetries {
+		c.finishLocked(j, stateFailed, reason+" (retries exhausted)")
+		return
+	}
+	backoff := c.cfg.RetryBase << (j.retries - 1)
+	if backoff > c.cfg.RetryMax {
+		backoff = c.cfg.RetryMax
+	}
+	j.state = stateQueued
+	j.notBefore = time.Now().Add(backoff)
+	c.queue = append(c.queue, j)
+	c.metrics.retries.Inc()
+	c.appendWAL(Record{Op: "retry", ID: j.id, Epoch: j.epoch, Retries: j.retries, Err: reason})
+	c.log.Warn("job requeued", "corr", j.id, "retry", j.retries, "backoff", backoff, "reason", reason)
+	time.AfterFunc(backoff, c.cond.Broadcast)
+}
+
+// holdLocked records that node holds key's compiled artifact.
+func (c *Coordinator) holdLocked(key, node string) {
+	if key == "" {
+		return
+	}
+	set := c.holders[key]
+	if set == nil {
+		set = make(map[string]bool)
+		c.holders[key] = set
+	}
+	set[node] = true
+}
+
+// transfer ships key's artifact from one node's cache to another:
+// GET from the holder (bytes + digest), PUT to the target, which
+// verifies the digest before installing.
+func (c *Coordinator) transfer(key, from, to string) error {
+	resp, err := c.client.Get(from + "/v1/artifacts/" + key)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("holder: %s", resp.Status)
+	}
+	digest := resp.Header.Get(server.DigestHeader)
+	req, err := http.NewRequest(http.MethodPut, to+"/v1/artifacts/"+key, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(server.DigestHeader, digest)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	putResp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, putResp.Body)
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("target: %s", putResp.Status)
+	}
+	return nil
+}
+
+// poll tracks one dispatched job on its runner until it is terminal.
+// The captured epoch is the at-most-once guard: if the job was retried
+// or canceled meanwhile, this goroutine's observations are stale and
+// must not be applied.
+func (c *Coordinator) poll(j *fjob, epoch int, node, remoteID string) {
+	t := time.NewTicker(c.cfg.PollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		stale := j.epoch != epoch || j.state != stateDispatched
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+		resp, err := c.client.Get(node + "/v1/jobs/" + remoteID)
+		if err != nil {
+			// Node unreachable — the reaper decides whether it is dead;
+			// keep polling until our epoch is invalidated.
+			continue
+		}
+		var v server.JobView
+		decodeErr := json.NewDecoder(resp.Body).Decode(&v)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			continue
+		}
+		c.mu.Lock()
+		if j.epoch != epoch || j.state != stateDispatched {
+			c.mu.Unlock()
+			return
+		}
+		j.view = &v
+		if v.State.Terminal() {
+			if n := c.nodes[node]; n != nil {
+				n.inflight--
+			}
+			if v.State == server.JobDone && v.ArtifactHash != "" {
+				c.holdLocked(v.ArtifactHash, node)
+			}
+			switch v.State {
+			case server.JobDone:
+				c.finishLocked(j, stateDone, "")
+			case server.JobFailed:
+				c.finishLocked(j, stateFailed, v.Error)
+			case server.JobCanceled:
+				c.finishLocked(j, stateCanceled, v.Error)
+			}
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// reaper evicts nodes that miss the heartbeat deadline and retries
+// their in-flight jobs elsewhere.
+func (c *Coordinator) reaper() {
+	interval := c.cfg.DeadAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var evicted []string
+		c.mu.Lock()
+		for url, n := range c.nodes {
+			if n.alive && now.Sub(n.lastSeen) > c.cfg.DeadAfter {
+				n.alive = false
+				n.inflight = 0
+				evicted = append(evicted, url)
+				c.metrics.evictions.Inc()
+				// The node's cached artifacts die with it for routing
+				// purposes; if it rejoins, completions will re-record them.
+				for _, set := range c.holders {
+					delete(set, url)
+				}
+			}
+		}
+		var orphans []*fjob
+		for _, j := range c.jobs {
+			if j.state == stateDispatched {
+				for _, url := range evicted {
+					if j.node == url {
+						orphans = append(orphans, j)
+					}
+				}
+			}
+		}
+		c.mu.Unlock()
+		for _, url := range evicted {
+			c.ring.Remove(url)
+			c.log.Warn("node evicted: heartbeat deadline missed", "node", url, "deadAfter", c.cfg.DeadAfter)
+		}
+		for _, j := range orphans {
+			c.mu.Lock()
+			epoch := j.epoch
+			c.mu.Unlock()
+			c.requeue(j, epoch, fmt.Sprintf("runner %s died", j.node))
+		}
+		if len(evicted) > 0 {
+			c.cond.Broadcast()
+		}
+	}
+}

@@ -1,0 +1,567 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	accmos "accmos"
+	"accmos/internal/fleet"
+	"accmos/internal/model"
+	"accmos/internal/obs"
+	"accmos/internal/server"
+	"accmos/internal/slx"
+	"accmos/internal/types"
+)
+
+// slxDoc serializes a tiny Inport -> Gain -> Outport model; gain varies
+// the document (and so the program hash / routing key) between tests.
+func slxDoc(t *testing.T, name, gain string) string {
+	t.Helper()
+	m := model.NewBuilder(name).
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("G", "Gain", 1, 1, model.WithParam("Gain", gain)).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "G", "Out").
+		MustBuild()
+	var buf bytes.Buffer
+	if err := slx.Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func startCoordinator(t *testing.T, cfg fleet.Config) (*fleet.Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := fleet.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+// startRunner brings up an ordinary accmosd and a fleet agent that
+// heartbeats it to the coordinator. The returned stop function kills
+// both (simulating node death when called mid-test).
+func startRunner(t *testing.T, coordURL string, cfg server.Config) (*server.Server, *httptest.Server, func()) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	cfg.PoolWorkers = -1
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	agent := &fleet.Agent{
+		Coordinator: coordURL,
+		Advertise:   ts.URL,
+		Server:      srv,
+		Interval:    50 * time.Millisecond,
+	}
+	go agent.Run(ctx)
+
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			ts.Close()
+		})
+	}
+	t.Cleanup(func() {
+		stop()
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer dcancel()
+		srv.Drain(dctx)
+	})
+	return srv, ts, stop
+}
+
+func submitFleet(t *testing.T, ts *httptest.Server, req server.SubmitRequest) string {
+	t.Helper()
+	payload, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub server.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	return sub.ID
+}
+
+func getFleetJob(t *testing.T, ts *httptest.Server, id string) fleet.JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: %s", id, resp.Status)
+	}
+	var v fleet.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitFleetJob(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) fleet.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := getFleetJob(t, ts, id)
+		if v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (node %s, retries %d)", id, v.State, v.Node, v.Retries)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitLive blocks until n runners are live on the coordinator, so ring
+// membership is settled before tests make routing assertions.
+func waitLive(t *testing.T, c *fleet.Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Health().LiveNodes < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d runners went live", c.Health().LiveNodes, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fleetMetrics(t *testing.T, ts *httptest.Server) fleet.MetricsView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mv fleet.MetricsView
+	if err := json.NewDecoder(resp.Body).Decode(&mv); err != nil {
+		t.Fatal(err)
+	}
+	return mv
+}
+
+// TestFleetEquivalenceAndWarmRouting is the core fleet contract: a job
+// through the coordinator produces bit-identical results to the same
+// job on a standalone accmosd, and a repeat model routes to the node
+// that already compiled it — warm, with zero artifact transfers.
+func TestFleetEquivalenceAndWarmRouting(t *testing.T) {
+	coord, coordTS := startCoordinator(t, fleet.Config{
+		DeadAfter: 2 * time.Second,
+		PollEvery: 20 * time.Millisecond,
+	})
+	startRunner(t, coordTS.URL, server.Config{})
+	startRunner(t, coordTS.URL, server.Config{})
+	waitLive(t, coord, 2)
+
+	// The reference: the same jobs on a plain accmosd.
+	ref := server.New(server.Config{Workers: 2, PoolWorkers: -1})
+	refTS := httptest.NewServer(ref.Handler())
+	t.Cleanup(refTS.Close)
+
+	doc := slxDoc(t, "EQ", "1.5")
+	single := server.SubmitRequest{Model: doc, Steps: 200, Seed: 11, Coverage: true}
+	sweep := server.SubmitRequest{Model: doc, Steps: 120, SweepSeeds: []uint64{1, 2, 3, 4}}
+
+	refSingle := submitWait(t, refTS, single)
+	refSweep := submitWait(t, refTS, sweep)
+
+	v1 := waitFleetJob(t, coordTS, submitFleet(t, coordTS, single), 90*time.Second)
+	if v1.State != server.JobDone {
+		t.Fatalf("fleet single job: %s (%s)", v1.State, v1.Error)
+	}
+	if v1.Node == "" || v1.ArtifactHash == "" {
+		t.Errorf("placement fields missing: node %q hash %q", v1.Node, v1.ArtifactHash)
+	}
+	if v1.Result == nil || refSingle.Result == nil || v1.Result.OutputHash != refSingle.Result.OutputHash {
+		t.Errorf("fleet result diverged from single node: %+v vs %+v", v1.Result, refSingle.Result)
+	}
+	if v1.ArtifactHash != refSingle.ArtifactHash {
+		t.Errorf("program hash diverged: coordinator %s vs standalone %s", v1.ArtifactHash, refSingle.ArtifactHash)
+	}
+
+	v2 := waitFleetJob(t, coordTS, submitFleet(t, coordTS, sweep), 90*time.Second)
+	if v2.State != server.JobDone {
+		t.Fatalf("fleet sweep job: %s (%s)", v2.State, v2.Error)
+	}
+	if v2.SweepRuns != refSweep.SweepRuns {
+		t.Errorf("sweep runs: fleet %d vs standalone %d", v2.SweepRuns, refSweep.SweepRuns)
+	}
+	got, _ := json.Marshal(v2.MergedCoverage)
+	want, _ := json.Marshal(refSweep.MergedCoverage)
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged coverage diverged:\nfleet:      %s\nstandalone: %s", got, want)
+	}
+
+	// Repeat the single job: the ring homes the same key on the same
+	// node, which already holds the artifact — a warm route, no compile,
+	// no transfer.
+	before := fleetMetrics(t, coordTS)
+	v3 := waitFleetJob(t, coordTS, submitFleet(t, coordTS, single), 90*time.Second)
+	if v3.State != server.JobDone {
+		t.Fatalf("repeat job: %s (%s)", v3.State, v3.Error)
+	}
+	if v3.Node != v1.Node {
+		t.Errorf("repeat model routed to %s, first ran on %s", v3.Node, v1.Node)
+	}
+	if !v3.CacheHit {
+		t.Error("repeat model recompiled — warm routing broken")
+	}
+	if v3.Result.OutputHash != refSingle.Result.OutputHash {
+		t.Errorf("repeat result diverged: %d vs %d", v3.Result.OutputHash, refSingle.Result.OutputHash)
+	}
+	after := fleetMetrics(t, coordTS)
+	if after.WarmRoutes <= before.WarmRoutes {
+		t.Errorf("warm routes did not increase: %d -> %d", before.WarmRoutes, after.WarmRoutes)
+	}
+	if after.Transfers != 0 {
+		t.Errorf("artifact transfers = %d, want 0 (no spill happened)", after.Transfers)
+	}
+}
+
+// submitWait runs one job on a plain accmosd test server.
+func submitWait(t *testing.T, ts *httptest.Server, req server.SubmitRequest) server.JobView {
+	t.Helper()
+	payload, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub server.SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("reference submit: %s", resp.Status)
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v server.JobView
+		json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if v.State.Terminal() {
+			if v.State != server.JobDone {
+				t.Fatalf("reference job: %s (%s)", v.State, v.Error)
+			}
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reference job stuck")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetSpillShipsArtifact forces the home node to look loaded so
+// the next repeat of a warm model spills to a cold node — and the
+// coordinator ships the compiled artifact there instead of paying a
+// second compile.
+func TestFleetSpillShipsArtifact(t *testing.T) {
+	coord, coordTS := startCoordinator(t, fleet.Config{
+		DeadAfter: 2 * time.Second,
+		// Slow polling widens the window in which the coordinator still
+		// counts the first dispatch as in-flight, making the spill
+		// deterministic.
+		PollEvery: 400 * time.Millisecond,
+		SpillLoad: 1,
+	})
+	startRunner(t, coordTS.URL, server.Config{})
+	startRunner(t, coordTS.URL, server.Config{})
+	waitLive(t, coord, 2)
+
+	doc := slxDoc(t, "SPILL", "2.25")
+	req := server.SubmitRequest{Model: doc, Steps: 100, Seed: 7}
+
+	// Seed the artifact on the home node.
+	v0 := waitFleetJob(t, coordTS, submitFleet(t, coordTS, req), 90*time.Second)
+	if v0.State != server.JobDone {
+		t.Fatalf("seed job: %s (%s)", v0.State, v0.Error)
+	}
+	home := v0.Node
+
+	// Two rapid submissions: the first re-occupies the home node; with
+	// SpillLoad=1 the second must spill to the other node, artifact in
+	// tow.
+	idA := submitFleet(t, coordTS, req)
+	idB := submitFleet(t, coordTS, req)
+	vA := waitFleetJob(t, coordTS, idA, 90*time.Second)
+	vB := waitFleetJob(t, coordTS, idB, 90*time.Second)
+	if vA.State != server.JobDone || vB.State != server.JobDone {
+		t.Fatalf("jobs: %s/%s (%s/%s)", vA.State, vB.State, vA.Error, vB.Error)
+	}
+	if vA.Node != home {
+		t.Errorf("first repeat ran on %s, want home %s", vA.Node, home)
+	}
+	if vB.Node == home {
+		t.Fatalf("second repeat did not spill off %s", home)
+	}
+	if !vB.CacheHit {
+		t.Error("spilled job compiled — artifact transfer did not precede it")
+	}
+	if vA.Result.OutputHash != v0.Result.OutputHash || vB.Result.OutputHash != v0.Result.OutputHash {
+		t.Errorf("results diverged across nodes: %d / %d / %d",
+			v0.Result.OutputHash, vA.Result.OutputHash, vB.Result.OutputHash)
+	}
+	mv := fleetMetrics(t, coordTS)
+	if mv.SpillRoutes < 1 {
+		t.Errorf("spill routes = %d, want >= 1", mv.SpillRoutes)
+	}
+	if mv.Transfers < 1 {
+		t.Errorf("artifact transfers = %d, want >= 1", mv.Transfers)
+	}
+}
+
+// TestFleetRetriesJobsOffDeadRunner kills a runner mid-job: the
+// coordinator must evict it on the heartbeat deadline and retry the
+// job on the survivor, with a result identical to a healthy run.
+func TestFleetRetriesJobsOffDeadRunner(t *testing.T) {
+	_, coordTS := startCoordinator(t, fleet.Config{
+		DeadAfter: 500 * time.Millisecond,
+		PollEvery: 20 * time.Millisecond,
+		RetryBase: 50 * time.Millisecond,
+	})
+
+	// Runner 1 accepts the job but never finishes it — a hang that turns
+	// into a death when we stop its heartbeat.
+	stuck := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(stuck) }) }
+	defer release()
+	_, _, stop1 := startRunner(t, coordTS.URL, server.Config{
+		Runner: func(ctx context.Context, spec server.JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*server.Outcome, error) {
+			select {
+			case <-stuck:
+			case <-ctx.Done():
+			}
+			return nil, ctx.Err()
+		},
+	})
+
+	doc := slxDoc(t, "RETRY", "4.5")
+	req := server.SubmitRequest{Model: doc, Steps: 150, Seed: 9}
+	id := submitFleet(t, coordTS, req)
+
+	// Wait until the job is dispatched to runner 1.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if v := getFleetJob(t, coordTS, id); v.State == server.JobRunning && v.Node != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never dispatched to the stuck runner")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A healthy runner joins; then the stuck one dies.
+	startRunner(t, coordTS.URL, server.Config{})
+	release()
+	stop1()
+
+	v := waitFleetJob(t, coordTS, id, 90*time.Second)
+	if v.State != server.JobDone {
+		t.Fatalf("job after runner death: %s (%s)", v.State, v.Error)
+	}
+	if v.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1", v.Retries)
+	}
+
+	// Same job on a plain accmosd for the equivalence check.
+	ref := server.New(server.Config{Workers: 1, PoolWorkers: -1})
+	refTS := httptest.NewServer(ref.Handler())
+	t.Cleanup(refTS.Close)
+	refView := submitWait(t, refTS, req)
+	if v.Result == nil || v.Result.OutputHash != refView.Result.OutputHash {
+		t.Errorf("retried result diverged: %+v vs %+v", v.Result, refView.Result)
+	}
+
+	mv := fleetMetrics(t, coordTS)
+	if mv.Retries < 1 || mv.Evictions < 1 {
+		t.Errorf("retries=%d evictions=%d, want both >= 1", mv.Retries, mv.Evictions)
+	}
+}
+
+// TestCoordinatorRestartRecovery submits jobs with no runners alive,
+// kills the coordinator, and verifies a new coordinator over the same
+// store recovers and eventually completes them.
+func TestCoordinatorRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := fleet.NewCoordinator(fleet.Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(c1.Handler())
+	docA := slxDoc(t, "RECA", "6.5")
+	docB := slxDoc(t, "RECB", "7.5")
+	idA := submitFleet(t, ts1, server.SubmitRequest{Model: docA, Steps: 80, Seed: 1, Tenant: "acme"})
+	idB := submitFleet(t, ts1, server.SubmitRequest{Model: docB, Steps: 80, Seed: 2})
+	if v := getFleetJob(t, ts1, idA); v.State != server.JobQueued {
+		t.Fatalf("job with no runners should be queued, got %s", v.State)
+	}
+	ts1.Close()
+	c1.Close()
+
+	// Second life: same store, jobs must come back queued.
+	_, ts2 := startCoordinator(t, fleet.Config{
+		StoreDir:  dir,
+		DeadAfter: 2 * time.Second,
+		PollEvery: 20 * time.Millisecond,
+	})
+	vA := getFleetJob(t, ts2, idA)
+	vB := getFleetJob(t, ts2, idB)
+	if vA.State != server.JobQueued || vB.State != server.JobQueued {
+		t.Fatalf("recovered jobs not queued: %s / %s", vA.State, vB.State)
+	}
+	if vA.Tenant != "acme" {
+		t.Errorf("tenant lost across restart: %+v", vA)
+	}
+	if vA.Epoch < 1 {
+		t.Errorf("recovered job should have a bumped epoch, got %d", vA.Epoch)
+	}
+
+	// A runner joins the reborn coordinator; the recovered jobs run.
+	startRunner(t, ts2.URL, server.Config{})
+	fA := waitFleetJob(t, ts2, idA, 90*time.Second)
+	fB := waitFleetJob(t, ts2, idB, 90*time.Second)
+	if fA.State != server.JobDone || fB.State != server.JobDone {
+		t.Fatalf("recovered jobs: %s / %s (%s / %s)", fA.State, fB.State, fA.Error, fB.Error)
+	}
+	if fA.Result == nil || fB.Result == nil {
+		t.Fatal("recovered jobs have no results")
+	}
+
+	// New submissions must not collide with recovered ids.
+	idC := submitFleet(t, ts2, server.SubmitRequest{Model: docA, Steps: 80, Seed: 1})
+	if idC == idA || idC == idB {
+		t.Fatalf("id collision after recovery: %s", idC)
+	}
+	if fC := waitFleetJob(t, ts2, idC, 90*time.Second); fC.State != server.JobDone {
+		t.Fatalf("post-recovery job: %s (%s)", fC.State, fC.Error)
+	}
+}
+
+// TestTenantQuotaGate verifies per-tenant token buckets reject the
+// over-quota tenant with 429 while others proceed.
+func TestTenantQuotaGate(t *testing.T) {
+	_, coordTS := startCoordinator(t, fleet.Config{
+		TenantRate:  0.001, // effectively: burst only, no refill during the test
+		TenantBurst: 2,
+	})
+	doc := slxDoc(t, "QUOTA", "8.5")
+	post := func(tenant string) int {
+		payload, _ := json.Marshal(server.SubmitRequest{Model: doc, Steps: 10, Tenant: tenant})
+		resp, err := http.Post(coordTS.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+		return resp.StatusCode
+	}
+	if got := post("acme"); got != http.StatusAccepted {
+		t.Fatalf("first submission: %d", got)
+	}
+	if got := post("acme"); got != http.StatusAccepted {
+		t.Fatalf("second submission (burst): %d", got)
+	}
+	if got := post("acme"); got != http.StatusTooManyRequests {
+		t.Fatalf("third submission: %d, want 429", got)
+	}
+	if got := post("rival"); got != http.StatusAccepted {
+		t.Fatalf("other tenant blocked: %d", got)
+	}
+	if mv := fleetMetrics(t, coordTS); mv.QuotaRejections != 1 {
+		t.Errorf("quota rejections = %d, want 1", mv.QuotaRejections)
+	}
+}
+
+// TestFleetTopologyAndHealth pins /v1/fleet/nodes and /healthz.
+func TestFleetTopologyAndHealth(t *testing.T) {
+	c, coordTS := startCoordinator(t, fleet.Config{DeadAfter: 2 * time.Second})
+	if hv := c.Health(); hv.Status != "no-runners" {
+		t.Errorf("empty fleet health = %q, want no-runners", hv.Status)
+	}
+	startRunner(t, coordTS.URL, server.Config{})
+	startRunner(t, coordTS.URL, server.Config{})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if hv := c.Health(); hv.LiveNodes == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runners never showed up live")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get(coordTS.URL + "/v1/fleet/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []fleet.NodeView
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes) != 2 {
+		t.Fatalf("topology lists %d nodes, want 2", len(nodes))
+	}
+	for _, n := range nodes {
+		if !n.Alive || n.URL == "" {
+			t.Errorf("node not alive in topology: %+v", n)
+		}
+		if n.Health.Workers == 0 {
+			t.Errorf("heartbeat health empty: %+v", n)
+		}
+	}
+
+	// Prometheus exposition includes the fleet families.
+	promResp, err := http.Get(coordTS.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(promResp.Body)
+	promResp.Body.Close()
+	for _, family := range []string{
+		"fleet_jobs_total", "fleet_live_nodes", "fleet_warm_routes_total",
+		"fleet_artifact_transfers_total", "fleet_retries_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(family)) {
+			t.Errorf("prometheus exposition missing %s", family)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Println(buf.String())
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"io"
+
+	"accmos/internal/obs"
+)
+
+// fleetJobStates enumerates fleet_jobs_total label values; every series
+// is pre-created so the exposition skeleton is complete from the first
+// scrape, mirroring accmosd's own registry discipline.
+var fleetJobStates = []string{"submitted", "done", "failed", "canceled", "rejected"}
+
+// metrics is the coordinator's telemetry: fleet_* families aggregated
+// over the whole fleet, exposed as Prometheus text and mirrored into
+// the JSON MetricsView. Counters are bumped at decision points; live
+// topology numbers are scrape-time gauge funcs over coordinator state.
+type metrics struct {
+	reg *obs.Registry
+
+	jobs         *obs.CounterVec // fleet_jobs_total{state}
+	warmRoutes   *obs.Counter    // fleet_warm_routes_total
+	spillRoutes  *obs.Counter    // fleet_spill_routes_total
+	transfers    *obs.Counter    // fleet_artifact_transfers_total
+	retries      *obs.Counter    // fleet_retries_total
+	evictions    *obs.Counter    // fleet_node_evictions_total
+	quotaRejects *obs.Counter    // fleet_quota_rejections_total
+	nodeHits     *obs.GaugeVec   // fleet_node_cache_hits{node}
+	nodeMisses   *obs.GaugeVec   // fleet_node_cache_misses{node}
+}
+
+func newMetrics(c *Coordinator) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.jobs = reg.Counter("fleet_jobs_total",
+		"Fleet jobs by lifecycle event: submitted at admission, done/failed/canceled at completion, rejected at quota or admission refusals.",
+		"state")
+	for _, st := range fleetJobStates {
+		m.jobs.With(st)
+	}
+	reg.GaugeFunc("fleet_nodes", "Runner nodes registered with the coordinator.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.nodes))
+	})
+	reg.GaugeFunc("fleet_live_nodes", "Runner nodes with a fresh heartbeat.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, nd := range c.nodes {
+			if nd.alive {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("fleet_queue_depth", "Jobs accepted by the coordinator but not yet dispatched.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.queue))
+	})
+	reg.GaugeFunc("fleet_inflight_jobs", "Jobs dispatched to a runner and not yet terminal.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, j := range c.jobs {
+			if j.state == stateDispatched {
+				n++
+			}
+		}
+		return float64(n)
+	})
+
+	m.warmRoutes = reg.Counter("fleet_warm_routes_total",
+		"Dispatches whose target node already held the job's compiled artifact (no compile, no transfer).").With()
+	m.spillRoutes = reg.Counter("fleet_spill_routes_total",
+		"Dispatches diverted off the consistent-hash home node because it was loaded or dead.").With()
+	m.transfers = reg.Counter("fleet_artifact_transfers_total",
+		"Compiled artifacts shipped between nodes (GET from a holder, PUT to the dispatch target).").With()
+	m.retries = reg.Counter("fleet_retries_total",
+		"Jobs requeued after their runner died mid-flight.").With()
+	m.evictions = reg.Counter("fleet_node_evictions_total",
+		"Runner nodes evicted after missing their heartbeat deadline.").With()
+	m.quotaRejects = reg.Counter("fleet_quota_rejections_total",
+		"Submissions refused by per-tenant token-bucket quotas.").With()
+
+	m.nodeHits = reg.Gauge("fleet_node_cache_hits",
+		"Build-cache hits reported by each node's last heartbeat.", "node")
+	m.nodeMisses = reg.Gauge("fleet_node_cache_misses",
+		"Build-cache misses reported by each node's last heartbeat.", "node")
+	return m
+}
+
+func (m *metrics) writePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+func (m *metrics) jobCounts() map[string]int64 {
+	out := make(map[string]int64, len(fleetJobStates))
+	for _, st := range fleetJobStates {
+		out[st] = m.jobs.With(st).Value()
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Quotas is a per-tenant token-bucket admission gate: each tenant gets
+// burst tokens refilled at rate per second, and a submission that finds
+// the bucket empty is rejected with 429 before any parsing or
+// scheduling work is spent on it. Rate <= 0 disables the gate.
+type Quotas struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas builds the gate. burst <= 0 defaults to rate (a full
+// second's allowance), so NewQuotas(5, 0) means "5 jobs/s, burst 5".
+func NewQuotas(rate, burst float64) *Quotas {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &Quotas{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from tenant's bucket at time now, reporting
+// whether the submission may proceed. now is explicit so tests drive
+// the clock.
+func (q *Quotas) Allow(tenant string, now time.Time) bool {
+	if q == nil || q.rate <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,133 @@
+// Package fleet turns a set of accmosd daemons into one service: a
+// coordinator accepts the ordinary /v1/jobs API, shards jobs across
+// registered runner nodes by consistent hash on the generated program's
+// content hash (so repeat models land on nodes whose build cache is
+// already warm), ships compiled artifacts between nodes when routing
+// must deviate, retries jobs off dead runners, and survives its own
+// restarts through an append-only job store.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// defaultVnodes is the virtual-node fanout per physical node. 64 points
+// per node keeps the ring's load split within a few percent of even for
+// small fleets without making Add/Remove noticeable.
+const defaultVnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Lookup maps a key
+// to a preference list of distinct nodes: the first entry is the key's
+// home (stable under unrelated membership changes, so repeat programs
+// keep hitting the same warm cache), and later entries are the spill
+// order when the home is loaded or dead.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+// NewRing builds an empty ring; vnodes <= 0 selects the default fanout.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node's virtual points. Adding a present node is a no-op,
+// so join and heartbeat can both call it unconditionally.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{ringHash(node + "#" + itoa(i)), node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node's points; keys homed on it move to their next
+// clockwise node while every other key keeps its home.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of physical nodes on the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Lookup returns up to n distinct nodes for key, in preference order:
+// the owner of the first point clockwise of hash(key), then the owners
+// of subsequent points, deduplicated. n <= 0 means every node.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// itoa is strconv.Itoa for the small non-negative ints used in vnode
+// labels, avoiding the import for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

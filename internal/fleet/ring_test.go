@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"accmos/internal/server"
+)
+
+// openAppend reopens the WAL for raw appends, to fake a torn write.
+func openAppend(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func TestRingLookupDistinctAndStable(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	prefs := r.Lookup("some-program-hash", 0)
+	if len(prefs) != 4 {
+		t.Fatalf("Lookup returned %d nodes, want 4", len(prefs))
+	}
+	seen := map[string]bool{}
+	for _, n := range prefs {
+		if seen[n] {
+			t.Fatalf("duplicate node %s in preference list %v", n, prefs)
+		}
+		seen[n] = true
+	}
+	// Same key, same list — routing must be deterministic.
+	for i := 0; i < 5; i++ {
+		again := r.Lookup("some-program-hash", 0)
+		for k := range again {
+			if again[k] != prefs[k] {
+				t.Fatalf("lookup unstable: %v vs %v", again, prefs)
+			}
+		}
+	}
+}
+
+// TestRingHomeStability is the property warm routing rests on: removing
+// one node only moves the keys homed on it; every other key keeps its
+// home (so its warm cache).
+func TestRingHomeStability(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"http://a", "http://b", "http://c", "http://d"} {
+		r.Add(n)
+	}
+	const keys = 500
+	home := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("hash-%04d", i)
+		home[k] = r.Lookup(k, 1)[0]
+	}
+	r.Remove("http://c")
+	moved := 0
+	for k, h := range home {
+		now := r.Lookup(k, 1)[0]
+		if h == "http://c" {
+			if now == "http://c" {
+				t.Fatalf("key %s still homed on removed node", k)
+			}
+			continue
+		}
+		if now != h {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys homed on surviving nodes moved after an unrelated removal", moved)
+	}
+	// Re-adding restores the original homes exactly.
+	r.Add("http://c")
+	for k, h := range home {
+		if now := r.Lookup(k, 1)[0]; now != h {
+			t.Fatalf("key %s home %s != original %s after re-add", k, now, h)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	counts := map[string]int{}
+	for _, n := range []string{"http://a", "http://b", "http://c", "http://d"} {
+		r.Add(n)
+	}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("hash-%05d", i), 1)[0]]++
+	}
+	for n, got := range counts {
+		if got < keys/4/3 || got > keys/4*3 {
+			t.Errorf("node %s owns %d of %d keys — ring badly unbalanced: %v", n, got, keys, counts)
+		}
+	}
+}
+
+func TestQuotaTokenBucket(t *testing.T) {
+	q := NewQuotas(2, 2) // 2 jobs/s, burst 2
+	now := time.Unix(1000, 0)
+	if !q.Allow("acme", now) || !q.Allow("acme", now) {
+		t.Fatal("burst tokens refused")
+	}
+	if q.Allow("acme", now) {
+		t.Fatal("third immediate submission allowed past burst")
+	}
+	// Tenants are isolated.
+	if !q.Allow("other", now) {
+		t.Fatal("fresh tenant refused")
+	}
+	// Half a second refills one token at rate 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if !q.Allow("acme", now) {
+		t.Fatal("refilled token refused")
+	}
+	if q.Allow("acme", now) {
+		t.Fatal("second token allowed before refill")
+	}
+	// Idle time never accumulates past burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !q.Allow("acme", now) {
+			t.Fatalf("token %d refused after long idle", i)
+		}
+	}
+	if q.Allow("acme", now) {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+	// Disabled gate admits everything.
+	var off *Quotas
+	if !off.Allow("anyone", now) || !NewQuotas(0, 0).Allow("anyone", now) {
+		t.Fatal("disabled quota refused a submission")
+	}
+}
+
+func TestStoreRecoversPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh store has %d pending jobs", len(pending))
+	}
+	req := func(model string) *server.SubmitRequest {
+		return &server.SubmitRequest{Model: model, Steps: 10, Tenant: "acme"}
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(st.Append(Record{Op: "submit", ID: "f-000001", Tenant: "acme", Req: req("m1")}))
+	must(st.Append(Record{Op: "submit", ID: "f-000002", Tenant: "acme", Req: req("m2")}))
+	must(st.Append(Record{Op: "dispatch", ID: "f-000001", Node: "http://a", Epoch: 0}))
+	must(st.Append(Record{Op: "submit", ID: "f-000003", Req: req("m3")}))
+	must(st.Append(Record{Op: "done", ID: "f-000001"}))
+	must(st.Append(Record{Op: "dispatch", ID: "f-000002", Node: "http://a", Epoch: 0}))
+	must(st.Append(Record{Op: "retry", ID: "f-000002", Epoch: 1, Retries: 1}))
+	must(st.Close())
+
+	st2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (got %+v)", len(pending), pending)
+	}
+	if pending[0].ID != "f-000002" || pending[1].ID != "f-000003" {
+		t.Fatalf("wrong pending ids: %+v", pending)
+	}
+	if pending[0].Epoch != 1 || pending[0].Retries != 1 || pending[0].Dispatched {
+		t.Errorf("retry state lost: %+v", pending[0])
+	}
+	if pending[0].Req.Model != "m2" || pending[0].Tenant != "acme" {
+		t.Errorf("submission not preserved: %+v", pending[0])
+	}
+
+	// Compaction folds the WAL into the snapshot; a third open sees the
+	// same pending set.
+	must(st2.Compact(pending))
+	must(st2.Close())
+	_, pending3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending3) != 2 || pending3[0].ID != "f-000002" || pending3[0].Epoch != 1 {
+		t.Fatalf("post-compaction recovery wrong: %+v", pending3)
+	}
+}
+
+// TestStoreToleratesTornTail simulates a crash mid-append: a truncated
+// final line is skipped, everything before it replays.
+func TestStoreToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Op: "submit", ID: "f-000001", Req: &server.SubmitRequest{Model: "m"}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	f, err := openAppend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"submit","id":"f-0000`) // torn: no newline, invalid JSON
+	f.Close()
+
+	_, pending, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if len(pending) != 1 || pending[0].ID != "f-000001" {
+		t.Fatalf("recovered %+v", pending)
+	}
+}

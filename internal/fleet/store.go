@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"accmos/internal/server"
+)
+
+// Record is one append-only job-store entry. The WAL is a JSONL file of
+// these; replaying it reconstructs every job the coordinator had
+// accepted but not finished, which is exactly what must survive a
+// coordinator restart (finished jobs only need their terminal marker so
+// replay can drop them).
+type Record struct {
+	// Op is the lifecycle event: submit, dispatch, retry, done, fail,
+	// cancel.
+	Op     string `json:"op"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	// Req is the original wire submission, kept verbatim on submit
+	// records so a recovered job re-admits through the same path as a
+	// fresh one.
+	Req     *server.SubmitRequest `json:"req,omitempty"`
+	Node    string                `json:"node,omitempty"`
+	Epoch   int                   `json:"epoch,omitempty"`
+	Retries int                   `json:"retries,omitempty"`
+	Err     string                `json:"err,omitempty"`
+}
+
+// PendingJob is a job reconstructed from the store: accepted, possibly
+// dispatched, but with no terminal record. The coordinator requeues
+// these on startup with a bumped epoch — at-least-once across a
+// coordinator crash, which is safe because simulation is deterministic.
+type PendingJob struct {
+	ID      string
+	Tenant  string
+	Req     server.SubmitRequest
+	Epoch   int
+	Retries int
+	// Dispatched reports the job had been sent to a runner before the
+	// restart (its result, if any, is orphaned — the new coordinator
+	// re-runs it).
+	Dispatched bool
+}
+
+// Store is the coordinator's durable job log: a snapshot of live jobs
+// plus an append-only WAL of everything since. Open replays snapshot
+// then WAL; Compact folds the WAL back into a fresh snapshot.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	wal *os.File
+}
+
+const (
+	snapshotFile = "snapshot.jsonl"
+	walFile      = "wal.jsonl"
+)
+
+// Open loads the store at dir (created if missing), returning the jobs
+// that were live at the last shutdown and a handle for further appends.
+func Open(dir string) (*Store, []PendingJob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("job store: %w", err)
+	}
+	live := make(map[string]*PendingJob)
+	var order []string
+	apply := func(rec Record) {
+		switch rec.Op {
+		case "submit":
+			if rec.Req == nil {
+				return
+			}
+			live[rec.ID] = &PendingJob{ID: rec.ID, Tenant: rec.Tenant, Req: *rec.Req, Epoch: rec.Epoch, Retries: rec.Retries}
+			order = append(order, rec.ID)
+		case "dispatch":
+			if j := live[rec.ID]; j != nil {
+				j.Dispatched = true
+				j.Epoch = rec.Epoch
+			}
+		case "retry":
+			if j := live[rec.ID]; j != nil {
+				j.Dispatched = false
+				j.Epoch = rec.Epoch
+				j.Retries = rec.Retries
+			}
+		case "done", "fail", "cancel":
+			delete(live, rec.ID)
+		}
+	}
+	for _, name := range []string{snapshotFile, walFile} {
+		if err := replayFile(filepath.Join(dir, name), apply); err != nil {
+			return nil, nil, err
+		}
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("job store: %w", err)
+	}
+	var pending []PendingJob
+	for _, id := range order {
+		if j := live[id]; j != nil {
+			pending = append(pending, *j)
+		}
+	}
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].ID < pending[b].ID })
+	return &Store{dir: dir, wal: wal}, pending, nil
+}
+
+// replayFile feeds every record of a JSONL file to apply; a missing
+// file is an empty log. A trailing torn line (a crash mid-append) is
+// tolerated; any earlier malformed line is corruption and reported.
+func replayFile(path string, apply func(Record)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("job store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var deferredErr error
+	for sc.Scan() {
+		if deferredErr != nil {
+			return fmt.Errorf("job store: corrupt record in %s: %w", filepath.Base(path), deferredErr)
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Only fatal if another line follows; a torn final line is
+			// the expected shape of a crash mid-write.
+			deferredErr = err
+			continue
+		}
+		apply(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("job store: reading %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Append durably logs one record. Errors are returned, not fatal: the
+// coordinator keeps serving from memory and reports degraded
+// durability.
+func (s *Store) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = s.wal.Write(append(data, '\n'))
+	return err
+}
+
+// Compact rewrites the snapshot as one submit record per live job and
+// truncates the WAL — called after recovery so the log never grows
+// across restarts.
+func (s *Store) Compact(pending []PendingJob) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for i := range pending {
+		j := &pending[i]
+		req := j.Req
+		if err := enc.Encode(Record{Op: "submit", ID: j.ID, Tenant: j.Tenant, Req: &req, Epoch: j.Epoch, Retries: j.Retries}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return err
+	}
+	// Truncate the WAL only after the snapshot is durable.
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	_, err = s.wal.Seek(0, 0)
+	return err
+}
+
+// Close releases the WAL handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Close()
+}

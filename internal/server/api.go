@@ -80,6 +80,12 @@ type SubmitRequest struct {
 	// HeartbeatMS is the progress-snapshot interval for the job's events
 	// stream (default 250 ms).
 	HeartbeatMS int64 `json:"heartbeatMs,omitempty"`
+
+	// Tenant names the submitting tenant for fleet-level quota accounting
+	// and fair scheduling. A single accmosd ignores it; the coordinator
+	// applies per-tenant token-bucket quotas to it ("" = the anonymous
+	// tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // SubmitResponse acknowledges an accepted job.
@@ -160,6 +166,11 @@ type JobView struct {
 	// Opt reports what the optimizing middle-end did for this job
 	// (level, actors before/after, per-pass rewrite counts).
 	Opt *accmos.OptStats `json:"opt,omitempty"`
+
+	// ArtifactHash is the content-hash build-cache key of the binary this
+	// job executed — the handle GET /v1/artifacts/{hash} serves, and what
+	// a fleet coordinator records to route repeat models to warm nodes.
+	ArtifactHash string `json:"artifactHash,omitempty"`
 }
 
 // ErrorResponse is the structured error body every non-2xx endpoint
@@ -279,9 +290,21 @@ type DebugBundle struct {
 	WorkerPool *WorkerPoolView `json:"workerPool,omitempty"`
 }
 
-// HealthView is the GET /healthz payload.
+// HealthView is the GET /healthz payload: enough readiness detail for a
+// fleet coordinator or an external load balancer to make routing
+// decisions from one probe — how much work is queued and running against
+// what capacity, and whether the daemon is refusing new work.
 type HealthView struct {
 	Status     string `json:"status"` // "ok" | "draining"
 	QueueDepth int    `json:"queueDepth"`
 	Running    int    `json:"running"`
+	// Draining reports the daemon refuses new submissions (503). The
+	// Status string says so too; the flag is the machine-readable form.
+	Draining bool `json:"draining"`
+	// Workers is the configured simulation concurrency; QueueCap the
+	// admission bound beyond which submissions get 429.
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queueCap"`
+	// UptimeNanos is time since the daemon started.
+	UptimeNanos int64 `json:"uptimeNanos"`
 }

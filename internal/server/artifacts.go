@@ -1,0 +1,77 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+)
+
+// DigestHeader carries the SHA-256 (hex) of an artifact's bytes on
+// GET/PUT /v1/artifacts/{hash} exchanges — the integrity check Import
+// enforces, so a truncated or corrupted transfer can never enter a
+// node's cache.
+const DigestHeader = "X-Accmos-Digest"
+
+// artifactKeyRE vets the {hash} path element: build-cache keys are
+// lowercase hex SHA-256 strings. Rejecting anything else keeps crafted
+// keys out of file names.
+var artifactKeyRE = regexp.MustCompile(`^[0-9a-f]{16,64}$`)
+
+// maxArtifactBytes bounds a PUT /v1/artifacts body. Generated simulation
+// binaries are a few MiB; 256 MiB is far above any real artifact while
+// still refusing an unbounded upload.
+const maxArtifactBytes = 256 << 20
+
+// handleArtifactGet serves the compiled binary cached under the content
+// hash, with its digest in X-Accmos-Digest — the fleet layer's artifact
+// export: a model compiled on this node becomes downloadable by any
+// peer (coordinator-mediated). 404 when the hash is not resident.
+func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	if !artifactKeyRE.MatchString(key) {
+		writeError(w, http.StatusBadRequest, "malformed artifact hash")
+		return
+	}
+	data, digest, err := s.cache.Export(key)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "artifact %s not cached here", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(DigestHeader, digest)
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(data)
+	}
+}
+
+// handleArtifactPut imports a compiled binary under the content hash —
+// the receiving half of a fleet artifact transfer. The X-Accmos-Digest
+// header is mandatory and must match the body's SHA-256; a mismatch is a
+// 400 and nothing is installed. On success the node's next job for the
+// same program is a build-cache hit: compiled anywhere, compiled
+// everywhere.
+func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	if !artifactKeyRE.MatchString(key) {
+		writeError(w, http.StatusBadRequest, "malformed artifact hash")
+		return
+	}
+	digest := r.Header.Get(DigestHeader)
+	if digest == "" {
+		writeError(w, http.StatusBadRequest, "missing %s header", DigestHeader)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArtifactBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading artifact body: %v", err)
+		return
+	}
+	if err := s.cache.Import(key, digest, data); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.countArtifactImport()
+	s.cfg.Logger.Info("artifact imported", "hash", key, "bytes", len(data))
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,175 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"accmos/internal/server"
+)
+
+// TestArtifactExportImportBetweenDaemons is the fleet transfer path over
+// real HTTP: a job compiled on daemon A is exported by content hash,
+// shipped to daemon B, and B's first job for the same model is a
+// build-cache hit — compiled anywhere, compiled everywhere.
+func TestArtifactExportImportBetweenDaemons(t *testing.T) {
+	_, tsA := newTestServer(t, server.Config{Workers: 1, PoolWorkers: -1})
+	_, tsB := newTestServer(t, server.Config{Workers: 1, PoolWorkers: -1})
+
+	doc := slxDoc(t, "XFER", "3")
+	view := waitJob(t, tsA, submitOK(t, tsA, server.SubmitRequest{Model: doc, Steps: 50}))
+	if view.State != server.JobDone {
+		t.Fatalf("seed job: %s (%s)", view.State, view.Error)
+	}
+	if view.ArtifactHash == "" {
+		t.Fatal("done job reports no artifact hash")
+	}
+	if view.CacheHit {
+		t.Fatal("first compile reported a cache hit")
+	}
+
+	// Export from A with its digest.
+	resp, err := http.Get(tsA.URL + "/v1/artifacts/" + view.ArtifactHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %s: %s", resp.Status, data)
+	}
+	digest := resp.Header.Get(server.DigestHeader)
+	if digest == "" || len(data) == 0 {
+		t.Fatalf("export returned %d bytes, digest %q", len(data), digest)
+	}
+
+	// A corrupted transfer must be rejected by B.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if code, body := putArtifact(t, tsB, view.ArtifactHash, digest, corrupt); code != http.StatusBadRequest {
+		t.Fatalf("corrupt import: got %d (%s), want 400", code, body)
+	} else if !strings.Contains(string(body), "digest mismatch") {
+		t.Fatalf("corrupt import rejection: %s", body)
+	}
+	// A missing digest header is refused outright.
+	if code, _ := putArtifact(t, tsB, view.ArtifactHash, "", data); code != http.StatusBadRequest {
+		t.Fatalf("import without digest: got %d, want 400", code)
+	}
+
+	// The intact transfer installs, and B's first job pays no compile.
+	if code, body := putArtifact(t, tsB, view.ArtifactHash, digest, data); code != http.StatusNoContent {
+		t.Fatalf("import: got %d (%s), want 204", code, body)
+	}
+	warm := waitJob(t, tsB, submitOK(t, tsB, server.SubmitRequest{Model: doc, Steps: 50}))
+	if warm.State != server.JobDone {
+		t.Fatalf("warm job on B: %s (%s)", warm.State, warm.Error)
+	}
+	if !warm.CacheHit {
+		t.Error("job on B after artifact import still compiled")
+	}
+	if warm.ArtifactHash != view.ArtifactHash {
+		t.Errorf("artifact hash diverged across daemons: %s vs %s", warm.ArtifactHash, view.ArtifactHash)
+	}
+	// And both runs computed the same result.
+	if view.Result == nil || warm.Result == nil || view.Result.OutputHash != warm.Result.OutputHash {
+		t.Errorf("imported binary diverged: %+v vs %+v", warm.Result, view.Result)
+	}
+
+	// The imported artifact is exportable from B (round trip).
+	resp2, err := http.Get(tsB.URL + "/v1/artifacts/" + view.ArtifactHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get(server.DigestHeader) != digest {
+		t.Errorf("re-export from B: %s digest %q", resp2.Status, resp2.Header.Get(server.DigestHeader))
+	}
+}
+
+func putArtifact(t *testing.T, ts *httptest.Server, hash, digest string, data []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/artifacts/"+hash, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != "" {
+		req.Header.Set(server.DigestHeader, digest)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func TestArtifactEndpointRejectsUnknownAndMalformed(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, PoolWorkers: -1})
+	resp, err := http.Get(ts.URL + "/v1/artifacts/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown artifact: got %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/artifacts/..%2Fescape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("malformed artifact key: got %d, want 400/404", resp.StatusCode)
+	}
+}
+
+// TestHealthzReadinessDetail pins the /healthz readiness contract the
+// coordinator and external load balancers route on: queue depth, running
+// count, capacity and the draining flag.
+func TestHealthzReadinessDetail(t *testing.T) {
+	runner, release, _, _ := blockingRunner()
+	srv, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 7, Runner: runner, PoolWorkers: -1})
+	defer release()
+
+	id := submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "HZ", "2")})
+	waitState(t, ts, id, server.JobRunning)
+	// A second job sits queued behind the blocked worker.
+	submitOK(t, ts, server.SubmitRequest{Model: slxDoc(t, "HZ2", "4")})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hv server.HealthView
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	if hv.Status != "ok" || hv.Draining {
+		t.Errorf("health status: %+v", hv)
+	}
+	if hv.Running != 1 || hv.QueueDepth != 1 {
+		t.Errorf("running/queued: %+v, want 1/1", hv)
+	}
+	if hv.Workers != 1 || hv.QueueCap != 7 {
+		t.Errorf("capacity: %+v, want workers 1 / queueCap 7", hv)
+	}
+	if hv.UptimeNanos <= 0 {
+		t.Errorf("uptime missing: %+v", hv)
+	}
+	if got := srv.Health(); got.Workers != 1 || got.QueueCap != 7 {
+		t.Errorf("Server.Health(): %+v", got)
+	}
+	release()
+}

@@ -52,6 +52,10 @@ type Outcome struct {
 	Merged    *coverage.Report
 	// Opt reports what the optimizing middle-end did.
 	Opt *accmos.OptStats
+	// ArtifactHash is the content-hash key of the compiled program — the
+	// build-cache key a fleet coordinator uses to track which nodes hold
+	// which binaries.
+	ArtifactHash string
 }
 
 // job is the server-side record of one submission. All fields except
@@ -116,6 +120,7 @@ func (j *job) view() JobView {
 		v.MergedCoverage = o.Merged
 		v.Opt = o.Opt
 		v.WorkerReuse = o.WorkerReuse
+		v.ArtifactHash = o.ArtifactHash
 	}
 	return v
 }

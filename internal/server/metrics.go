@@ -26,6 +26,7 @@ type metrics struct {
 	phases    *obs.HistogramVec // accmosd_phase_seconds{phase}
 	optJobs   *obs.CounterVec   // accmosd_opt_jobs_total{level}
 	optActors *obs.CounterVec   // accmosd_opt_actors_total{stage}
+	imports   *obs.Counter      // accmosd_artifact_imports_total
 }
 
 // newMetrics builds the registry. Registration order is the exposition
@@ -95,6 +96,9 @@ func newMetrics(s *Server) *metrics {
 		return float64(s.cache.Stats().Evictions)
 	})
 
+	m.imports = reg.Counter("accmosd_artifact_imports_total",
+		"Compiled binaries installed into the build cache by fleet artifact transfer (PUT /v1/artifacts).").With()
+
 	reg.CounterFunc("accmosd_events_dropped_total",
 		"Progress snapshots dropped across all job event streams because a subscriber fell behind.",
 		func() float64 { return float64(s.eventsDropped()) })
@@ -121,6 +125,9 @@ func newMetrics(s *Server) *metrics {
 
 // countJob bumps one accmosd_jobs_total series.
 func (m *metrics) countJob(state string) { m.jobs.With(state).Inc() }
+
+// countArtifactImport records one fleet artifact transfer landing here.
+func (m *metrics) countArtifactImport() { m.imports.Inc() }
 
 // writePrometheus renders the registry in the text exposition format.
 func (m *metrics) writePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }

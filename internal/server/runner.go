@@ -15,6 +15,49 @@ import (
 // spans that feed the /metrics latency histograms.
 type Runner func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*Outcome, error)
 
+// specOptions maps a validated JobSpec to the facade options its run
+// uses. PipelineRunner and ProgramKey share it: the coordinator's
+// routing key is only useful if it is computed from EXACTLY the options
+// the runner will execute with — any drift and repeat models stop
+// landing on their warm node.
+func specOptions(spec JobSpec, cache *accmos.BuildCache, pool *accmos.WorkerPool, tr *accmos.Tracer, progress func(obs.Snapshot)) accmos.Options {
+	opts := accmos.Options{
+		Steps:         spec.Steps,
+		Budget:        spec.Budget,
+		Coverage:      spec.Coverage,
+		Diagnose:      spec.Diagnose,
+		OptLevel:      spec.OptLevel,
+		Timeout:       spec.Timeout,
+		Cache:         cache,
+		Pool:          pool,
+		RunID:         spec.Corr,
+		Trace:         tr,
+		Progress:      progress,
+		ProgressEvery: spec.Heartbeat,
+	}
+	if spec.Seed != 0 {
+		lo, hi := spec.Lo, spec.Hi
+		if lo == 0 && hi == 0 {
+			lo, hi = -1, 1
+		}
+		opts.TestCases = accmos.RandomTestCases(spec.Model, spec.Seed, lo, hi)
+	}
+	return opts
+}
+
+// ProgramKey returns the build-cache content hash the spec's generated
+// program will carry — without compiling anything. Sweep jobs force
+// coverage on, exactly as accmos.Sweep does, so the key matches the
+// artifact the runner really produces. The fleet coordinator hashes this
+// key onto its node ring for affinity routing and artifact shipping.
+func ProgramKey(spec JobSpec) (string, error) {
+	opts := specOptions(spec, nil, nil, nil, nil)
+	if len(spec.SweepSeeds) > 0 {
+		opts.Coverage = true
+	}
+	return accmos.ProgramHash(spec.Model, opts)
+}
+
 // PipelineRunner builds the production runner: generate, compile through
 // the shared bounded cache, execute under the job's context, and shape
 // the outcome for the job record. One cache across all jobs is the whole
@@ -24,27 +67,7 @@ type Runner func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress 
 // workers (nil = spawn per run).
 func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 	return func(ctx context.Context, spec JobSpec, tr *accmos.Tracer, progress func(obs.Snapshot)) (*Outcome, error) {
-		opts := accmos.Options{
-			Steps:         spec.Steps,
-			Budget:        spec.Budget,
-			Coverage:      spec.Coverage,
-			Diagnose:      spec.Diagnose,
-			OptLevel:      spec.OptLevel,
-			Timeout:       spec.Timeout,
-			Cache:         cache,
-			Pool:          pool,
-			RunID:         spec.Corr,
-			Trace:         tr,
-			Progress:      progress,
-			ProgressEvery: spec.Heartbeat,
-		}
-		if spec.Seed != 0 {
-			lo, hi := spec.Lo, spec.Hi
-			if lo == 0 && hi == 0 {
-				lo, hi = -1, 1
-			}
-			opts.TestCases = accmos.RandomTestCases(spec.Model, spec.Seed, lo, hi)
-		}
+		opts := specOptions(spec, cache, pool, tr, progress)
 
 		if len(spec.SweepSeeds) > 0 {
 			opts.DisableBatch = spec.DisableBatch
@@ -58,6 +81,7 @@ func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 				out.CacheHit = sw.Runs[0].CacheHit
 				out.Opt = sw.Runs[0].Opt
 				out.Batched = sw.Runs[0].Batched
+				out.ArtifactHash = sw.Runs[0].ArtifactHash
 			}
 			return out, nil
 		}
@@ -66,7 +90,10 @@ func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 		if err != nil {
 			return nil, err
 		}
-		out := &Outcome{Results: res.Results, CacheHit: res.CacheHit, WorkerReuse: res.WorkerReuse, Opt: res.Opt}
+		out := &Outcome{
+			Results: res.Results, CacheHit: res.CacheHit, WorkerReuse: res.WorkerReuse,
+			Opt: res.Opt, ArtifactHash: res.ArtifactHash,
+		}
 		if spec.Coverage {
 			rep := res.CoverageReport()
 			out.Coverage = &rep

@@ -171,6 +171,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/debug", s.handleDebug)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifactGet)
+	s.mux.HandleFunc("PUT /v1/artifacts/{hash}", s.handleArtifactPut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
@@ -470,64 +472,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if req.Model == "" {
-		writeError(w, http.StatusBadRequest, "submission has no model document")
-		return
-	}
-
-	// Validate before admission: parse, elaborate, lint. A model that
-	// cannot be scheduled — or that lint marks as unsafe to hand to
-	// codegen — never occupies a queue slot.
-	m, err := accmos.LoadModelBytes([]byte(req.Model))
+	spec, findings, err := SpecFromRequest(req, s.cfg.DefaultOptLevel, s.cfg.JobTimeout)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "parsing model: %v", err)
-		return
-	}
-	compiled, err := accmos.Compile(m)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "elaborating model: %v", err)
-		return
-	}
-	findings := lint.Check(compiled)
-	if blocking := lint.Errors(findings); len(blocking) > 0 {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{
-			Error: fmt.Sprintf("model %s failed lint with %d error(s)", m.Name, len(blocking)),
-			Lint:  lintLines(blocking),
-		})
-		return
-	}
-
-	spec := JobSpec{
-		ModelName:  m.Name,
-		Model:      m,
-		Steps:      req.Steps,
-		Budget:     time.Duration(req.BudgetMS) * time.Millisecond,
-		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
-		Coverage:   req.Coverage,
-		Diagnose:   req.Diagnose,
-		OptLevel:   s.cfg.DefaultOptLevel,
-		Seed:       req.Seed,
-		Lo:         req.Lo,
-		Hi:         req.Hi,
-		SweepSeeds: req.SweepSeeds,
-		Heartbeat:  defaultHeartbeat,
-	}
-	if req.Batch != nil {
-		spec.DisableBatch = !*req.Batch
-	}
-	if req.OptLevel != nil {
-		lv, err := accmos.OptLevelFromInt(*req.OptLevel)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "optLevel: %v", err)
+		var adm *AdmissionError
+		if errors.As(err, &adm) && len(adm.Lint) > 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: adm.Msg, Lint: adm.Lint})
 			return
 		}
-		spec.OptLevel = lv
-	}
-	if req.HeartbeatMS > 0 {
-		spec.Heartbeat = time.Duration(req.HeartbeatMS) * time.Millisecond
-	}
-	if cap := s.cfg.JobTimeout; cap > 0 && (spec.Timeout <= 0 || spec.Timeout > cap) {
-		spec.Timeout = cap
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 
 	// Admission control: a draining daemon refuses outright; a full
@@ -546,7 +499,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if sec < 1 {
 			sec = 1
 		}
-		s.cfg.Logger.Warn("submission rejected", "model", m.Name, "queueDepth", s.cfg.QueueDepth)
+		s.cfg.Logger.Warn("submission rejected", "model", spec.ModelName, "queueDepth", s.cfg.QueueDepth)
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:         fmt.Sprintf("queue is full (%d jobs)", s.cfg.QueueDepth),
@@ -575,9 +528,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.metrics.countJob("submitted")
-	s.cfg.Logf("accmosd: job %s queued (%s, depth %d)", j.id, m.Name, depth)
+	s.cfg.Logf("accmosd: job %s queued (%s, depth %d)", j.id, spec.ModelName, depth)
 	s.cfg.Logger.Info("job queued",
-		"corr", j.id, "model", m.Name, "priority", req.Priority, "queueDepth", depth)
+		"corr", j.id, "model", spec.ModelName, "priority", req.Priority, "queueDepth", depth)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, State: JobQueued, QueueDepth: depth})
 }
 
@@ -677,13 +630,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+// Health snapshots the daemon's readiness detail — the same view
+// /healthz serves. The fleet agent embeds it in heartbeats so the
+// coordinator's routing decisions (load-aware spill, eviction) work from
+// live queue depth, running count and the draining flag.
+func (s *Server) Health() HealthView {
 	s.mu.Lock()
-	v := HealthView{Status: "ok", QueueDepth: len(s.queue), Running: s.running}
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
+	defer s.mu.Unlock()
+	v := HealthView{
+		Status:      "ok",
+		QueueDepth:  len(s.queue),
+		Running:     s.running,
+		Draining:    s.draining,
+		Workers:     s.cfg.Workers,
+		QueueCap:    s.cfg.QueueDepth,
+		UptimeNanos: time.Since(s.start).Nanoseconds(),
+	}
+	if s.draining {
 		v.Status = "draining"
+	}
+	return v
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	v := s.Health()
+	if v.Draining {
 		writeJSON(w, http.StatusServiceUnavailable, v)
 		return
 	}
