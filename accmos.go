@@ -208,27 +208,38 @@ const (
 	// OptO1 enables constant folding, common-subexpression elimination
 	// and dead-actor elimination.
 	OptO1
+	// OptO2 additionally lowers the O1 graph to a typed expression IR:
+	// single-consumer arithmetic/logic/compare chains fuse into one
+	// generated Go expression, loop-invariant subtrees hoist out of the
+	// step loop, and signal storage narrows by inferred width. Only the
+	// generated engine changes; the in-process engines run the O1 model.
+	OptO2
 )
 
 // String renders the level the way the -O flag spells it.
 func (l OptLevel) String() string { return l.level().String() }
 
 func (l OptLevel) level() opt.Level {
-	if l == OptO0 {
+	switch l {
+	case OptO0:
 		return opt.O0
+	case OptO2:
+		return opt.O2
 	}
 	return opt.O1
 }
 
-// OptLevelFromInt maps a CLI -O value (0 or 1) to an OptLevel.
+// OptLevelFromInt maps a CLI -O value (0, 1 or 2) to an OptLevel.
 func OptLevelFromInt(n int) (OptLevel, error) {
 	switch n {
 	case 0:
 		return OptO0, nil
 	case 1:
 		return OptO1, nil
+	case 2:
+		return OptO2, nil
 	}
-	return OptDefault, fmt.Errorf("accmos: unsupported opt level -O%d (supported: 0, 1)", n)
+	return OptDefault, fmt.Errorf("accmos: unsupported opt level -O%d (supported: 0, 1, 2)", n)
 }
 
 // OptPassStat records how many sites one optimizer pass rewrote.
@@ -240,6 +251,14 @@ type OptStats struct {
 	ActorsBefore int           `json:"actorsBefore"`
 	ActorsAfter  int           `json:"actorsAfter"`
 	Passes       []OptPassStat `json:"passes,omitempty"`
+	// O2 middle-end counters (zero below O2).
+	FusedExprs      int `json:"fusedExprs,omitempty"`
+	HoistedExprs    int `json:"hoistedExprs,omitempty"`
+	NarrowedSignals int `json:"narrowedSignals,omitempty"`
+	// EffectiveActors is the post-fusion step-loop statement count —
+	// the denominator ns-per-actor-step reporting uses. Equals
+	// ActorsAfter below O2.
+	EffectiveActors int `json:"effectiveActors"`
 }
 
 // Options configures a simulation through the facade.
@@ -538,10 +557,14 @@ func prepare(m *Model, opts *Options) (*opt.Result, *TestCases, error) {
 // optStats renders an opt.Result for the public Result.
 func optStats(opts *Options, or *opt.Result) *OptStats {
 	return &OptStats{
-		Level:        opts.OptLevel.String(),
-		ActorsBefore: or.ActorsBefore,
-		ActorsAfter:  or.ActorsAfter,
-		Passes:       or.Passes,
+		Level:           opts.OptLevel.String(),
+		ActorsBefore:    or.ActorsBefore,
+		ActorsAfter:     or.ActorsAfter,
+		Passes:          or.Passes,
+		FusedExprs:      or.FusedExprs,
+		HoistedExprs:    or.HoistedExprs,
+		NarrowedSignals: or.NarrowedSignals,
+		EffectiveActors: or.EffectiveActors,
 	}
 }
 
@@ -559,6 +582,7 @@ func codegenOptions(opts Options, tcs *TestCases, or *opt.Result) codegen.Option
 		Layout:            or.Layout,
 		Premark:           or.Premark,
 		Opt:               opts.OptLevel.String(),
+		Plan:              or.Plan,
 		DefaultSteps: func() int64 {
 			if opts.Steps > 0 {
 				return opts.Steps

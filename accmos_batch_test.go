@@ -29,15 +29,15 @@ func xorSuite(tcs *accmos.TestCases, xor uint64) *accmos.TestCases {
 // lane-vectorized batch path: a default Sweep (which routes step-bounded
 // suites through the generated batch entry point) must be bit-identical
 // to the per-run executor — and every lane must also match the three
-// interpreted engines replaying the same perturbed suite — at both opt
-// levels. Batching is a pure scheduling change over shared monotone
+// interpreted engines replaying the same perturbed suite — at every opt
+// level. Batching is a pure scheduling change over shared monotone
 // coverage bitmaps; any drift means a lane leaked state into another.
 func TestBatchMatchesSequentialAllEngines(t *testing.T) {
 	m := sweepModel()
 	// Ten seeds with Parallelism 2 split into two batch chunks, so the
 	// chunk partitioning and result reassembly are exercised too.
 	seeds := []uint64{0, 1, 0xDEAD, 0xBEEF, 42, 0xF00D, 7, 0xFEED, 0xA5A5, 3}
-	for _, lvl := range []accmos.OptLevel{accmos.OptO0, accmos.OptO1} {
+	for _, lvl := range []accmos.OptLevel{accmos.OptO0, accmos.OptO1, accmos.OptO2} {
 		t.Run(lvl.String(), func(t *testing.T) {
 			opts := accmos.Options{
 				Steps:       400,

@@ -12,8 +12,8 @@ import (
 // TestServeModeMatchesOneShot is the acceptance gate for the warm worker
 // pool: a sweep executed through serve-mode workers must be bit-identical
 // to the spawn-per-run executor — same output hashes, same coverage
-// bitmaps, same diagnosis aggregates, per run and merged — at both opt
-// levels. The pool is a pure scheduling/amortization change; any drift
+// bitmaps, same diagnosis aggregates, per run and merged — at every opt
+// level. The pool is a pure scheduling/amortization change; any drift
 // here means modelReset failed to restore some piece of generated state
 // between requests.
 func TestServeModeMatchesOneShot(t *testing.T) {
@@ -36,7 +36,7 @@ func TestServeModeMatchesOneShot(t *testing.T) {
 	}
 	seeds := []uint64{0, 1, 0xDEAD, 0xBEEF, 42, 0xF00D}
 	for _, tc := range cases {
-		for _, lvl := range []accmos.OptLevel{accmos.OptO0, accmos.OptO1} {
+		for _, lvl := range []accmos.OptLevel{accmos.OptO0, accmos.OptO1, accmos.OptO2} {
 			t.Run(tc.name+"/"+lvl.String(), func(t *testing.T) {
 				opts := accmos.Options{
 					Steps:       tc.steps,

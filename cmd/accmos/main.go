@@ -44,7 +44,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the raw results as JSON instead of the summary")
 		verify    = flag.Bool("verify", false, "also run the reference interpreter and cross-check outputs")
 		lintOnly  = flag.Bool("lint", false, "run the static model checks and exit")
-		optLevel  = flag.Int("O", 1, "optimization level: 0 = off, 1 = constant folding + CSE + dead-actor elimination")
+		optLevel  = flag.Int("O", 1, "optimization level: 0 = off, 1 = constant folding + CSE + dead-actor elimination, 2 = O1 + expression fusion, invariant hoisting, storage narrowing")
 		sweep     = flag.Int("sweep", 0, "run N random test suites against one compiled binary, merging coverage")
 		parallel  = flag.Int("parallel", 0, "concurrent suite executions for -sweep (0 = GOMAXPROCS, 1 = sequential)")
 		workers   = flag.Int("workers", 0, "warm serve-mode worker processes for -sweep: suites reuse up to N live binaries instead of spawning one process per run (0 = spawn per run)")
@@ -251,9 +251,21 @@ func main() {
 			fmt.Printf("  %s:%d", p.Pass, p.Changed)
 		}
 		fmt.Println()
+		if o.FusedExprs > 0 || o.HoistedExprs > 0 || o.NarrowedSignals > 0 {
+			fmt.Printf("lower:    %d fused, %d hoisted, %d narrowed (%d effective actors)\n",
+				o.FusedExprs, o.HoistedExprs, o.NarrowedSignals, o.EffectiveActors)
+		}
 	}
 	fmt.Printf("steps:    %d\n", res.Steps)
 	fmt.Printf("exec:     %v\n", time.Duration(res.ExecNanos))
+	// Normalize wall time by scheduled work. At O2 the denominator is the
+	// post-fusion statement count (EffectiveActors): fused actors emit no
+	// step-loop statement of their own, so counting them would make O2
+	// look artificially fast per actor.
+	if res.Steps > 0 && res.Opt != nil && res.Opt.EffectiveActors > 0 {
+		fmt.Printf("perf:     %.1f ns/actor-step\n",
+			float64(res.ExecNanos)/float64(res.Steps)/float64(res.Opt.EffectiveActors))
+	}
 	if res.CompileNanos > 0 {
 		fmt.Printf("compile:  %v\n", time.Duration(res.CompileNanos))
 	}

@@ -2,7 +2,7 @@
 //
 //	experiments -run table2     # Table 2: simulation time, 4 engines x 10 models
 //	experiments -run table3     # Table 3: coverage within equal budgets
-//	experiments -run opt        # optimizing middle-end: O0 vs O1 on all engines
+//	experiments -run opt        # optimizing middle-end: O0 vs O1 vs O2 on all engines
 //	experiments -run serve      # worker pool: spawn-per-run vs warm serve-mode workers
 //	experiments -run batch      # batched lanes: per-run serve frames vs one batch request
 //	experiments -run fleet      # fleet scaling: 1 vs 2 vs 4 runners behind a coordinator

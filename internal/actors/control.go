@@ -550,3 +550,14 @@ func registerQuantizer() {
 		},
 	})
 }
+
+// SaturationBounds exposes a prepared Saturation actor's [lo, hi] clamp
+// values for analysis passes (the O2 width-inference facts). ok is false
+// when the info is not an elaborated Saturation.
+func SaturationBounds(in *Info) (lo, hi types.Value, ok bool) {
+	a, isSat := in.Aux.(satAux)
+	if !isSat {
+		return types.Value{}, types.Value{}, false
+	}
+	return a.lo, a.hi, true
+}

@@ -22,8 +22,11 @@ import (
 // Saturation, Sign, MinMax), so the passes also fire when the equivalence
 // harness runs them with coverage and diagnosis instrumentation on.
 
-// OptNames returns the optimizer benchmark shapes in suite order.
-func OptNames() []string { return []string{"OPTC", "OPTD", "OPTI"} }
+// OptNames returns the optimizer benchmark shapes in suite order: the
+// O1-sensitive trio followed by the O2-sensitive quartet (opt2shapes.go).
+func OptNames() []string {
+	return append([]string{"OPTC", "OPTD", "OPTI"}, Opt2Names()...)
+}
 
 // OptDescription returns the one-line functionality string of an
 // optimizer benchmark shape.
@@ -36,7 +39,7 @@ func OptDescription(name string) string {
 	case "OPTI":
 		return "Unreachable island beside a live chain (dead-actor elimination)"
 	}
-	return ""
+	return opt2Description(name)
 }
 
 // BuildOpt constructs the named optimizer benchmark shape.
@@ -48,6 +51,9 @@ func BuildOpt(name string) (*model.Model, error) {
 		return OptDupBranches(), nil
 	case "OPTI":
 		return OptDeadIsland(), nil
+	}
+	if m := buildOpt2(name); m != nil {
+		return m, nil
 	}
 	return nil, fmt.Errorf("benchmodels: unknown opt shape %q (have %v)", name, OptNames())
 }

@@ -112,6 +112,7 @@ func runAtLevel(t *testing.T, c *actors.Compiled, set *testcase.Set, steps int64
 	p, err := codegen.Generate(or.Compiled, codegen.Options{
 		Coverage: true, Diagnose: true, TestCases: set,
 		Layout: or.Layout, Premark: or.Premark, Opt: level.String(),
+		Plan: or.Plan,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,6 +150,45 @@ func runAtLevel(t *testing.T, c *actors.Compiled, set *testcase.Set, steps int64
 	return ir, gr
 }
 
+// runPlainAtLevel is runAtLevel without coverage or diagnosis — the
+// configuration where O2 fusion fires on every eligible chain instead of
+// declining behind instrumentation, so it is the strongest oracle for
+// fused-expression arithmetic. Returns the generated program's results
+// after checking all in-process engines agree.
+func runPlainAtLevel(t *testing.T, c *actors.Compiled, set *testcase.Set, steps int64, level opt.Level) *simresult.Results {
+	t.Helper()
+	or, err := opt.Optimize(c, opt.Options{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level >= opt.O2 && or.FusedExprs == 0 && or.ActorsAfter > 10 {
+		t.Logf("warning: O2 fused nothing on a %d-actor model", or.ActorsAfter)
+	}
+	e, err := interp.New(or.Compiled, interp.Options{Layout: or.Layout, Premark: or.Premark})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := e.Run(set, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Generate(or.Compiled, codegen.Options{
+		TestCases: set, Layout: or.Layout, Premark: or.Premark,
+		Opt: level.String(), Plan: or.Plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := harness.BuildAndRun(p, t.TempDir(), harness.RunOptions{Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.OutputHash != ir.OutputHash {
+		t.Errorf("generated hash %x != SSE %x at %s (plain)", gr.OutputHash, ir.OutputHash, level)
+	}
+	return gr
+}
+
 // TestOptShapeEquivalence runs the optimizer benchmark shapes — the
 // models built to maximize what each pass removes — through the same
 // four-engine, two-level oracle as the random trials.
@@ -168,10 +208,13 @@ func TestOptShapeEquivalence(t *testing.T) {
 			const steps = 1500
 			i0, g0 := runAtLevel(t, c, set, steps, opt.O0)
 			i1, g1 := runAtLevel(t, c, set, steps, opt.O1)
+			i2, g2 := runAtLevel(t, c, set, steps, opt.O2)
 			assertEquivalent(t, i0, g0)
 			assertEquivalent(t, i1, g1)
+			assertEquivalent(t, i2, g2)
 			assertEquivalent(t, i0, i1)
 			assertEquivalent(t, g0, g1)
+			assertEquivalent(t, g0, g2) // fused step loop matches O0 bit for bit
 		})
 	}
 }
@@ -216,10 +259,21 @@ func TestRandomModelOptEquivalence(t *testing.T) {
 
 			i0, g0 := runAtLevel(t, c, set, steps, opt.O0)
 			i1, g1 := runAtLevel(t, c, set, steps, opt.O1)
+			i2, g2 := runAtLevel(t, c, set, steps, opt.O2)
 			assertEquivalent(t, i0, g0) // engines agree at O0
 			assertEquivalent(t, i1, g1) // engines agree at O1
+			assertEquivalent(t, i2, g2) // engines agree at O2
 			assertEquivalent(t, i0, i1) // levels agree on the interpreter
 			assertEquivalent(t, g0, g1) // levels agree on the generated program
+			assertEquivalent(t, g0, g2) // fused/hoisted/narrowed codegen matches O0
+
+			// Without instrumentation nothing declines fusion, so this
+			// pair is the strong oracle for the fused step loop.
+			p0 := runPlainAtLevel(t, c, set, steps, opt.O0)
+			p2 := runPlainAtLevel(t, c, set, steps, opt.O2)
+			if p0.OutputHash != p2.OutputHash {
+				t.Errorf("plain O2 hash %x != plain O0 %x", p2.OutputHash, p0.OutputHash)
+			}
 		})
 	}
 }

@@ -1,0 +1,171 @@
+package codegen_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/codegen"
+	"accmos/internal/model"
+	"accmos/internal/opt"
+	"accmos/internal/testcase"
+	"accmos/internal/types"
+)
+
+// goldenChainModel isolates expression fusion: a single-consumer
+// Gain→Bias→Abs chain that O2 collapses into one root assignment.
+func goldenChainModel() *model.Model {
+	b := model.NewBuilder("GoldChain")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "2.5"))
+	b.Connect("In1", 0, "G", 0)
+	b.Add("B", "Bias", 1, 1, model.WithParam("Bias", "-1"))
+	b.Connect("G", 0, "B", 0)
+	b.Add("A", "Abs", 1, 1)
+	b.Connect("B", 0, "A", 0)
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("A", 0, "Out1", 0)
+	return b.MustBuild()
+}
+
+// goldenHoistModel isolates invariant hoisting: a constant sqrt chain
+// beside a data store (which keeps O1's folding passes off), evaluated at
+// plan time and emitted as one hoisted global.
+func goldenHoistModel() *model.Model {
+	b := model.NewBuilder("GoldHoist")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("K", "Constant", 0, 1, model.WithParam("Value", "2"))
+	b.Add("R", "Sqrt", 1, 1, model.WithOperator("sqrt"))
+	b.Connect("K", 0, "R", 0)
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "3"))
+	b.Connect("R", 0, "G", 0)
+	b.Add("Mix", "Sum", 2, 1, model.WithOperator("++"))
+	b.Connect("In1", 0, "Mix", 0)
+	b.Connect("G", 0, "Mix", 1)
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("Mix", 0, "Out1", 0)
+	b.Add("Store", "DataStoreMemory", 0, 0, model.WithParam("Store", "acc"),
+		model.WithParam("OutDataType", "double"), model.WithParam("InitialValue", "0"))
+	b.Add("Wr", "DataStoreWrite", 1, 0, model.WithParam("Store", "acc"))
+	b.Connect("In1", 0, "Wr", 0)
+	b.Add("Rd", "DataStoreRead", 0, 1, model.WithParam("Store", "acc"),
+		model.WithParam("OutDataType", "double"))
+	b.Add("Out2", "Outport", 1, 0, model.WithParam("Port", "2"))
+	b.Connect("Rd", 0, "Out2", 0)
+	return b.MustBuild()
+}
+
+// goldenNarrowModel isolates storage narrowing: saturation-bounded int32
+// biases with two consumers each, so they materialize as roots whose
+// intervals fit int8 storage, while their single-consumer Sum layer fuses
+// into the final assignment.
+func goldenNarrowModel() *model.Model {
+	b := model.NewBuilder("GoldNarrow")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1"))
+	b.Add("S", "Saturation", 1, 1, model.WithParam("Min", "0"), model.WithParam("Max", "50"))
+	b.Connect("In1", 0, "S", 0)
+	b.Add("C0", "Bias", 1, 1, model.WithParam("Bias", "1"))
+	b.Connect("S", 0, "C0", 0)
+	b.Add("C1", "Bias", 1, 1, model.WithParam("Bias", "2"))
+	b.Connect("S", 0, "C1", 0)
+	b.Add("L0", "Sum", 2, 1, model.WithOperator("++"))
+	b.Connect("C0", 0, "L0", 0)
+	b.Connect("C1", 0, "L0", 1)
+	b.Add("L1", "Sum", 2, 1, model.WithOperator("+-"))
+	b.Connect("C1", 0, "L1", 0)
+	b.Connect("C0", 0, "L1", 1)
+	b.Add("T", "Sum", 2, 1, model.WithOperator("++"))
+	b.Connect("L0", 0, "T", 0)
+	b.Connect("L1", 0, "T", 1)
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("T", 0, "Out1", 0)
+	return b.MustBuild()
+}
+
+// stepBody slices the parts of the generated source the O2 middle-end
+// shapes: the hoisted invariant globals and the modelExe body down to the
+// end-of-step marker. Everything else (main, harness plumbing, test-case
+// constants) is covered by the equivalence suites and would only churn
+// the goldens.
+func stepBody(t *testing.T, src string) string {
+	t.Helper()
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "var hx") {
+			out = append(out, line)
+		}
+	}
+	start := strings.Index(src, "func modelExe(")
+	if start < 0 {
+		t.Fatal("generated source has no modelExe")
+	}
+	end := strings.Index(src[start:], "\t// end-of-step state updates")
+	if end < 0 {
+		t.Fatal("generated source has no end-of-step marker")
+	}
+	out = append(out, strings.Split(strings.TrimRight(src[start:start+end], "\n"), "\n")...)
+	return strings.Join(out, "\n") + "\n"
+}
+
+// TestGeneratedO2Golden pins the emitted fused step loop for the three
+// O2 transformations — chain fusion, invariant hoisting and width
+// narrowing — against testdata/*.golden. The equivalence suites prove
+// the code is correct; this test proves it stays the code we intend
+// (fused actors emit no statement, hoists become hxN globals, narrowed
+// roots store their narrow kind). Run with UPDATE_GOLDEN=1 to regenerate
+// after an intentional emission change.
+func TestGeneratedO2Golden(t *testing.T) {
+	cases := []struct {
+		name  string
+		model *model.Model
+	}{
+		{"chain_fusion", goldenChainModel()},
+		{"invariant_hoist", goldenHoistModel()},
+		{"width_narrowing", goldenNarrowModel()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := actors.Compile(tc.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			or, err := opt.Optimize(c, opt.Options{Level: opt.O2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if or.FusedExprs == 0 {
+				t.Fatalf("%s: O2 fused nothing — the golden would not exercise the middle end", tc.name)
+			}
+			set := testcase.NewRandomSet(len(c.Inports), 7, -100, 100)
+			prog, err := codegen.Generate(or.Compiled, codegen.Options{
+				TestCases: set, Opt: "O2",
+				Layout: or.Layout, Premark: or.Premark, Plan: or.Plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := stepBody(t, prog.Source)
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("emitted step loop drifted from %s\n--- got ---\n%s--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"accmos/internal/actors"
 	"accmos/internal/diagnose"
+	"accmos/internal/opt/irplan"
 	"accmos/internal/types"
 )
 
@@ -27,6 +28,16 @@ func (g *Generator) instrumentActors() error {
 }
 
 func (g *Generator) instrumentActor(info *actors.Info) error {
+	// O2: actors the plan fused or materialized as fused expressions
+	// bypass the template path entirely.
+	if p := g.opts.Plan; p != nil {
+		if p.Inlined[info.Actor.Name] {
+			return g.instrumentFused(info)
+		}
+		if root := p.Roots[info.Actor.Name]; root != nil {
+			return g.instrumentRoot(info, root)
+		}
+	}
 	// Declare output variables. Declarations stay outside any enable
 	// gate: a disabled actor's outputs are the type's zero values.
 	for p := range info.Actor.Outputs {
@@ -109,6 +120,57 @@ func (g *Generator) instrumentActor(info *actors.Info) error {
 		g.body.WriteString("\t}\n")
 	}
 	g.gateCond = prevGate
+	return nil
+}
+
+// instrumentFused emits an actor whose expression the O2 planner inlined
+// into its single consumer: no variable, no statement — only the actor
+// coverage mark at the actor's own schedule position, so the bitmap's
+// end-of-step state is identical to an O0 run (the bit is monotone and
+// the fused consumer evaluates the same expression later this step).
+func (g *Generator) instrumentFused(info *actors.Info) error {
+	fmt.Fprintf(g.body, "\t// -- %s (%s %s) [fused into consumer]\n",
+		info.Path, info.Actor.Type, info.Operator)
+	if g.opts.Coverage {
+		fmt.Fprintf(g.body, "\tactorBitmap[%d] = 1\n", g.layout.ActorIndex[info.Actor.Name])
+	}
+	return nil
+}
+
+// instrumentRoot emits a materialized O2 root: one variable declared in
+// the (possibly narrowed) storage kind, assigned from the fused
+// expression, followed by the same actor-coverage / monitor / custom
+// instrumentation the template path would attach. Lowered actors are
+// never gated and never carry diagnosis rules or decision coverage, so
+// those hooks cannot apply here.
+func (g *Generator) instrumentRoot(info *actors.Info, root *irplan.Root) error {
+	name := g.varName(info, 0)
+	g.outVar[info.Actor.Name] = append(g.outVar[info.Actor.Name], name)
+	fmt.Fprintf(g.body, "\tvar %s %s\n", name, actors.GoVarType(root.Store, root.Width))
+
+	tag := "fused expr"
+	if root.Store != root.Kind {
+		tag = fmt.Sprintf("fused expr, %s stored as %s", root.Kind, root.Store)
+	}
+	fmt.Fprintf(g.body, "\t// -- %s (%s %s) [%s]\n", info.Path, info.Actor.Type, info.Operator, tag)
+	for _, line := range g.emitter.RootAssign(root) {
+		g.body.WriteString("\t" + line + "\n")
+	}
+
+	if g.opts.Coverage {
+		fmt.Fprintf(g.body, "\tactorBitmap[%d] = 1\n", g.layout.ActorIndex[info.Actor.Name])
+	}
+	for slot, mon := range g.monSlots {
+		if mon == info.Actor.Name {
+			g.emitMonitorCall(info, slot)
+		}
+	}
+	for ci := range g.opts.Custom {
+		chk := &g.opts.Custom[ci]
+		if chk.Actor == info.Actor.Name {
+			g.emitCustomCheck(info, chk)
+		}
+	}
 	return nil
 }
 

@@ -19,6 +19,8 @@ import (
 	"accmos/internal/coverage"
 	"accmos/internal/diagnose"
 	"accmos/internal/obs"
+	"accmos/internal/opt/iremit"
+	"accmos/internal/opt/irplan"
 	"accmos/internal/testcase"
 	"accmos/internal/types"
 )
@@ -64,6 +66,10 @@ type Options struct {
 	// "O1"). It feeds Program.Hash so distinct levels never collide in
 	// the build cache, even when they happen to emit identical source.
 	Opt string
+	// Plan carries the O2 middle-end's fusion/hoist/narrow decisions
+	// (nil below O2). Actors the plan inlined emit no statement; planned
+	// roots emit one fused assignment in their storage kind.
+	Plan *irplan.Plan
 }
 
 func (o *Options) fillDefaults() {
@@ -83,8 +89,8 @@ type Program struct {
 	Source string
 	Model  string
 	Layout *coverage.Layout
-	// Opt is the optimization level label ("O0", "O1"; "" for direct
-	// Generate calls that bypass the optimizer).
+	// Opt is the optimization level label ("O0", "O1", "O2"; "" for
+	// direct Generate calls that bypass the optimizer).
 	Opt string
 }
 
@@ -163,6 +169,9 @@ type Generator struct {
 
 	body      *strings.Builder
 	diagFuncs strings.Builder
+
+	// emitter renders O2 fused expressions (nil plan → unused).
+	emitter *iremit.Emitter
 }
 
 // Generate produces the instrumented simulation program for a compiled
@@ -212,6 +221,10 @@ func Generate(c *actors.Compiled, opts Options) (*Program, error) {
 		diagSlots:   make(map[string]int),
 		rules:       make(map[string][]diagnose.Kind),
 	}
+	g.emitter = &iremit.Emitter{
+		VarName: func(index, port int) string { return fmt.Sprintf("v%d_%d", index, port) },
+		Plan:    opts.Plan,
+	}
 	ins := opts.Trace.Start("instrument")
 	if err := g.prepare(); err != nil {
 		ins.End()
@@ -220,6 +233,9 @@ func Generate(c *actors.Compiled, opts Options) (*Program, error) {
 	if err := g.instrumentActors(); err != nil {
 		ins.End()
 		return nil, err
+	}
+	if g.emitter.NeedMath {
+		g.Import("math")
 	}
 	ins.End()
 	gen := opts.Trace.Start("generate")
@@ -296,6 +312,20 @@ func (g *Generator) prepare() error {
 		}
 		g.monSlots = append(g.monSlots, name)
 		g.monPaths = append(g.monPaths, info.Path)
+	}
+	// O2 hoisted loop invariants: one global per folded subtree, assigned
+	// its pre-computed value in modelInit. Being stateVars they round-trip
+	// through modelReset (zeroed, then reassigned by the init replay) and
+	// the batch lane save/restore — both are value-preserving.
+	if p := g.opts.Plan; p != nil {
+		for _, h := range p.Hoisted {
+			g.Global(fmt.Sprintf("var %s %s", h.Name, h.Val.Kind.GoType()))
+			lit := h.Val.GoLiteral()
+			if strings.Contains(lit, "math.") {
+				g.Import("math")
+			}
+			g.inits = append(g.inits, fmt.Sprintf("%s = %s", h.Name, lit))
+		}
 	}
 	return nil
 }

@@ -72,21 +72,38 @@ func FormatTable3(w io.Writer, rows []Table3Row) {
 	}
 }
 
-// FormatOpt prints the optimizer benchmark: O0-vs-O1 wall clock per
-// (shape, engine) with the actor reduction and the equivalence verdict.
+// FormatOpt prints the optimizer benchmark: O0/O1/O2 wall clock per
+// (shape, engine) with the actor reduction, the O2 fusion report, the
+// equivalence verdict and the aggregate O2 gate row.
 func FormatOpt(w io.Writer, rows []OptRow) {
-	fmt.Fprintln(w, "Optimizing middle-end: O0 vs O1 wall clock (uninstrumented timing runs)")
-	fmt.Fprintf(w, "%-6s %-7s %10s | %10s %10s %8s | %10s %10s | %s\n",
-		"Model", "Engine", "actors", "O0", "O1", "speedup", "ns/a-st O0", "ns/a-st O1", "oracle")
+	fmt.Fprintln(w, "Optimizing middle-end: O0 vs O1 vs O2 wall clock (uninstrumented timing runs)")
+	fmt.Fprintf(w, "%-6s %-7s %10s | %10s %10s %10s | %7s %7s | %9s %9s %9s | %s\n",
+		"Model", "Engine", "actors", "O0", "O1", "O2", "O0/O1", "O1/O2",
+		"ns/a O0", "ns/a O1", "ns/a O2", "oracle")
+	perModel := make(map[string]bool)
 	for _, r := range rows {
 		ok := "match"
 		if !r.EquivOK {
 			ok = "MISMATCH"
 		}
-		fmt.Fprintf(w, "%-6s %-7s %4d->%-4d | %10s %10s %7.1fx | %10.1f %10.1f | %s\n",
+		if r.Model == "TOTAL" {
+			bar := "BELOW BAR"
+			if r.SpeedupOK {
+				bar = "ok (geomean >= 1.3x over O2-sensitive shapes, all oracles match)"
+			}
+			fmt.Fprintf(w, "%-6s %-7s %10s | %10s %10s %10s | %7s %6.2fx | %s\n",
+				"total", r.Engine, "", "", "", "", "", r.SpeedupO2, bar)
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %-7s %4d->%-4d | %10s %10s %10s | %6.1fx %6.1fx | %9.1f %9.1f %9.1f | %s\n",
 			r.Model, r.Engine, r.ActorsBefore, r.ActorsAfter,
-			fmtDur(r.O0), fmtDur(r.O1), r.Speedup,
-			r.NsPerActorStepO0, r.NsPerActorStepO1, ok)
+			fmtDur(r.O0), fmtDur(r.O1), fmtDur(r.O2), r.Speedup, r.SpeedupO2,
+			r.NsPerActorStepO0, r.NsPerActorStepO1, r.NsPerActorStepO2, ok)
+		if !perModel[r.Model] {
+			perModel[r.Model] = true
+			fmt.Fprintf(w, "%-6s   lower: %d fused, %d hoisted, %d narrowed -> %d effective actors\n",
+				"", r.FusedExprs, r.HoistedExprs, r.NarrowedSignals, r.ActorsEffective)
+		}
 	}
 }
 

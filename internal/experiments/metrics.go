@@ -36,11 +36,17 @@ type MetricRow struct {
 	CacheHit bool `json:"cacheHit,omitempty"`
 	// Optimizer fields, set on "opt" experiment rows: the level this row
 	// ran at, the scheduled actor counts around the O1 pipeline, and wall
-	// time normalized per actor evaluation at this row's level.
-	OptLevel       string  `json:"optLevel,omitempty"`
-	ActorsBefore   int     `json:"actorsBefore,omitempty"`
-	ActorsAfter    int     `json:"actorsAfter,omitempty"`
-	NsPerActorStep float64 `json:"nsPerActorStep,omitempty"`
+	// time normalized per actor evaluation at this row's level (the O2
+	// denominator is the post-fusion ActorsEffective). O2 rows also carry
+	// the typed-lowering fusion report.
+	OptLevel        string  `json:"optLevel,omitempty"`
+	ActorsBefore    int     `json:"actorsBefore,omitempty"`
+	ActorsAfter     int     `json:"actorsAfter,omitempty"`
+	ActorsEffective int     `json:"actorsEffective,omitempty"`
+	FusedExprs      int     `json:"fusedExprs,omitempty"`
+	HoistedExprs    int     `json:"hoistedExprs,omitempty"`
+	NarrowedSignals int     `json:"narrowedSignals,omitempty"`
+	NsPerActorStep  float64 `json:"nsPerActorStep,omitempty"`
 	// Worker-pool fields, set on "serve" experiment rows: the execution
 	// mode ("spawn" | "pooled"), the sweep width, the pool's process
 	// counters, and — on pooled rows — the spawn-over-pooled speedup with
@@ -147,11 +153,21 @@ func (m *Metrics) AddTable3(rows []Table3Row) {
 	}
 }
 
-// AddOpt appends two rows per (model, engine) from the optimizer
-// benchmark: one at each level, sharing the model's equivalence verdict.
+// AddOpt appends three rows per (model, engine) from the optimizer
+// benchmark — one at each level, sharing the model's equivalence verdict,
+// with the O2 rows carrying the fusion report — plus the one aggregate
+// TOTAL gate row (geomean AccMoS O1→O2 speedup with its pass verdict).
 func (m *Metrics) AddOpt(rows []OptRow) {
 	for _, r := range rows {
 		ok := r.EquivOK
+		if r.Model == "TOTAL" {
+			m.Rows = append(m.Rows, MetricRow{
+				Experiment: "opt", Model: r.Model, Engine: r.Engine,
+				HashOK: &ok, OptLevel: "O2",
+				Speedup: r.SpeedupO2, SpeedupOK: r.SpeedupOK,
+			})
+			continue
+		}
 		m.Rows = append(m.Rows,
 			MetricRow{
 				Experiment: "opt", Model: r.Model, Engine: r.Engine,
@@ -170,6 +186,20 @@ func (m *Metrics) AddOpt(rows []OptRow) {
 				HashOK:       &ok, OptLevel: "O1",
 				ActorsBefore: r.ActorsBefore, ActorsAfter: r.ActorsAfter,
 				NsPerActorStep: r.NsPerActorStepO1,
+			},
+			MetricRow{
+				Experiment: "opt", Model: r.Model, Engine: r.Engine,
+				Steps: r.Steps, WallNanos: r.O2.Nanoseconds(),
+				StepsPerSec:  stepsPerSec(r.Steps, r.O2),
+				CompileNanos: r.CompileO2.Nanoseconds(),
+				HashOK:       &ok, OptLevel: "O2",
+				ActorsBefore: r.ActorsBefore, ActorsAfter: r.ActorsAfter,
+				ActorsEffective: r.ActorsEffective,
+				FusedExprs:      r.FusedExprs,
+				HoistedExprs:    r.HoistedExprs,
+				NarrowedSignals: r.NarrowedSignals,
+				NsPerActorStep:  r.NsPerActorStepO2,
+				Speedup:         r.SpeedupO2,
 			})
 	}
 }

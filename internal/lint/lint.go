@@ -15,6 +15,8 @@ import (
 	"accmos/internal/actors"
 	"accmos/internal/diagnose"
 	"accmos/internal/opt"
+	"accmos/internal/opt/ir"
+	"accmos/internal/opt/irplan"
 )
 
 // Severity ranks a finding.
@@ -50,7 +52,12 @@ const (
 	RuleDegenerateSaturation = "DegenerateSaturation"
 	RuleCoupledConditions    = "CoupledConditions"
 	RuleConstantEnable       = "ConstantEnable"
+	RuleNoFusion             = "NoFusion"
 )
+
+// NoFusionMinActors gates the NoFusion rule: below this actor count the
+// absence of fusable chains is expected, not a modeling smell.
+const NoFusionMinActors = 20
 
 // Finding is one static diagnosis.
 type Finding struct {
@@ -193,6 +200,23 @@ func Check(c *actors.Compiled) []Finding {
 				add(Warning, RuleConstantEnable, info, "enable signal is the constant %q: the actor is permanently %s",
 					drv.Actor.Param("Value", "0"), enabledWord(drv.Actor.Param("Value", "0")))
 			}
+		}
+	}
+
+	// Rule: O2 fusion rate zero on a non-trivial model. The typed-lowering
+	// plan is rebuilt here with instrumentation off — the configuration a
+	// perf-sensitive sweep uses — so the finding predicts exactly what
+	// -O2 would do. Informational: heavy state, gating or multi-consumer
+	// fan-out can be legitimate, but on a large model it usually means the
+	// arithmetic is shaped so the middle end cannot help.
+	if len(c.Order) >= NoFusionMinActors {
+		plan := irplan.Build(ir.Analyze(c, ir.Config{}))
+		if plan.Stats.FusedExprs == 0 {
+			out = append(out, Finding{
+				Severity: Info, Rule: RuleNoFusion, Actor: c.Model.Name,
+				Message: fmt.Sprintf("no actor fuses at -O2 (%d actors, %d lowerable): every chain is broken by state, gating or multi-consumer fan-out",
+					len(c.Order), plan.Stats.LoweredActors),
+			})
 		}
 	}
 

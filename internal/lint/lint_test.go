@@ -207,3 +207,60 @@ func TestLintErrorsSortFirst(t *testing.T) {
 		}
 	}
 }
+
+func TestLintNoFusion(t *testing.T) {
+	// A long chain of opaque actors (Sign never lowers) on a model past
+	// the size gate: the O2 plan fuses nothing, so the informational
+	// finding fires once, attached to the model name.
+	b := model.NewBuilder("NF")
+	b.Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	prev := "In"
+	for i := 0; i < NoFusionMinActors; i++ {
+		n := "S" + string(rune('A'+i))
+		b.Add(n, "Sign", 1, 1)
+		b.Connect(prev, 0, n, 0)
+		prev = n
+	}
+	b.Add("Out", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect(prev, 0, "Out", 0)
+	fs := check(t, b.MustBuild())
+	var hits int
+	for _, f := range fs {
+		if f.Rule == RuleNoFusion {
+			hits++
+			if f.Severity != Info {
+				t.Errorf("NoFusion severity = %s, want info", f.Severity)
+			}
+			if f.Actor != "NF" {
+				t.Errorf("NoFusion actor = %q, want the model name", f.Actor)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("NoFusion findings = %d, want 1: %v", hits, fs)
+	}
+
+	// A fusion-heavy benchmark shape must stay clean.
+	c, err := actors.Compile(benchmodels.MustBuildOpt("OPTF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Check(c) {
+		if f.Rule == RuleNoFusion {
+			t.Fatalf("OPTF flagged NoFusion despite fusing: %v", f)
+		}
+	}
+
+	// Below the size gate the rule stays silent even with zero fusion.
+	small := model.NewBuilder("NFS").
+		Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1")).
+		Add("S", "Sign", 1, 1).
+		Add("Out", "Outport", 1, 0, model.WithParam("Port", "1")).
+		Chain("In", "S", "Out").
+		MustBuild()
+	for _, f := range check(t, small) {
+		if f.Rule == RuleNoFusion {
+			t.Fatalf("small model flagged NoFusion below the size gate: %v", f)
+		}
+	}
+}

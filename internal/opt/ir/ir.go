@@ -1,0 +1,240 @@
+// Package ir defines the typed expression IR the O2 middle-end lowers
+// eligible actors into, plus the analyzer that performs the lowering.
+//
+// The O2 pipeline is staged like a small compiler (following the
+// analyzer → planner → emitter split):
+//
+//   - ir (this package) lowers each eligible actor of the O1-optimized
+//     graph into a per-actor expression tree whose leaves are Refs to the
+//     actor's input signals, and records the use graph plus value facts.
+//   - irplan decides which producers get inlined into their single
+//     consumer, folds and hoists loop-invariant subtrees, and narrows
+//     signal storage by inferred value range.
+//   - iremit renders planned trees back into Go expressions that are
+//     operation-for-operation equivalent to the per-actor templates in
+//     internal/actors, so O0 and O2 runs stay bit-identical.
+//
+// Only the code generator consumes the result; the in-process engines
+// (interpreter, accelerated, rapid) execute the same actors.Compiled at
+// O2 as at O1, which is exactly what makes the four-engine equivalence
+// oracle meaningful.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"accmos/internal/types"
+)
+
+// Expr is one node of the typed expression IR. Every node knows its
+// result kind; widths live on Refs (all lowered operations are
+// elementwise, so a tree's width is its root actor's output width and
+// scalar leaves broadcast).
+type Expr interface {
+	Kind() types.Kind
+	String() string
+}
+
+// Ref reads a materialized signal: output port Port of the actor with
+// the given schedule index. K and W are the producer's output kind and
+// width as seen by the consumer.
+type Ref struct {
+	Actor string
+	Index int
+	Port  int
+	K     types.Kind
+	W     int
+}
+
+// Lit is a scalar compile-time constant.
+type Lit struct {
+	Val types.Value
+}
+
+// HoistRef reads a loop-invariant global the planner hoisted out of the
+// step loop. The analyzer never produces these; they appear after
+// irplan's fold/hoist stage.
+type HoistRef struct {
+	Name string
+	K    types.Kind
+}
+
+// Bin is a binary operation in kind K with the generated templates'
+// rounding discipline (float32 operations run through float64 and round
+// once). Op is a Go operator: "+", "-", "*", "/" for arithmetic and
+// "&", "|", "^" for integer bitwise combination.
+type Bin struct {
+	Op   string
+	K    types.Kind
+	A, B Expr
+}
+
+// Call is a float64 → float64 math unary ("exp", "tanh", "abs",
+// "floor", ...). The operand must already be F64; the result is F64 and
+// callers wrap it in a Cast back to the actor's kind, mirroring
+// genMathUnary.
+type Call struct {
+	Op string
+	X  Expr
+}
+
+// Mod2 is float64 math.Mod over two operands of the actor's float kind
+// (the emitter widens each to float64, matching the Mod template). The
+// result is F64.
+type Mod2 struct {
+	A, B Expr
+}
+
+// Cast converts between kinds with actors.Cast semantics (int → float
+// via float64, float → int via cvtF2I/cvtF2U, bool bridging via b2i).
+type Cast struct {
+	From, To types.Kind
+	X        Expr
+}
+
+// Cmp is a relational comparison in the promoted kind K producing Bool.
+// Op is the model-level operator ("==", "~=", "<", "<=", ">", ">=");
+// the emitter maps "~=" to "!=" and routes Bool order comparisons
+// through b2i, exactly like the Relational templates.
+type Cmp struct {
+	Op   string
+	K    types.Kind
+	A, B Expr
+}
+
+// Logic is a boolean combination ("AND", "OR", "NAND", "NOR", "XOR",
+// "NXOR", "NOT") over Bool operands.
+type Logic struct {
+	Op   string
+	Args []Expr
+}
+
+// BNot is integer bitwise complement in kind K.
+type BNot struct {
+	K types.Kind
+	X Expr
+}
+
+// Shift shifts by a constant bit count in kind K. Op is "left" or
+// "right".
+type Shift struct {
+	Op string
+	N  int64
+	K  types.Kind
+	X  Expr
+}
+
+func (r *Ref) Kind() types.Kind      { return r.K }
+func (l *Lit) Kind() types.Kind      { return l.Val.Kind }
+func (h *HoistRef) Kind() types.Kind { return h.K }
+func (b *Bin) Kind() types.Kind      { return b.K }
+func (c *Call) Kind() types.Kind     { return types.F64 }
+func (m *Mod2) Kind() types.Kind     { return types.F64 }
+func (c *Cast) Kind() types.Kind     { return c.To }
+func (c *Cmp) Kind() types.Kind      { return types.Bool }
+func (l *Logic) Kind() types.Kind    { return types.Bool }
+func (b *BNot) Kind() types.Kind     { return b.K }
+func (s *Shift) Kind() types.Kind    { return s.K }
+
+func (r *Ref) String() string      { return fmt.Sprintf("ref(%s:%d)", r.Actor, r.Port) }
+func (l *Lit) String() string      { return "lit(" + l.Val.String() + ")" }
+func (h *HoistRef) String() string { return "hoist(" + h.Name + ")" }
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s):%s", b.A, b.Op, b.B, b.K)
+}
+func (c *Call) String() string { return fmt.Sprintf("%s(%s)", c.Op, c.X) }
+func (m *Mod2) String() string { return fmt.Sprintf("mod(%s, %s)", m.A, m.B) }
+func (c *Cast) String() string { return fmt.Sprintf("cast[%s->%s](%s)", c.From, c.To, c.X) }
+func (c *Cmp) String() string  { return fmt.Sprintf("(%s %s %s):%s", c.A, c.Op, c.B, c.K) }
+func (l *Logic) String() string {
+	parts := make([]string, len(l.Args))
+	for i, a := range l.Args {
+		parts[i] = a.String()
+	}
+	return l.Op + "(" + strings.Join(parts, ", ") + ")"
+}
+func (b *BNot) String() string  { return fmt.Sprintf("bnot(%s)", b.X) }
+func (s *Shift) String() string { return fmt.Sprintf("shift[%s %d](%s)", s.Op, s.N, s.X) }
+
+// IsLeaf reports whether e is free to duplicate or broadcast: reading it
+// costs one load (or nothing), so inlining it never re-evaluates work.
+func IsLeaf(e Expr) bool {
+	switch e.(type) {
+	case *Ref, *Lit, *HoistRef:
+		return true
+	}
+	return false
+}
+
+// Walk calls fn for e and every subexpression.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch n := e.(type) {
+	case *Bin:
+		Walk(n.A, fn)
+		Walk(n.B, fn)
+	case *Call:
+		Walk(n.X, fn)
+	case *Mod2:
+		Walk(n.A, fn)
+		Walk(n.B, fn)
+	case *Cast:
+		Walk(n.X, fn)
+	case *Cmp:
+		Walk(n.A, fn)
+		Walk(n.B, fn)
+	case *Logic:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *BNot:
+		Walk(n.X, fn)
+	case *Shift:
+		Walk(n.X, fn)
+	}
+}
+
+// Rewrite returns a copy of e with fn applied bottom-up: children are
+// rewritten first, then fn maps the rebuilt node. fn returning its
+// argument means "keep".
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	switch n := e.(type) {
+	case *Bin:
+		e = &Bin{Op: n.Op, K: n.K, A: Rewrite(n.A, fn), B: Rewrite(n.B, fn)}
+	case *Call:
+		e = &Call{Op: n.Op, X: Rewrite(n.X, fn)}
+	case *Mod2:
+		e = &Mod2{A: Rewrite(n.A, fn), B: Rewrite(n.B, fn)}
+	case *Cast:
+		e = &Cast{From: n.From, To: n.To, X: Rewrite(n.X, fn)}
+	case *Cmp:
+		e = &Cmp{Op: n.Op, K: n.K, A: Rewrite(n.A, fn), B: Rewrite(n.B, fn)}
+	case *Logic:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Rewrite(a, fn)
+		}
+		e = &Logic{Op: n.Op, Args: args}
+	case *BNot:
+		e = &BNot{K: n.K, X: Rewrite(n.X, fn)}
+	case *Shift:
+		e = &Shift{Op: n.Op, N: n.N, K: n.K, X: Rewrite(n.X, fn)}
+	}
+	return fn(e)
+}
+
+// Interval is an inclusive integer value range fact. OK=false means
+// unknown (or not an integer-valued signal).
+type Interval struct {
+	Lo, Hi int64
+	OK     bool
+}
+
+// Point returns the single-value interval [v, v].
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v, OK: true} }
+
+// Contains reports whether iv fits entirely inside [lo, hi].
+func (iv Interval) Contains(lo, hi int64) bool {
+	return iv.OK && iv.Lo >= lo && iv.Hi <= hi
+}

@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+func analyze(t *testing.T, m *model.Model, cfg Config) *Graph {
+	t.Helper()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatalf("compile %s: %v", m.Name, err)
+	}
+	return Analyze(c, cfg)
+}
+
+// chainModel is a pure arithmetic chain: In1 -> Gain(2) -> Bias(1) ->
+// Sum(+-, with In1) -> Out1, plus a UnitDelay tap off the Gain.
+func chainModel() *model.Model {
+	b := model.NewBuilder("CHAIN")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"))
+	b.Add("B", "Bias", 1, 1, model.WithParam("Bias", "1"))
+	b.Add("S", "Sum", 2, 1, model.WithOperator("+-"))
+	b.Add("D", "UnitDelay", 1, 1)
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Add("Out2", "Outport", 1, 0, model.WithParam("Port", "2"))
+	b.Connect("In1", 0, "G", 0)
+	b.Connect("G", 0, "B", 0)
+	b.Connect("B", 0, "S", 0)
+	b.Connect("In1", 0, "S", 1)
+	b.Connect("G", 0, "D", 0)
+	b.Connect("S", 0, "Out1", 0)
+	b.Connect("D", 0, "Out2", 0)
+	return b.MustBuild()
+}
+
+func TestAnalyzeLowersArithmetic(t *testing.T) {
+	g := analyze(t, chainModel(), Config{})
+	for _, name := range []string{"G", "B", "S"} {
+		n := g.ByName[name]
+		if n == nil || n.Lowered == nil {
+			t.Fatalf("%s: not lowered (decline %q)", name, n.Decline)
+		}
+	}
+	if n := g.ByName["D"]; n.Lowered != nil || n.Decline != "stateful" {
+		t.Fatalf("UnitDelay: want stateful decline, got %v / %q", n.Lowered, n.Decline)
+	}
+	if n := g.ByName["In1"]; n.Lowered != nil || n.Decline != "opaque actor type" {
+		t.Fatalf("Inport: want opaque decline, got %v / %q", n.Lowered, n.Decline)
+	}
+	// G feeds B and D: two uses. B feeds S: one use.
+	if n := g.ByName["G"]; len(n.UsedBy) != 2 {
+		t.Fatalf("G uses = %v, want 2", n.UsedBy)
+	}
+	if n := g.ByName["B"]; len(n.UsedBy) != 1 || n.UsedBy[0].Consumer != "S" {
+		t.Fatalf("B uses = %v, want [S]", n.UsedBy)
+	}
+}
+
+func TestAnalyzeSumTree(t *testing.T) {
+	g := analyze(t, chainModel(), Config{})
+	// S has signs "+-": castK(0) - castK(1), both F64 so Refs directly.
+	bin, ok := g.ByName["S"].Lowered.(*Bin)
+	if !ok || bin.Op != "-" || bin.K != types.F64 {
+		t.Fatalf("S tree = %v", g.ByName["S"].Lowered)
+	}
+	if r, ok := bin.A.(*Ref); !ok || r.Actor != "B" {
+		t.Fatalf("S lhs = %v, want Ref{B}", bin.A)
+	}
+	if r, ok := bin.B.(*Ref); !ok || r.Actor != "In1" {
+		t.Fatalf("S rhs = %v, want Ref{In1}", bin.B)
+	}
+}
+
+func TestAnalyzeInstrumentationDeclines(t *testing.T) {
+	// With Diagnose on, Sum/Gain/Bias carry overflow/precision rules and
+	// must stay opaque.
+	g := analyze(t, chainModel(), Config{Diagnose: true})
+	for _, name := range []string{"G", "B", "S"} {
+		if n := g.ByName[name]; n.Lowered != nil || n.Decline != "diagnosis rules" {
+			t.Fatalf("%s with -diag: got %v / %q, want diagnosis-rules decline", name, n.Lowered, n.Decline)
+		}
+	}
+
+	// With Coverage on, boolean-out actors carry decision bitmaps.
+	b := model.NewBuilder("LOGIC")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.Bool), model.WithParam("Port", "1"))
+	b.Add("In2", "Inport", 0, 1, model.WithOutKind(types.Bool), model.WithParam("Port", "2"))
+	b.Add("L", "Logic", 2, 1, model.WithOperator("AND"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "L", 0)
+	b.Connect("In2", 0, "L", 1)
+	b.Connect("L", 0, "Out1", 0)
+	gl := analyze(t, b.MustBuild(), Config{Coverage: true})
+	if n := gl.ByName["L"]; n.Lowered != nil || n.Decline != "decision coverage" {
+		t.Fatalf("Logic with -cov: got %v / %q", n.Lowered, n.Decline)
+	}
+	// Without coverage the same actor lowers.
+	gl = analyze(t, b.MustBuild(), Config{})
+	if n := gl.ByName["L"]; n.Lowered == nil {
+		t.Fatalf("Logic without -cov declined: %q", n.Decline)
+	}
+}
+
+func TestAnalyzeMustMaterialize(t *testing.T) {
+	g := analyze(t, chainModel(), Config{Monitored: map[string]bool{"B": true}, StopOn: "G"})
+	if !g.ByName["B"].MustMaterialize {
+		t.Fatal("monitored B must materialize")
+	}
+	if !g.ByName["G"].MustMaterialize {
+		t.Fatal("stop-on G must materialize")
+	}
+	if g.ByName["S"].MustMaterialize {
+		t.Fatal("S must not materialize")
+	}
+	// Lowering itself is unaffected: materialized actors still lower.
+	if g.ByName["B"].Lowered == nil {
+		t.Fatal("monitored B should still lower")
+	}
+}
+
+func TestAnalyzeFacts(t *testing.T) {
+	b := model.NewBuilder("FACTS")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1"))
+	b.Add("Sat", "Saturation", 1, 1, model.WithParam("Min", "-5"), model.WithParam("Max", "100"))
+	b.Add("Sgn", "Sign", 1, 1)
+	b.Add("Cmp", "CompareToZero", 1, 1, model.WithOperator(">"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Add("Out2", "Outport", 1, 0, model.WithParam("Port", "2"))
+	b.Add("Out3", "Outport", 1, 0, model.WithParam("Port", "3"))
+	b.Connect("In1", 0, "Sat", 0)
+	b.Connect("In1", 0, "Sgn", 0)
+	b.Connect("In1", 0, "Cmp", 0)
+	b.Connect("Sat", 0, "Out1", 0)
+	b.Connect("Sgn", 0, "Out2", 0)
+	b.Connect("Cmp", 0, "Out3", 0)
+	g := analyze(t, b.MustBuild(), Config{})
+	if f := g.ByName["Sat"].Fact; !f.OK || f.Lo != -5 || f.Hi != 100 {
+		t.Fatalf("Saturation fact = %+v, want [-5,100]", f)
+	}
+	if f := g.ByName["Sgn"].Fact; !f.OK || f.Lo != -1 || f.Hi != 1 {
+		t.Fatalf("Sign fact = %+v, want [-1,1]", f)
+	}
+	if f := g.ByName["Cmp"].Fact; !f.OK || f.Lo != 0 || f.Hi != 1 {
+		t.Fatalf("bool fact = %+v, want [0,1]", f)
+	}
+}
+
+func TestWalkRewriteLeaf(t *testing.T) {
+	tree := &Bin{Op: "+", K: types.F64,
+		A: &Ref{Actor: "a", K: types.F64, W: 1},
+		B: &Cast{From: types.I32, To: types.F64, X: &Ref{Actor: "b", K: types.I32, W: 1}},
+	}
+	var refs int
+	Walk(tree, func(e Expr) {
+		if _, ok := e.(*Ref); ok {
+			refs++
+		}
+	})
+	if refs != 2 {
+		t.Fatalf("Walk saw %d refs, want 2", refs)
+	}
+
+	// Rewrite replaces the Ref to "a" with a literal; the original tree
+	// must be untouched (Rewrite copies).
+	lit := &Lit{Val: types.FloatVal(types.F64, 3)}
+	out := Rewrite(tree, func(e Expr) Expr {
+		if r, ok := e.(*Ref); ok && r.Actor == "a" {
+			return lit
+		}
+		return e
+	})
+	if _, ok := out.(*Bin).A.(*Lit); !ok {
+		t.Fatalf("Rewrite did not substitute: %v", out)
+	}
+	if _, ok := tree.A.(*Ref); !ok {
+		t.Fatal("Rewrite mutated the input tree")
+	}
+
+	if !IsLeaf(&Ref{}) || !IsLeaf(&Lit{Val: types.FloatVal(types.F64, 0)}) || !IsLeaf(&HoistRef{}) {
+		t.Fatal("Ref/Lit/HoistRef are leaves")
+	}
+	if IsLeaf(tree) {
+		t.Fatal("Bin is not a leaf")
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: -5, Hi: 100, OK: true}
+	if !iv.Contains(-128, 127) {
+		t.Fatal("[-5,100] fits int8 range")
+	}
+	if iv.Contains(0, 255) {
+		t.Fatal("[-5,100] does not fit an unsigned range")
+	}
+	if (Interval{}).Contains(-128, 127) {
+		t.Fatal("unknown interval fits nothing")
+	}
+	if p := Point(7); !p.OK || p.Lo != 7 || p.Hi != 7 {
+		t.Fatalf("Point(7) = %+v", p)
+	}
+}

@@ -1,0 +1,170 @@
+// Package iremit renders planned O2 expression trees into Go source.
+// It is the third stage of the O2 middle-end (analyzer → planner →
+// emitter) and the only one that knows how the code generator names
+// signal variables.
+//
+// Emission reuses the exact casting helpers the per-actor templates use
+// (actors.Cast, binExpr's float32-through-float64 rounding,
+// types.MathGoExpr), so a fused expression performs operation-for-
+// operation the same arithmetic as the statements it replaces. One rule
+// has no template counterpart: a multi-operation expression over
+// literals alone must never be emitted, because Go folds constant
+// expressions at compile time with exact arithmetic instead of the
+// runtime's per-operation rounding — the planner guarantees such trees
+// were already folded to a single literal (or hoisted global) with the
+// engines' own ops.
+package iremit
+
+import (
+	"fmt"
+	"strings"
+
+	"accmos/internal/actors"
+	"accmos/internal/opt/ir"
+	"accmos/internal/opt/irplan"
+	"accmos/internal/types"
+)
+
+// Emitter renders expressions for one generated program.
+type Emitter struct {
+	// VarName maps (schedule index, output port) to the generated
+	// variable name, decoupling emission from the generator's naming.
+	VarName func(index, port int) string
+	// Plan supplies narrowing decisions so Refs to narrowed signals
+	// widen back to their semantic kind on read. May be nil.
+	Plan *irplan.Plan
+	// NeedMath is set when emitted code references the math package.
+	NeedMath bool
+}
+
+// Expr renders e as a Go expression. vec selects element context: Refs
+// to vector signals index with [i] (scalars broadcast), matching the
+// templates' ForEachOut discipline.
+func (em *Emitter) Expr(e ir.Expr, vec bool) string {
+	switch n := e.(type) {
+	case *ir.Ref:
+		name := em.VarName(n.Index, n.Port)
+		if vec && n.W > 1 {
+			name += "[i]"
+		}
+		if em.Plan != nil {
+			if store, ok := em.Plan.NarrowedKind(n.Actor); ok {
+				// Widen narrowed storage back to the semantic kind; the
+				// value round-trips exactly by the narrowing criterion.
+				if n.K == types.F64 && store == types.F32 {
+					return fmt.Sprintf("float64(%s)", name)
+				}
+				return fmt.Sprintf("%s(%s)", n.K.GoType(), name)
+			}
+		}
+		return name
+	case *ir.Lit:
+		lit := n.Val.GoLiteral()
+		if strings.Contains(lit, "math.") {
+			em.NeedMath = true
+		}
+		return lit
+	case *ir.HoistRef:
+		return n.Name
+	case *ir.Bin:
+		a, b := em.Expr(n.A, vec), em.Expr(n.B, vec)
+		if n.K == types.F32 && (n.Op == "+" || n.Op == "-" || n.Op == "*" || n.Op == "/") {
+			return fmt.Sprintf("float32(float64(%s) %s float64(%s))", a, n.Op, b)
+		}
+		return fmt.Sprintf("(%s %s %s)", a, n.Op, b)
+	case *ir.Call:
+		x := em.Expr(n.X, vec)
+		if n.Op == "abs" {
+			em.NeedMath = true
+			return fmt.Sprintf("math.Abs(%s)", x)
+		}
+		if n.Op != "reciprocal" && n.Op != "square" {
+			em.NeedMath = true
+		}
+		return types.MathGoExpr(n.Op, x)
+	case *ir.Mod2:
+		em.NeedMath = true
+		return fmt.Sprintf("math.Mod(float64(%s), float64(%s))",
+			em.Expr(n.A, vec), em.Expr(n.B, vec))
+	case *ir.Cast:
+		return actors.Cast(em.Expr(n.X, vec), n.From, n.To)
+	case *ir.Cmp:
+		a, b := em.Expr(n.A, vec), em.Expr(n.B, vec)
+		op := relGoOp(n.Op)
+		if n.K == types.Bool && n.Op != "==" && n.Op != "~=" {
+			// Order comparison on booleans routes through 0/1 integers,
+			// matching the Relational templates.
+			return fmt.Sprintf("(b2i(%s) %s b2i(%s))", a, op, b)
+		}
+		return fmt.Sprintf("(%s %s %s)", a, op, b)
+	case *ir.Logic:
+		if n.Op == "NOT" {
+			return "!" + em.Expr(n.Args[0], vec)
+		}
+		joiner, negate := " && ", false
+		switch n.Op {
+		case "AND":
+		case "NAND":
+			negate = true
+		case "OR":
+			joiner = " || "
+		case "NOR":
+			joiner, negate = " || ", true
+		case "XOR":
+			joiner = " != "
+		case "NXOR":
+			joiner, negate = " != ", true
+		}
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = em.Expr(a, vec)
+		}
+		expr := "(" + strings.Join(parts, joiner) + ")"
+		if negate {
+			expr = "!" + expr
+		}
+		return expr
+	case *ir.BNot:
+		return fmt.Sprintf("(^%s)", em.Expr(n.X, vec))
+	case *ir.Shift:
+		op := "<<"
+		if n.Op == "right" {
+			op = ">>"
+		}
+		return fmt.Sprintf("(%s %s %d)", em.Expr(n.X, vec), op, n.N)
+	}
+	return "/* iremit: unknown node */"
+}
+
+// relGoOp maps the model relational operator to Go's.
+func relGoOp(op string) string {
+	if op == "~=" {
+		return "!="
+	}
+	return op
+}
+
+// RootAssign renders the fused assignment statement(s) for one planned
+// root. Lines come back without leading indentation; vector roots emit
+// an element loop with one extra tab on the body line.
+func (em *Emitter) RootAssign(r *irplan.Root) []string {
+	name := em.VarName(r.Index, 0)
+	// store converts the semantic-kind expression into the (possibly
+	// narrowed) storage kind. Exact by the narrowing criterion.
+	store := func(expr string) string {
+		if r.Store == r.Kind || (r.Kind == types.F64 && r.Store == types.F32) {
+			// F32 narrowing already re-rooted the tree at the float32
+			// subexpression, so no conversion is needed either way.
+			return expr
+		}
+		return fmt.Sprintf("%s(%s)", r.Store.GoType(), expr)
+	}
+	if r.Width <= 1 {
+		return []string{fmt.Sprintf("%s = %s", name, store(em.Expr(r.Expr, false)))}
+	}
+	return []string{
+		fmt.Sprintf("for i := 0; i < %d; i++ {", r.Width),
+		fmt.Sprintf("\t%s[i] = %s", name, store(em.Expr(r.Expr, true))),
+		"}",
+	}
+}

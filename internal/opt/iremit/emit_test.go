@@ -1,0 +1,151 @@
+package iremit
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"accmos/internal/opt/ir"
+	"accmos/internal/opt/irplan"
+	"accmos/internal/types"
+)
+
+func testEmitter(p *irplan.Plan) *Emitter {
+	return &Emitter{
+		VarName: func(index, port int) string { return fmt.Sprintf("v%d_%d", index, port) },
+		Plan:    p,
+	}
+}
+
+func ref(actor string, index int, k types.Kind, w int) *ir.Ref {
+	return &ir.Ref{Actor: actor, Index: index, Port: 0, K: k, W: w}
+}
+
+func TestExprBinFloat32Rounding(t *testing.T) {
+	em := testEmitter(nil)
+	e := &ir.Bin{Op: "+", K: types.F32, A: ref("a", 1, types.F32, 1), B: ref("b", 2, types.F32, 1)}
+	got := em.Expr(e, false)
+	want := "float32(float64(v1_0) + float64(v2_0))"
+	if got != want {
+		t.Fatalf("F32 add = %q, want %q", got, want)
+	}
+	// F64 stays plain infix.
+	e64 := &ir.Bin{Op: "*", K: types.F64, A: ref("a", 1, types.F64, 1), B: ref("b", 2, types.F64, 1)}
+	if got := em.Expr(e64, false); got != "(v1_0 * v2_0)" {
+		t.Fatalf("F64 mul = %q", got)
+	}
+}
+
+func TestExprNarrowedRefWidens(t *testing.T) {
+	p := &irplan.Plan{Narrowed: map[string]types.Kind{
+		"ni": types.I16,
+		"nf": types.F32,
+	}}
+	em := testEmitter(p)
+	if got := em.Expr(ref("ni", 3, types.I32, 1), false); got != "int32(v3_0)" {
+		t.Fatalf("narrowed int read = %q, want int32(v3_0)", got)
+	}
+	if got := em.Expr(ref("nf", 4, types.F64, 1), false); got != "float64(v4_0)" {
+		t.Fatalf("narrowed float read = %q, want float64(v4_0)", got)
+	}
+	if got := em.Expr(ref("plain", 5, types.I32, 1), false); got != "v5_0" {
+		t.Fatalf("plain read = %q", got)
+	}
+}
+
+func TestExprVectorIndexing(t *testing.T) {
+	em := testEmitter(nil)
+	vec := ref("v", 1, types.F64, 4)
+	scalar := ref("s", 2, types.F64, 1)
+	e := &ir.Bin{Op: "+", K: types.F64, A: vec, B: scalar}
+	// Element context: the vector ref indexes, the scalar broadcasts.
+	if got := em.Expr(e, true); got != "(v1_0[i] + v2_0)" {
+		t.Fatalf("vec expr = %q", got)
+	}
+	if got := em.Expr(e, false); got != "(v1_0 + v2_0)" {
+		t.Fatalf("scalar-context expr = %q", got)
+	}
+}
+
+func TestExprMathAndCasts(t *testing.T) {
+	em := testEmitter(nil)
+	e := &ir.Cast{From: types.F64, To: types.I32,
+		X: &ir.Call{Op: "sqrt", X: ref("x", 1, types.F64, 1)}}
+	got := em.Expr(e, false)
+	if !strings.Contains(got, "math.Sqrt(v1_0)") {
+		t.Fatalf("call render = %q", got)
+	}
+	if !strings.Contains(got, "cvtF2I") {
+		t.Fatalf("float->int cast must saturate via cvtF2I: %q", got)
+	}
+	if !em.NeedMath {
+		t.Fatal("sqrt must set NeedMath")
+	}
+}
+
+func TestExprCmpAndLogic(t *testing.T) {
+	em := testEmitter(nil)
+	cmp := &ir.Cmp{Op: "~=", K: types.F64, A: ref("a", 1, types.F64, 1), B: ref("b", 2, types.F64, 1)}
+	if got := em.Expr(cmp, false); got != "(v1_0 != v2_0)" {
+		t.Fatalf("~= render = %q", got)
+	}
+	// Ordering booleans goes through b2i like the Relational template.
+	bcmp := &ir.Cmp{Op: "<", K: types.Bool, A: ref("a", 1, types.Bool, 1), B: ref("b", 2, types.Bool, 1)}
+	if got := em.Expr(bcmp, false); got != "(b2i(v1_0) < b2i(v2_0))" {
+		t.Fatalf("bool < render = %q", got)
+	}
+	nor := &ir.Logic{Op: "NOR", Args: []ir.Expr{ref("a", 1, types.Bool, 1), ref("b", 2, types.Bool, 1)}}
+	if got := em.Expr(nor, false); got != "!(v1_0 || v2_0)" {
+		t.Fatalf("NOR render = %q", got)
+	}
+}
+
+func TestRootAssignScalarAndVector(t *testing.T) {
+	em := testEmitter(nil)
+	scalar := &irplan.Root{Name: "s", Index: 7, Kind: types.F64, Store: types.F64, Width: 1,
+		Expr: &ir.Bin{Op: "+", K: types.F64, A: ref("a", 1, types.F64, 1), B: ref("b", 2, types.F64, 1)}}
+	lines := em.RootAssign(scalar)
+	if len(lines) != 1 || lines[0] != "v7_0 = (v1_0 + v2_0)" {
+		t.Fatalf("scalar assign = %q", lines)
+	}
+	vec := &irplan.Root{Name: "v", Index: 8, Kind: types.F64, Store: types.F64, Width: 3,
+		Expr: &ir.Bin{Op: "+", K: types.F64, A: ref("a", 1, types.F64, 3), B: ref("b", 2, types.F64, 3)}}
+	lines = em.RootAssign(vec)
+	if len(lines) != 3 || lines[0] != "for i := 0; i < 3; i++ {" ||
+		lines[1] != "\tv8_0[i] = (v1_0[i] + v2_0[i])" || lines[2] != "}" {
+		t.Fatalf("vector assign = %q", lines)
+	}
+}
+
+func TestRootAssignNarrowedStorage(t *testing.T) {
+	em := testEmitter(nil)
+	// Integer narrowing converts the semantic-kind expression on store.
+	ni := &irplan.Root{Name: "n", Index: 9, Kind: types.I32, Store: types.I16, Width: 1,
+		Expr: &ir.Bin{Op: "+", K: types.I32, A: ref("a", 1, types.I32, 1), B: ref("b", 2, types.I32, 1)}}
+	lines := em.RootAssign(ni)
+	if lines[0] != "v9_0 = int16((v1_0 + v2_0))" {
+		t.Fatalf("narrowed int assign = %q", lines[0])
+	}
+	// F32 narrowing re-rooted the tree already: no conversion wrapper.
+	nf := &irplan.Root{Name: "f", Index: 10, Kind: types.F64, Store: types.F32, Width: 1,
+		Expr: &ir.Bin{Op: "*", K: types.F32, A: ref("a", 1, types.F32, 1), B: ref("b", 2, types.F32, 1)}}
+	lines = em.RootAssign(nf)
+	if lines[0] != "v10_0 = float32(float64(v1_0) * float64(v2_0))" {
+		t.Fatalf("f32-narrowed assign = %q", lines[0])
+	}
+}
+
+func TestExprHoistRefAndShift(t *testing.T) {
+	em := testEmitter(nil)
+	if got := em.Expr(&ir.HoistRef{Name: "hx3", K: types.F64}, false); got != "hx3" {
+		t.Fatalf("hoist ref = %q", got)
+	}
+	sh := &ir.Shift{Op: "right", N: 2, K: types.I32, X: ref("x", 1, types.I32, 1)}
+	if got := em.Expr(sh, false); got != "(v1_0 >> 2)" {
+		t.Fatalf("shift render = %q", got)
+	}
+	bn := &ir.BNot{K: types.U8, X: ref("x", 1, types.U8, 1)}
+	if got := em.Expr(bn, false); got != "(^v1_0)" {
+		t.Fatalf("bnot render = %q", got)
+	}
+}

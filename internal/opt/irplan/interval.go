@@ -1,0 +1,255 @@
+package irplan
+
+import (
+	"math/bits"
+
+	"accmos/internal/opt/ir"
+	"accmos/internal/types"
+)
+
+// kindRange returns the inclusive int64 value range of an integer kind.
+// U64's upper bound saturates at MaxInt64; narrowing never targets U64,
+// and a saturated bound only makes the analysis more conservative.
+func kindRange(k types.Kind) (int64, int64) {
+	if k == types.Bool {
+		return 0, 1
+	}
+	lo := k.MinInt()
+	hiU := k.MaxInt()
+	hi := int64(^uint64(0) >> 1)
+	if hiU < uint64(1)<<63 {
+		hi = int64(hiU)
+	}
+	return lo, hi
+}
+
+// inferIntervals computes a value interval for every materialized signal
+// in schedule order: opaque actors contribute their analyzer facts
+// (Saturation clamps, Sign, boolean outputs), lowered roots get the
+// interval of their fused tree. The result keys actor names; missing or
+// !OK entries mean unknown.
+func inferIntervals(g *ir.Graph, p *Plan, subst map[string]ir.Expr) map[string]ir.Interval {
+	out := make(map[string]ir.Interval, len(g.Nodes))
+	for _, n := range g.Nodes {
+		switch {
+		case n.Lowered == nil:
+			out[n.Name] = n.Fact
+		case p.Inlined[n.Name]:
+			// No storage; the tree is evaluated inside its consumer.
+		default:
+			out[n.Name] = exprInterval(g, subst[n.Name], out)
+		}
+	}
+	return out
+}
+
+// exprInterval evaluates a conservative integer interval for e. Float
+// and unknown-value positions return !OK.
+func exprInterval(g *ir.Graph, e ir.Expr, env map[string]ir.Interval) ir.Interval {
+	switch n := e.(type) {
+	case *ir.Ref:
+		d := g.ByName[n.Actor]
+		if d == nil || n.Port != 0 {
+			return ir.Interval{}
+		}
+		return env[n.Actor]
+	case *ir.Lit:
+		v := n.Val
+		if v.Width() > 1 {
+			return ir.Interval{}
+		}
+		if i, ok := intOfValue(v); ok {
+			return ir.Point(i)
+		}
+		return ir.Interval{}
+	case *ir.Bin:
+		a := exprInterval(g, n.A, env)
+		b := exprInterval(g, n.B, env)
+		if !n.K.IsInteger() || !a.OK || !b.OK {
+			return ir.Interval{}
+		}
+		return binInterval(n.K, n.Op, a, b)
+	case *ir.Cast:
+		x := exprInterval(g, n.X, env)
+		return castInterval(n.From, n.To, x)
+	case *ir.Cmp, *ir.Logic:
+		return ir.Interval{Lo: 0, Hi: 1, OK: true}
+	case *ir.Shift:
+		x := exprInterval(g, n.X, env)
+		if !x.OK {
+			return clampToKind(n.K, ir.Interval{})
+		}
+		if n.Op == "right" && x.Lo >= 0 {
+			return ir.Interval{Lo: x.Lo >> uint(n.N), Hi: x.Hi >> uint(n.N), OK: true}
+		}
+		if n.Op == "left" {
+			lo, ok1 := shlChecked(x.Lo, n.N)
+			hi, ok2 := shlChecked(x.Hi, n.N)
+			if ok1 && ok2 && inKind(n.K, lo) && inKind(n.K, hi) {
+				return ir.Interval{Lo: lo, Hi: hi, OK: true}
+			}
+		}
+		return clampToKind(n.K, ir.Interval{})
+	case *ir.BNot:
+		return clampToKind(n.K, ir.Interval{})
+	}
+	// Call / Mod2 / HoistRef: float-valued or post-fold; no int interval.
+	return ir.Interval{}
+}
+
+// intOfValue extracts a scalar integer-representable value.
+func intOfValue(v types.Value) (int64, bool) {
+	switch {
+	case v.Kind == types.Bool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	case v.Kind.IsSigned():
+		return v.I, true
+	case v.Kind.IsUnsigned():
+		if v.U >= uint64(1)<<63 {
+			return 0, false
+		}
+		return int64(v.U), true
+	}
+	return 0, false
+}
+
+// binInterval bounds an integer binary op in kind k. Any overflow —
+// of the interval arithmetic itself or past the kind's range (where the
+// runtime wraps) — falls back to the kind's full range.
+func binInterval(k types.Kind, op string, a, b ir.Interval) ir.Interval {
+	full := clampToKind(k, ir.Interval{})
+	switch op {
+	case "+":
+		lo, ok1 := addChecked(a.Lo, b.Lo)
+		hi, ok2 := addChecked(a.Hi, b.Hi)
+		if ok1 && ok2 && inKind(k, lo) && inKind(k, hi) {
+			return ir.Interval{Lo: lo, Hi: hi, OK: true}
+		}
+	case "-":
+		lo, ok1 := addChecked(a.Lo, -b.Hi)
+		hi, ok2 := addChecked(a.Hi, -b.Lo)
+		if b.Hi == -1<<63 || b.Lo == -1<<63 {
+			return full
+		}
+		if ok1 && ok2 && inKind(k, lo) && inKind(k, hi) {
+			return ir.Interval{Lo: lo, Hi: hi, OK: true}
+		}
+	case "*":
+		lo, hi := int64(1)<<62, -(int64(1) << 62)
+		ok := true
+		for _, x := range []int64{a.Lo, a.Hi} {
+			for _, y := range []int64{b.Lo, b.Hi} {
+				p, pok := mulChecked(x, y)
+				if !pok {
+					ok = false
+					break
+				}
+				if p < lo {
+					lo = p
+				}
+				if p > hi {
+					hi = p
+				}
+			}
+		}
+		if ok && inKind(k, lo) && inKind(k, hi) {
+			return ir.Interval{Lo: lo, Hi: hi, OK: true}
+		}
+	case "&":
+		if a.Lo >= 0 && b.Lo >= 0 {
+			hi := a.Hi
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			return ir.Interval{Lo: 0, Hi: hi, OK: true}
+		}
+	case "|", "^":
+		if a.Lo >= 0 && b.Lo >= 0 {
+			m := a.Hi
+			if b.Hi > m {
+				m = b.Hi
+			}
+			if m < int64(1)<<62 {
+				n := bits.Len64(uint64(m))
+				return ir.Interval{Lo: 0, Hi: int64(1)<<uint(n) - 1, OK: true}
+			}
+		}
+	}
+	return full
+}
+
+// castInterval converts an interval across a Cast.
+func castInterval(from, to types.Kind, x ir.Interval) ir.Interval {
+	switch {
+	case to == types.Bool:
+		return ir.Interval{Lo: 0, Hi: 1, OK: true}
+	case !to.IsInteger():
+		return ir.Interval{}
+	case from == types.Bool:
+		return ir.Interval{Lo: 0, Hi: 1, OK: true}
+	case from.IsInteger():
+		if x.OK {
+			if lo, hi := kindRange(to); x.Lo >= lo && x.Hi <= hi {
+				return x
+			}
+		}
+		return clampToKind(to, ir.Interval{})
+	}
+	// float → int: cvtF2I saturates into the kind's range.
+	return clampToKind(to, ir.Interval{})
+}
+
+// clampToKind intersects iv with k's representable range; an unknown iv
+// becomes the kind's full range (runtime values always live there).
+func clampToKind(k types.Kind, iv ir.Interval) ir.Interval {
+	lo, hi := kindRange(k)
+	if k == types.U64 {
+		// Upper bound not representable as int64: stay unknown.
+		return ir.Interval{}
+	}
+	if !iv.OK {
+		return ir.Interval{Lo: lo, Hi: hi, OK: true}
+	}
+	if iv.Lo > lo {
+		lo = iv.Lo
+	}
+	if iv.Hi < hi {
+		hi = iv.Hi
+	}
+	return ir.Interval{Lo: lo, Hi: hi, OK: true}
+}
+
+func inKind(k types.Kind, v int64) bool {
+	lo, hi := kindRange(k)
+	return v >= lo && v <= hi
+}
+
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if a == -1<<63 || b == -1<<63 || p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func shlChecked(a int64, n int64) (int64, bool) {
+	s := a << uint(n)
+	if s>>uint(n) != a {
+		return 0, false
+	}
+	return s, true
+}

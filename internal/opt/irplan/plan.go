@@ -1,0 +1,484 @@
+// Package irplan is the O2 middle-end's planner: it takes the lowered
+// expression graph from internal/opt/ir and decides
+//
+//   - fusion: which single-consumer producers get inlined into their
+//     consumer's expression (the consumer then emits one fused Go
+//     expression instead of N per-actor statements),
+//   - hoisting: which constant subtrees are evaluated once at plan time
+//     (with the engines' own bit-exact types ops, never Go's exact
+//     compile-time constant arithmetic) and lifted out of the step loop
+//     as initialized globals,
+//   - narrowing: which materialized integer signals can be stored in a
+//     smaller kind (int8/int16/int32 and unsigned counterparts, float32
+//     for provably-f32 float signals) based on interval analysis, with
+//     every reader widening back to the semantic kind.
+//
+// The planner only decides; internal/opt/iremit renders the decisions
+// into Go. Both stages preserve bit-identity with O0: inlining keeps
+// per-operation evaluation order and rounding, folding uses the same
+// types ops the interpreter executes, and narrowing only fires when the
+// value provably round-trips through the small kind.
+package irplan
+
+import (
+	"fmt"
+
+	"accmos/internal/opt/ir"
+	"accmos/internal/types"
+)
+
+// Root is one materialized lowered signal: a variable assigned from a
+// fused expression each step.
+type Root struct {
+	Name  string
+	Index int
+	// Kind is the semantic signal kind; Store is the storage kind
+	// (different only when narrowed). Width > 1 emits an element loop.
+	Kind  types.Kind
+	Store types.Kind
+	Width int
+	// Expr is the fused tree. For float narrowing (F64 signal proven to
+	// carry only float32 values) this is the pre-widening F32 tree.
+	Expr ir.Expr
+}
+
+// Hoist is one loop-invariant global: computed at plan time, emitted as
+// `var Name T` plus a modelInit assignment of the folded literal.
+type Hoist struct {
+	Name string
+	Val  types.Value
+}
+
+// Stats summarizes what the planner decided, in the units the CLI,
+// daemon metrics and benchmark reports expose.
+type Stats struct {
+	// LoweredActors counts actors the analyzer lowered (fused or root).
+	LoweredActors int
+	// FusedExprs counts producers inlined into their consumer — each one
+	// is an actor statement eliminated from the step loop.
+	FusedExprs int
+	// HoistedExprs counts loop-invariant subtrees lifted out of the step
+	// loop as precomputed globals.
+	HoistedExprs int
+	// NarrowedSignals counts materialized signals stored in a smaller
+	// kind than their semantic kind.
+	NarrowedSignals int
+	// DeclineReasons aggregates why opaque actors stayed opaque.
+	DeclineReasons map[string]int
+}
+
+// Plan is the full O2 decision set the code generator consumes.
+type Plan struct {
+	// Inlined marks actors whose expression was fused into their single
+	// consumer; the generator emits no variable and no statement for
+	// them (only their actor-coverage mark).
+	Inlined map[string]bool
+	// Roots maps materialized lowered actors to their fused assignment.
+	Roots map[string]*Root
+	// Hoisted lists loop-invariant globals in deterministic order.
+	Hoisted []Hoist
+	// Narrowed maps actor name → storage kind for narrowed signals, for
+	// readers to widen through. Subset view of Roots.
+	Narrowed map[string]types.Kind
+	Stats    Stats
+}
+
+// NarrowedKind returns the storage kind for a narrowed actor signal.
+func (p *Plan) NarrowedKind(actor string) (types.Kind, bool) {
+	k, ok := p.Narrowed[actor]
+	return k, ok
+}
+
+// Build runs the planning pipeline over one analyzed graph.
+func Build(g *ir.Graph) *Plan {
+	p := &Plan{
+		Inlined:  make(map[string]bool),
+		Roots:    make(map[string]*Root),
+		Narrowed: make(map[string]types.Kind),
+		Stats:    Stats{DeclineReasons: make(map[string]int)},
+	}
+	for _, n := range g.Nodes {
+		if n.Lowered == nil {
+			if n.Decline != "" {
+				p.Stats.DeclineReasons[n.Decline]++
+			}
+			continue
+		}
+		p.Stats.LoweredActors++
+	}
+
+	// Fusion: walk in schedule order, substituting already-inlined
+	// producers into each node's tree, then decide whether this node in
+	// turn inlines into its sole consumer. Using the substituted tree
+	// for the leaf test means a scalar chain never gets duplicated into
+	// a vector consumer.
+	subst := make(map[string]ir.Expr, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Lowered == nil {
+			continue
+		}
+		tree := ir.Rewrite(n.Lowered, func(e ir.Expr) ir.Expr {
+			if r, ok := e.(*ir.Ref); ok && p.Inlined[r.Actor] {
+				return subst[r.Actor]
+			}
+			return e
+		})
+		subst[n.Name] = tree
+		if n.MustMaterialize || n.EnableUses > 0 || len(n.UsedBy) != 1 {
+			continue
+		}
+		c := g.ByName[n.UsedBy[0].Consumer]
+		if c == nil || c.Lowered == nil {
+			continue
+		}
+		// Width rule: an equal-width tree composes elementwise; anything
+		// else must be a leaf (free to broadcast or re-read).
+		if n.Width == c.Width || ir.IsLeaf(tree) {
+			p.Inlined[n.Name] = true
+		}
+	}
+	p.Stats.FusedExprs = len(p.Inlined)
+
+	// Interval analysis runs on the pre-fold trees (folding replaces
+	// literals with hoist references, losing the values).
+	intervals := inferIntervals(g, p, subst)
+
+	// Fold + hoist, then narrowing, per root in schedule order so hoist
+	// names and narrowing decisions are deterministic.
+	f := &folder{plan: p, names: make(map[string]string)}
+	for _, n := range g.Nodes {
+		if n.Lowered == nil || p.Inlined[n.Name] {
+			continue
+		}
+		root := &Root{
+			Name:  n.Name,
+			Index: n.Index,
+			Kind:  n.Kind,
+			Store: n.Kind,
+			Width: n.Width,
+			Expr:  f.fold(subst[n.Name]),
+		}
+		p.Roots[n.Name] = root
+		narrow(g, n, root, intervals[n.Name], p)
+	}
+	p.Stats.HoistedExprs = len(p.Hoisted)
+	p.Stats.NarrowedSignals = len(p.Narrowed)
+	return p
+}
+
+// narrow decides the storage kind for one root. Integer signals narrow
+// when their interval fits a strictly smaller kind of the same
+// signedness; F64 signals narrow to float32 storage when the fused tree
+// is literally a float32 value widened at the end. Either way every
+// consumer must be lowered (fused emission widens on read; an opaque
+// template would read the raw narrow variable and miscompute).
+func narrow(g *ir.Graph, n *ir.Node, root *Root, iv ir.Interval, p *Plan) {
+	if n.MustMaterialize || n.EnableUses > 0 {
+		return
+	}
+	for _, u := range n.UsedBy {
+		c := g.ByName[u.Consumer]
+		if c == nil || c.Lowered == nil {
+			return
+		}
+	}
+	if n.Kind == types.F64 {
+		if c, ok := root.Expr.(*ir.Cast); ok && c.From == types.F32 && c.To == types.F64 {
+			root.Store = types.F32
+			root.Expr = c.X
+			p.Narrowed[n.Name] = types.F32
+		}
+		return
+	}
+	if !n.Kind.IsInteger() || !iv.OK {
+		return
+	}
+	var candidates []types.Kind
+	if n.Kind.IsSigned() {
+		candidates = []types.Kind{types.I8, types.I16, types.I32}
+	} else {
+		candidates = []types.Kind{types.U8, types.U16, types.U32}
+	}
+	for _, k := range candidates {
+		if k.Bits() >= n.Kind.Bits() {
+			break
+		}
+		if iv.Contains(kindRange(k)) {
+			root.Store = k
+			p.Narrowed[n.Name] = k
+			return
+		}
+	}
+}
+
+// folder rewrites constant subtrees bottom-up, evaluating them with the
+// engines' types ops (bit-exact with the generated runtime), and hoists
+// every maximal folded subtree that eliminated two or more per-step
+// operations into a named global. Single-operation folds stay inline as
+// literals; either way no multi-operation all-literal Go expression is
+// ever emitted, because Go would fold it at compile time with exact
+// arbitrary-precision arithmetic instead of the runtime's per-operation
+// rounding.
+type folder struct {
+	plan  *Plan
+	names map[string]string // value key -> existing hoist name
+}
+
+// fold returns tree with constant subtrees replaced by Lit or HoistRef.
+func (f *folder) fold(tree ir.Expr) ir.Expr {
+	e, ops := f.foldConst(tree)
+	if ops >= 2 {
+		// The whole tree is one big invariant: hoist it too.
+		return f.hoist(e.(*ir.Lit).Val)
+	}
+	return e
+}
+
+// foldConst folds e bottom-up. ops is the number of runtime operations
+// the returned expression eliminated when it is constant (-1 when not
+// constant).
+func (f *folder) foldConst(e ir.Expr) (ir.Expr, int) {
+	children := childExprs(e)
+	if len(children) == 0 {
+		if _, ok := e.(*ir.Lit); ok {
+			return e, 0
+		}
+		return e, -1
+	}
+	folded := make([]ir.Expr, len(children))
+	ops := make([]int, len(children))
+	allConst := true
+	for i, c := range children {
+		folded[i], ops[i] = f.foldConst(c)
+		if ops[i] < 0 {
+			allConst = false
+		}
+	}
+	if allConst {
+		if v, ok := evalConst(e, folded); ok {
+			total := 1
+			for _, o := range ops {
+				total += o
+			}
+			return &ir.Lit{Val: v}, total
+		}
+	}
+	// Not constant here: any constant child that folded away two or more
+	// operations becomes a hoisted global; cheaper folds stay inline.
+	for i := range folded {
+		if ops[i] >= 2 {
+			folded[i] = f.hoist(folded[i].(*ir.Lit).Val)
+		}
+	}
+	return rebuild(e, folded), -1
+}
+
+// hoist returns a HoistRef for v, reusing an existing global holding the
+// same value.
+func (f *folder) hoist(v types.Value) ir.Expr {
+	key := v.Kind.String() + "|" + v.GoLiteral()
+	if name, ok := f.names[key]; ok {
+		return &ir.HoistRef{Name: name, K: v.Kind}
+	}
+	name := fmt.Sprintf("hx%d", len(f.plan.Hoisted))
+	f.names[key] = name
+	f.plan.Hoisted = append(f.plan.Hoisted, Hoist{Name: name, Val: v})
+	return &ir.HoistRef{Name: name, K: v.Kind}
+}
+
+// childExprs lists e's direct subexpressions in evaluation order.
+func childExprs(e ir.Expr) []ir.Expr {
+	switch n := e.(type) {
+	case *ir.Bin:
+		return []ir.Expr{n.A, n.B}
+	case *ir.Call:
+		return []ir.Expr{n.X}
+	case *ir.Mod2:
+		return []ir.Expr{n.A, n.B}
+	case *ir.Cast:
+		return []ir.Expr{n.X}
+	case *ir.Cmp:
+		return []ir.Expr{n.A, n.B}
+	case *ir.Logic:
+		return n.Args
+	case *ir.BNot:
+		return []ir.Expr{n.X}
+	case *ir.Shift:
+		return []ir.Expr{n.X}
+	}
+	return nil
+}
+
+// rebuild clones e with new children (same shapes as childExprs).
+func rebuild(e ir.Expr, ch []ir.Expr) ir.Expr {
+	switch n := e.(type) {
+	case *ir.Bin:
+		return &ir.Bin{Op: n.Op, K: n.K, A: ch[0], B: ch[1]}
+	case *ir.Call:
+		return &ir.Call{Op: n.Op, X: ch[0]}
+	case *ir.Mod2:
+		return &ir.Mod2{A: ch[0], B: ch[1]}
+	case *ir.Cast:
+		return &ir.Cast{From: n.From, To: n.To, X: ch[0]}
+	case *ir.Cmp:
+		return &ir.Cmp{Op: n.Op, K: n.K, A: ch[0], B: ch[1]}
+	case *ir.Logic:
+		return &ir.Logic{Op: n.Op, Args: ch}
+	case *ir.BNot:
+		return &ir.BNot{K: n.K, X: ch[0]}
+	case *ir.Shift:
+		return &ir.Shift{Op: n.Op, N: n.N, K: n.K, X: ch[0]}
+	}
+	return e
+}
+
+// evalConst evaluates one IR node over literal children with the exact
+// semantics of the generated runtime (via the types ops the Eval/Gen
+// equivalence invariant already fuzz-verifies). ok=false declines the
+// fold.
+func evalConst(e ir.Expr, ch []ir.Expr) (types.Value, bool) {
+	lit := func(i int) types.Value { return ch[i].(*ir.Lit).Val }
+	switch n := e.(type) {
+	case *ir.Bin:
+		a, b := lit(0), lit(1)
+		switch n.Op {
+		case "+":
+			v, _ := types.Add(n.K, a, b)
+			return v, true
+		case "-":
+			v, _ := types.Sub(n.K, a, b)
+			return v, true
+		case "*":
+			v, _ := types.Mul(n.K, a, b)
+			return v, true
+		case "/":
+			v, _ := types.Div(n.K, a, b)
+			return v, true
+		case "&", "|", "^":
+			return bitCombine(n.K, n.Op, a, b)
+		}
+	case *ir.Call:
+		x := lit(0)
+		if n.Op == "abs" {
+			v, _ := types.Abs(types.F64, x)
+			return v, true
+		}
+		// Domain errors (log of a negative, ...) still produce the exact
+		// runtime value (NaN/Inf), so the fold stays valid.
+		v, _ := types.MathUnary(n.Op, types.F64, x)
+		return v, true
+	case *ir.Mod2:
+		v, _ := types.Mod(types.F64, lit(0), lit(1))
+		return v, true
+	case *ir.Cast:
+		v, _ := types.Convert(lit(0), n.To)
+		return v, true
+	case *ir.Cmp:
+		return types.BoolVal(relationalHolds(n.Op, types.Compare(lit(0), lit(1)))), true
+	case *ir.Logic:
+		conds := make([]bool, len(ch))
+		for i := range ch {
+			conds[i] = lit(i).B
+		}
+		return types.BoolVal(logicEval(n.Op, conds)), true
+	case *ir.BNot:
+		v, _ := types.Convert(lit(0), n.K)
+		if n.K.IsSigned() {
+			return types.IntVal(n.K, ^v.I), true
+		}
+		return types.UintVal(n.K, ^v.U), true
+	case *ir.Shift:
+		return shiftConst(n, lit(0)), true
+	}
+	return types.Value{}, false
+}
+
+// bitCombine mirrors the BitwiseOperator Eval over two kind-k values.
+func bitCombine(k types.Kind, op string, a, b types.Value) (types.Value, bool) {
+	if !k.IsInteger() {
+		return types.Value{}, false
+	}
+	av, _ := types.Convert(a, k)
+	bv, _ := types.Convert(b, k)
+	if k.IsSigned() {
+		switch op {
+		case "&":
+			return types.IntVal(k, av.I&bv.I), true
+		case "|":
+			return types.IntVal(k, av.I|bv.I), true
+		case "^":
+			return types.IntVal(k, av.I^bv.I), true
+		}
+	}
+	switch op {
+	case "&":
+		return types.UintVal(k, av.U&bv.U), true
+	case "|":
+		return types.UintVal(k, av.U|bv.U), true
+	case "^":
+		return types.UintVal(k, av.U^bv.U), true
+	}
+	return types.Value{}, false
+}
+
+// shiftConst mirrors the Shift Eval (wrap-on-overflow left shifts).
+func shiftConst(n *ir.Shift, x types.Value) types.Value {
+	v, _ := types.Convert(x, n.K)
+	if n.Op == "left" {
+		if n.K.IsSigned() {
+			return types.Value{Kind: n.K, I: types.WrapInt(n.K, v.I<<uint(n.N))}
+		}
+		return types.Value{Kind: n.K, U: types.WrapUint(n.K, v.U<<uint(n.N))}
+	}
+	if n.K.IsSigned() {
+		return types.Value{Kind: n.K, I: v.I >> uint(n.N)}
+	}
+	return types.Value{Kind: n.K, U: v.U >> uint(n.N)}
+}
+
+// relationalHolds applies a model relational operator to a types.Compare
+// result (-2 encodes NaN-incomparable), mirroring the actors package.
+func relationalHolds(op string, c int) bool {
+	switch op {
+	case "==":
+		return c == 0
+	case "~=":
+		return c != 0
+	case "<":
+		return c == -1
+	case "<=":
+		return c == -1 || c == 0
+	case ">":
+		return c == 1
+	case ">=":
+		return c == 1 || c == 0
+	}
+	return false
+}
+
+// logicEval mirrors the Logic actor's combination semantics.
+func logicEval(op string, conds []bool) bool {
+	switch op {
+	case "AND", "NAND":
+		out := true
+		for _, c := range conds {
+			out = out && c
+		}
+		return out != (op == "NAND")
+	case "OR", "NOR":
+		out := false
+		for _, c := range conds {
+			out = out || c
+		}
+		return out != (op == "NOR")
+	case "XOR", "NXOR":
+		out := false
+		for _, c := range conds {
+			out = out != c
+		}
+		return out != (op == "NXOR")
+	case "NOT":
+		return !conds[0]
+	}
+	return false
+}

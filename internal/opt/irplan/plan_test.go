@@ -1,0 +1,309 @@
+package irplan
+
+import (
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/opt/ir"
+	"accmos/internal/types"
+)
+
+func plan(t *testing.T, m *model.Model, cfg ir.Config) *Plan {
+	t.Helper()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatalf("compile %s: %v", m.Name, err)
+	}
+	return Build(ir.Analyze(c, cfg))
+}
+
+// fuseChain: In1 -> Gain -> Bias -> Sqrt -> Out1. Every intermediate has
+// exactly one consumer, so the whole chain fuses into the Sqrt root.
+func fuseChain() *model.Model {
+	b := model.NewBuilder("FUSE")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"))
+	b.Add("B", "Bias", 1, 1, model.WithParam("Bias", "1"))
+	b.Add("R", "Sqrt", 1, 1, model.WithOperator("sqrt"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Chain("In1", "G", "B", "R", "Out1")
+	return b.MustBuild()
+}
+
+func TestBuildFusesSingleConsumerChain(t *testing.T) {
+	p := plan(t, fuseChain(), ir.Config{})
+	if !p.Inlined["G"] || !p.Inlined["B"] {
+		t.Fatalf("G,B should inline; inlined=%v", p.Inlined)
+	}
+	if p.Inlined["R"] {
+		t.Fatal("R feeds an opaque Outport and must stay a root")
+	}
+	root := p.Roots["R"]
+	if root == nil {
+		t.Fatal("R has no root")
+	}
+	// The fused tree must contain the In1 ref but no refs to G or B.
+	var g, b, in int
+	ir.Walk(root.Expr, func(e ir.Expr) {
+		if r, ok := e.(*ir.Ref); ok {
+			switch r.Actor {
+			case "G":
+				g++
+			case "B":
+				b++
+			case "In1":
+				in++
+			}
+		}
+	})
+	if g != 0 || b != 0 || in != 1 {
+		t.Fatalf("fused tree refs: G=%d B=%d In1=%d, want 0/0/1", g, b, in)
+	}
+	if p.Stats.FusedExprs != 2 {
+		t.Fatalf("FusedExprs = %d, want 2", p.Stats.FusedExprs)
+	}
+}
+
+func TestBuildMultiUseBlocksFusion(t *testing.T) {
+	b := model.NewBuilder("MULTI")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"))
+	b.Add("S", "Sum", 2, 1, model.WithOperator("++"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "G", 0)
+	b.Connect("G", 0, "S", 0)
+	b.Connect("G", 0, "S", 1)
+	b.Connect("S", 0, "Out1", 0)
+	p := plan(t, b.MustBuild(), ir.Config{})
+	if p.Inlined["G"] {
+		t.Fatal("G has two uses and must not inline")
+	}
+	if p.Roots["G"] == nil || p.Roots["S"] == nil {
+		t.Fatal("both G and S should be roots")
+	}
+}
+
+func TestBuildMustMaterializeBlocksFusion(t *testing.T) {
+	p := plan(t, fuseChain(), ir.Config{Monitored: map[string]bool{"B": true}})
+	if p.Inlined["B"] {
+		t.Fatal("monitored B must not inline")
+	}
+	if !p.Inlined["G"] {
+		t.Fatal("G still inlines into the materialized B")
+	}
+	if p.Roots["B"] == nil {
+		t.Fatal("B should be a materialized root")
+	}
+}
+
+// hoistModel drives a constant subtree into a live chain: K=2 -> Sqrt ->
+// Gain(3), joined with In1. Built directly at the IR level (no O1 pass
+// ran), the constant chain folds at plan time; sqrt(2)*3 costs two
+// runtime operations, so it must hoist rather than stay an inline Go
+// literal expression.
+func hoistModel() *model.Model {
+	b := model.NewBuilder("HOIST")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("K", "Constant", 0, 1, model.WithParam("Value", "2"))
+	b.Add("R", "Sqrt", 1, 1, model.WithOperator("sqrt"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "3"))
+	b.Add("S", "Sum", 2, 1, model.WithOperator("++"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("K", 0, "R", 0)
+	b.Connect("R", 0, "G", 0)
+	b.Connect("In1", 0, "S", 0)
+	b.Connect("G", 0, "S", 1)
+	b.Connect("S", 0, "Out1", 0)
+	return b.MustBuild()
+}
+
+func TestBuildHoistsConstantSubtree(t *testing.T) {
+	p := plan(t, hoistModel(), ir.Config{})
+	if p.Stats.HoistedExprs != 1 {
+		t.Fatalf("HoistedExprs = %d, want 1 (sqrt(2)*3)", p.Stats.HoistedExprs)
+	}
+	h := p.Hoisted[0]
+	// The hoisted value must be computed with the runtime's per-op
+	// semantics: float64(sqrt(2)) * 3.
+	want, _ := types.Mul(types.F64, mustMath(t, "sqrt", 2), types.FloatVal(types.F64, 3))
+	if h.Val.F != want.F {
+		t.Fatalf("hoisted value %v, want %v", h.Val.F, want.F)
+	}
+	// The root for S references the hoisted global, not a literal tree.
+	var hoistRefs, lits int
+	ir.Walk(p.Roots["S"].Expr, func(e ir.Expr) {
+		switch e.(type) {
+		case *ir.HoistRef:
+			hoistRefs++
+		case *ir.Lit:
+			lits++
+		}
+	})
+	if hoistRefs != 1 {
+		t.Fatalf("S tree has %d hoist refs, want 1", hoistRefs)
+	}
+	if lits != 0 {
+		t.Fatalf("S tree still holds %d literals, want 0", lits)
+	}
+}
+
+func mustMath(t *testing.T, op string, x float64) types.Value {
+	t.Helper()
+	v, _ := types.MathUnary(op, types.F64, types.FloatVal(types.F64, x))
+	return v
+}
+
+func TestBuildHoistDedup(t *testing.T) {
+	// Two identical constant chains must share one global.
+	b := model.NewBuilder("DEDUP")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	for _, sfx := range []string{"A", "B"} {
+		b.Add("K"+sfx, "Constant", 0, 1, model.WithParam("Value", "2"))
+		b.Add("R"+sfx, "Sqrt", 1, 1, model.WithOperator("sqrt"))
+		b.Add("G"+sfx, "Gain", 1, 1, model.WithParam("Gain", "3"))
+		b.Connect("K"+sfx, 0, "R"+sfx, 0)
+		b.Connect("R"+sfx, 0, "G"+sfx, 0)
+	}
+	b.Add("S", "Sum", 3, 1, model.WithOperator("+++"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "S", 0)
+	b.Connect("GA", 0, "S", 1)
+	b.Connect("GB", 0, "S", 2)
+	b.Connect("S", 0, "Out1", 0)
+	p := plan(t, b.MustBuild(), ir.Config{})
+	if p.Stats.HoistedExprs != 1 {
+		t.Fatalf("HoistedExprs = %d, want 1 (deduped)", p.Stats.HoistedExprs)
+	}
+}
+
+// narrowModel: an int32 Saturation clamped to [-5, 100] feeding two
+// lowered consumers. The Saturation itself is opaque (fact only); the
+// Sum of the two saturated reads has interval [-10, 200] — int16.
+func narrowModel() *model.Model {
+	b := model.NewBuilder("NARROW")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1"))
+	b.Add("Sat", "Saturation", 1, 1, model.WithParam("Min", "-5"), model.WithParam("Max", "100"))
+	b.Add("S", "Sum", 2, 1, model.WithOperator("++"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"))
+	b.Add("B", "Bias", 1, 1, model.WithParam("Bias", "1"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Add("Out2", "Outport", 1, 0, model.WithParam("Port", "2"))
+	b.Connect("In1", 0, "Sat", 0)
+	b.Connect("Sat", 0, "S", 0)
+	b.Connect("Sat", 0, "S", 1)
+	b.Connect("S", 0, "G", 0)
+	b.Connect("S", 0, "B", 0)
+	b.Connect("G", 0, "Out1", 0)
+	b.Connect("B", 0, "Out2", 0)
+	return b.MustBuild()
+}
+
+func TestBuildNarrowsByInterval(t *testing.T) {
+	p := plan(t, narrowModel(), ir.Config{})
+	// S: [-10, 200] with both consumers (G, B) lowered -> int16 storage.
+	if k, ok := p.NarrowedKind("S"); !ok || k != types.I16 {
+		t.Fatalf("S narrowed to %v (ok=%v), want int16", k, ok)
+	}
+	if p.Roots["S"].Store != types.I16 || p.Roots["S"].Kind != types.I32 {
+		t.Fatalf("S root kinds = %v/%v", p.Roots["S"].Kind, p.Roots["S"].Store)
+	}
+	// G and B feed opaque Outports: not narrowed.
+	if _, ok := p.NarrowedKind("G"); ok {
+		t.Fatal("G feeds an Outport and must not narrow")
+	}
+	if p.Stats.NarrowedSignals != 1 {
+		t.Fatalf("NarrowedSignals = %d, want 1", p.Stats.NarrowedSignals)
+	}
+}
+
+func TestBuildNarrowBlockedByOpaqueConsumer(t *testing.T) {
+	// Same shape but S feeds a UnitDelay (opaque template reading the raw
+	// variable): narrowing must decline.
+	b := model.NewBuilder("NARROWBLOCK")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.I32), model.WithParam("Port", "1"))
+	b.Add("Sat", "Saturation", 1, 1, model.WithParam("Min", "-5"), model.WithParam("Max", "100"))
+	b.Add("S", "Sum", 2, 1, model.WithOperator("++"))
+	b.Add("D", "UnitDelay", 1, 1)
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "Sat", 0)
+	b.Connect("Sat", 0, "S", 0)
+	b.Connect("Sat", 0, "S", 1)
+	b.Connect("S", 0, "D", 0)
+	b.Connect("D", 0, "Out1", 0)
+	p := plan(t, b.MustBuild(), ir.Config{})
+	if _, ok := p.NarrowedKind("S"); ok {
+		t.Fatal("S feeds a stateful opaque actor and must not narrow")
+	}
+}
+
+func TestBuildNarrowsF64ToF32Storage(t *testing.T) {
+	// An F32 Gain widened into an F64 Sum path: the Cast(F32->F64) root
+	// stores float32 when all consumers are lowered.
+	b := model.NewBuilder("F32N")
+	b.Add("In1", "Inport", 0, 1, model.WithOutKind(types.F32), model.WithParam("Port", "1"))
+	b.Add("G", "Gain", 1, 1, model.WithParam("Gain", "2"))
+	b.Add("C", "DataTypeConversion", 1, 1, model.WithOutKind(types.F64))
+	b.Add("S", "Sum", 2, 1, model.WithOperator("++"))
+	b.Add("B", "Bias", 1, 1, model.WithParam("Bias", "1"))
+	b.Add("Out1", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("In1", 0, "G", 0)
+	b.Connect("G", 0, "C", 0)
+	b.Connect("C", 0, "S", 0)
+	b.Connect("C", 0, "S", 1)
+	b.Connect("S", 0, "B", 0)
+	b.Connect("B", 0, "Out1", 0)
+	p := plan(t, b.MustBuild(), ir.Config{})
+	if k, ok := p.NarrowedKind("C"); !ok || k != types.F32 {
+		t.Fatalf("C narrowed to %v (ok=%v), want float32 storage", k, ok)
+	}
+	// The re-rooted tree is the F32 expression (no trailing widen).
+	if p.Roots["C"].Expr.Kind() != types.F32 {
+		t.Fatalf("C tree kind = %v, want F32", p.Roots["C"].Expr.Kind())
+	}
+}
+
+func TestEvalConstMatchesTypesOps(t *testing.T) {
+	// Folding sqrt(2)*3 must equal the staged types-ops computation, not
+	// Go's exact compile-time arithmetic.
+	two := types.FloatVal(types.F64, 2)
+	three := types.FloatVal(types.F64, 3)
+	tree := &ir.Bin{Op: "*", K: types.F64,
+		A: &ir.Cast{From: types.F64, To: types.F64, X: &ir.Call{Op: "sqrt", X: &ir.Lit{Val: two}}},
+		B: &ir.Lit{Val: three},
+	}
+	f := &folder{plan: &Plan{}, names: map[string]string{}}
+	e, ops := f.foldConst(tree)
+	if ops < 2 {
+		t.Fatalf("ops = %d, want >= 2", ops)
+	}
+	s, _ := types.MathUnary("sqrt", types.F64, two)
+	want, _ := types.Mul(types.F64, s, three)
+	if got := e.(*ir.Lit).Val; got.F != want.F {
+		t.Fatalf("folded %v, want %v", got.F, want.F)
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	add := binInterval(types.I32, "+",
+		ir.Interval{Lo: -5, Hi: 100, OK: true}, ir.Interval{Lo: -5, Hi: 100, OK: true})
+	if !add.OK || add.Lo != -10 || add.Hi != 200 {
+		t.Fatalf("add interval = %+v", add)
+	}
+	// Overflow past the kind falls back to the kind's full range.
+	big := ir.Interval{Lo: 0, Hi: 1 << 40, OK: true}
+	mul := binInterval(types.I32, "*", big, big)
+	lo, hi := kindRange(types.I32)
+	if !mul.OK || mul.Lo != lo || mul.Hi != hi {
+		t.Fatalf("overflowing mul = %+v, want full int32 range", mul)
+	}
+	// Casting a fitting interval through a wider kind preserves it.
+	cv := castInterval(types.I8, types.I32, ir.Interval{Lo: -3, Hi: 7, OK: true})
+	if !cv.OK || cv.Lo != -3 || cv.Hi != 7 {
+		t.Fatalf("cast interval = %+v", cv)
+	}
+	// U64 storage can exceed int64: stays unknown.
+	if u := clampToKind(types.U64, ir.Interval{}); u.OK {
+		t.Fatalf("U64 clamp should stay unknown, got %+v", u)
+	}
+}

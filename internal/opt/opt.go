@@ -24,6 +24,8 @@ import (
 	"accmos/internal/graph"
 	"accmos/internal/model"
 	"accmos/internal/obs"
+	"accmos/internal/opt/ir"
+	"accmos/internal/opt/irplan"
 )
 
 // Level selects how aggressively the pipeline rewrites the model.
@@ -34,14 +36,25 @@ const (
 	O0 Level = 0
 	// O1 enables constant folding, CSE and dead-actor elimination.
 	O1 Level = 1
+	// O2 additionally runs the typed-lowering middle-end (ir → irplan):
+	// chains of single-consumer arithmetic/logic/compare actors fuse
+	// into single generated Go expressions, loop-invariant subtrees are
+	// hoisted out of the step loop, and integer/float signal storage is
+	// narrowed by inferred value range. O2 only changes the generated
+	// program; the in-process engines execute the O1 pipeline's model,
+	// which is what makes the four-engine equivalence oracle meaningful.
+	O2 Level = 2
 )
 
 // String renders the level the way the CLI flag spells it.
 func (l Level) String() string {
-	if l <= O0 {
+	switch {
+	case l <= O0:
 		return "O0"
+	case l == O1:
+		return "O1"
 	}
-	return "O1"
+	return "O2"
 }
 
 // Options tells the pipeline which observation features are active, since
@@ -88,6 +101,20 @@ type Result struct {
 	ActorsAfter  int
 	// Passes lists per-pass rewrite counts in execution order.
 	Passes []PassStat
+	// Plan is the O2 fusion/hoist/narrow decision set for the code
+	// generator; nil below O2. In-process engines ignore it.
+	Plan *irplan.Plan
+	// O2 counters (zero below O2): fused = producers inlined into their
+	// consumer's expression, hoisted = loop-invariant globals, narrowed
+	// = signals stored in a smaller kind.
+	FusedExprs      int
+	HoistedExprs    int
+	NarrowedSignals int
+	// EffectiveActors is the post-fusion statement count of the step
+	// loop: ActorsAfter minus FusedExprs. It is the denominator
+	// ns-per-actor-step reporting must use at O2 (a fused actor no
+	// longer costs a statement), and equals ActorsAfter below O2.
+	EffectiveActors int
 }
 
 // session carries per-run state shared by the passes.
@@ -106,6 +133,7 @@ func Optimize(c *actors.Compiled, o Options) (*Result, error) {
 		ActorsBefore: len(c.Order),
 		ActorsAfter:  len(c.Order),
 	}
+	res.EffectiveActors = res.ActorsAfter
 	if o.Level <= O0 {
 		return res, nil
 	}
@@ -139,12 +167,46 @@ func Optimize(c *actors.Compiled, o Options) (*Result, error) {
 	}
 	res.Compiled = cur
 	res.ActorsAfter = len(cur.Order)
+	res.EffectiveActors = res.ActorsAfter
 	if o.Coverage {
 		if set, _ := s.pre.Raw.Progress(); set > 0 {
 			res.Premark = s.pre.Raw
 		}
 	}
+	if o.Level >= O2 {
+		sp := o.Trace.Start("opt.lower")
+		cfg := ir.Config{
+			Coverage:  o.Coverage,
+			Diagnose:  o.Diagnose,
+			Monitored: nameSet(o.Monitor),
+			Custom:    make(map[string]bool, len(o.Custom)),
+			StopOn:    o.StopOnActor,
+		}
+		for i := range o.Custom {
+			cfg.Custom[o.Custom[i].Actor] = true
+		}
+		plan := irplan.Build(ir.Analyze(cur, cfg))
+		sp.End()
+		res.Plan = plan
+		res.FusedExprs = plan.Stats.FusedExprs
+		res.HoistedExprs = plan.Stats.HoistedExprs
+		res.NarrowedSignals = plan.Stats.NarrowedSignals
+		res.EffectiveActors = res.ActorsAfter - res.FusedExprs
+		res.Passes = append(res.Passes,
+			PassStat{Pass: "fuse", Changed: plan.Stats.FusedExprs},
+			PassStat{Pass: "hoist", Changed: plan.Stats.HoistedExprs},
+			PassStat{Pass: "narrow", Changed: plan.Stats.NarrowedSignals})
+	}
 	return res, nil
+}
+
+// nameSet builds a membership set over actor names/paths.
+func nameSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
 }
 
 // hasDataStores reports whether any data-store actor is scheduled. The

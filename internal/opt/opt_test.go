@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"fmt"
 	"testing"
 
 	"accmos/internal/actors"
@@ -227,7 +228,7 @@ func TestMonitorAndStopActorsAreRoots(t *testing.T) {
 
 func TestOptShapesShrink(t *testing.T) {
 	limits := map[string]int{"OPTC": 8, "OPTD": 12, "OPTI": 5}
-	for _, name := range benchmodels.OptNames() {
+	for _, name := range []string{"OPTC", "OPTD", "OPTI"} {
 		c := compile(t, benchmodels.MustBuildOpt(name))
 		res := optimize(t, c, Options{Level: O1})
 		if res.ActorsAfter > limits[name] {
@@ -236,6 +237,59 @@ func TestOptShapesShrink(t *testing.T) {
 		}
 		if res.ActorsBefore < 80 {
 			t.Errorf("%s: only %d actors before optimization; the shape should be large", name, res.ActorsBefore)
+		}
+	}
+}
+
+// TestOpt2ShapesPlan checks each O2-sensitive shape survives O1 mostly
+// intact (fusion must have something left to do) and that the middle-end
+// counter the shape was built to exercise actually fires.
+func TestOpt2ShapesPlan(t *testing.T) {
+	wants := map[string]func(*Result) error{
+		"OPTF": func(r *Result) error {
+			if r.FusedExprs < 100 {
+				return fmt.Errorf("fused %d exprs, want >= 100", r.FusedExprs)
+			}
+			return nil
+		},
+		"OPTV": func(r *Result) error {
+			if r.FusedExprs < 80 {
+				return fmt.Errorf("fused %d exprs, want >= 80", r.FusedExprs)
+			}
+			return nil
+		},
+		"OPTH": func(r *Result) error {
+			if r.HoistedExprs < 1 {
+				return fmt.Errorf("hoisted %d exprs, want >= 1", r.HoistedExprs)
+			}
+			if r.FusedExprs < 100 {
+				return fmt.Errorf("fused %d exprs, want >= 100", r.FusedExprs)
+			}
+			return nil
+		},
+		"OPTN": func(r *Result) error {
+			if r.NarrowedSignals < 40 {
+				return fmt.Errorf("narrowed %d signals, want >= 40", r.NarrowedSignals)
+			}
+			return nil
+		},
+	}
+	for _, name := range benchmodels.Opt2Names() {
+		c := compile(t, benchmodels.MustBuildOpt(name))
+		if len(c.Order) < 80 {
+			t.Errorf("%s: only %d actors; the shape should be large", name, len(c.Order))
+		}
+		res := optimize(t, c, Options{Level: O2})
+		// O1 must leave the bulk of the shape in place — these shapes
+		// exist precisely because the O1 trio collapses before O2 runs.
+		if res.ActorsAfter < len(c.Order)*2/3 {
+			t.Errorf("%s: O1 passes removed too much (%d -> %d)", name, len(c.Order), res.ActorsAfter)
+		}
+		if err := wants[name](res); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if res.EffectiveActors != res.ActorsAfter-res.FusedExprs {
+			t.Errorf("%s: EffectiveActors %d != %d - %d", name, res.EffectiveActors, res.ActorsAfter, res.FusedExprs)
 		}
 	}
 }

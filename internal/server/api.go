@@ -57,7 +57,7 @@ type SubmitRequest struct {
 	Diagnose bool `json:"diagnose,omitempty"`
 
 	// OptLevel selects the optimizing middle-end level for this job
-	// (0 or 1). Absent = the daemon's -opt default. Distinct levels
+	// (0, 1 or 2). Absent = the daemon's -opt default. Distinct levels
 	// never share build-cache entries.
 	OptLevel *int `json:"optLevel,omitempty"`
 
@@ -204,13 +204,21 @@ type CacheView struct {
 }
 
 // OptTotals aggregates optimizing-middle-end activity across finished
-// jobs: how many ran at each level and how many scheduled actors the
-// pipeline saw and kept in total.
+// jobs: how many ran at each level, how many scheduled actors the
+// pipeline saw and kept in total, and what the O2 typed-lowering stage
+// did to them. ActorsEffective is the post-fusion step-loop statement
+// total — the denominator for any ns-per-actor-step derived from these
+// counters (below O2 it equals ActorsAfter).
 type OptTotals struct {
-	O0Jobs       int64 `json:"o0Jobs"`
-	O1Jobs       int64 `json:"o1Jobs"`
-	ActorsBefore int64 `json:"actorsBefore"`
-	ActorsAfter  int64 `json:"actorsAfter"`
+	O0Jobs          int64 `json:"o0Jobs"`
+	O1Jobs          int64 `json:"o1Jobs"`
+	O2Jobs          int64 `json:"o2Jobs"`
+	ActorsBefore    int64 `json:"actorsBefore"`
+	ActorsAfter     int64 `json:"actorsAfter"`
+	ActorsEffective int64 `json:"actorsEffective"`
+	FusedExprs      int64 `json:"fusedExprs"`
+	HoistedExprs    int64 `json:"hoistedExprs"`
+	NarrowedSignals int64 `json:"narrowedSignals"`
 }
 
 // WorkerPoolView is the warm-worker-pool section of /metrics: how many

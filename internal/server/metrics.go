@@ -22,11 +22,14 @@ var jobStates = []string{"submitted", "done", "failed", "canceled", "rejected"}
 type metrics struct {
 	reg *obs.Registry
 
-	jobs      *obs.CounterVec   // accmosd_jobs_total{state}
-	phases    *obs.HistogramVec // accmosd_phase_seconds{phase}
-	optJobs   *obs.CounterVec   // accmosd_opt_jobs_total{level}
-	optActors *obs.CounterVec   // accmosd_opt_actors_total{stage}
-	imports   *obs.Counter      // accmosd_artifact_imports_total
+	jobs        *obs.CounterVec   // accmosd_jobs_total{state}
+	phases      *obs.HistogramVec // accmosd_phase_seconds{phase}
+	optJobs     *obs.CounterVec   // accmosd_opt_jobs_total{level}
+	optActors   *obs.CounterVec   // accmosd_opt_actors_total{stage}
+	optFused    *obs.Counter      // accmosd_opt_fused_exprs_total
+	optHoisted  *obs.Counter      // accmosd_opt_hoisted_exprs_total
+	optNarrowed *obs.Counter      // accmosd_opt_narrowed_signals_total
+	imports     *obs.Counter      // accmosd_artifact_imports_total
 }
 
 // newMetrics builds the registry. Registration order is the exposition
@@ -77,11 +80,19 @@ func newMetrics(s *Server) *metrics {
 		"Completed jobs by optimizing-middle-end level.", "level")
 	m.optJobs.With("O0")
 	m.optJobs.With("O1")
+	m.optJobs.With("O2")
 	m.optActors = reg.Counter("accmosd_opt_actors_total",
-		"Scheduled actors the optimizer saw (stage=before) and kept (stage=after), summed over completed jobs.",
+		"Scheduled actors the optimizer saw (stage=before), kept (stage=after) and emitted as step-loop statements after O2 fusion (stage=effective), summed over completed jobs.",
 		"stage")
 	m.optActors.With("before")
 	m.optActors.With("after")
+	m.optActors.With("effective")
+	m.optFused = reg.Counter("accmosd_opt_fused_exprs_total",
+		"Actors inlined into a consumer expression by O2 typed lowering, summed over completed jobs.").With()
+	m.optHoisted = reg.Counter("accmosd_opt_hoisted_exprs_total",
+		"Loop-invariant subexpressions hoisted to init-time globals by O2, summed over completed jobs.").With()
+	m.optNarrowed = reg.Counter("accmosd_opt_narrowed_signals_total",
+		"Signals stored at a narrower width than their semantic kind by O2, summed over completed jobs.").With()
 
 	reg.GaugeFunc("accmosd_cache_entries", "Compiled binaries resident in the build cache.", func() float64 {
 		return float64(s.cache.Stats().Entries)
@@ -157,21 +168,33 @@ func (m *metrics) recordOpt(o *accmos.OptStats) {
 	if o == nil {
 		return
 	}
-	if o.Level == "O0" {
+	switch o.Level {
+	case "O0":
 		m.optJobs.With("O0").Inc()
-	} else {
+	case "O2":
+		m.optJobs.With("O2").Inc()
+	default:
 		m.optJobs.With("O1").Inc()
 	}
 	m.optActors.With("before").Add(int64(o.ActorsBefore))
 	m.optActors.With("after").Add(int64(o.ActorsAfter))
+	m.optActors.With("effective").Add(int64(o.EffectiveActors))
+	m.optFused.Add(int64(o.FusedExprs))
+	m.optHoisted.Add(int64(o.HoistedExprs))
+	m.optNarrowed.Add(int64(o.NarrowedSignals))
 }
 
 func (m *metrics) optTotals() OptTotals {
 	return OptTotals{
-		O0Jobs:       m.optJobs.With("O0").Value(),
-		O1Jobs:       m.optJobs.With("O1").Value(),
-		ActorsBefore: m.optActors.With("before").Value(),
-		ActorsAfter:  m.optActors.With("after").Value(),
+		O0Jobs:          m.optJobs.With("O0").Value(),
+		O1Jobs:          m.optJobs.With("O1").Value(),
+		O2Jobs:          m.optJobs.With("O2").Value(),
+		ActorsBefore:    m.optActors.With("before").Value(),
+		ActorsAfter:     m.optActors.With("after").Value(),
+		ActorsEffective: m.optActors.With("effective").Value(),
+		FusedExprs:      m.optFused.Value(),
+		HoistedExprs:    m.optHoisted.Value(),
+		NarrowedSignals: m.optNarrowed.Value(),
 	}
 }
 
