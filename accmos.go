@@ -43,6 +43,7 @@ import (
 	"accmos/internal/model"
 	"accmos/internal/obs"
 	"accmos/internal/opt"
+	"accmos/internal/opt/partition"
 	"accmos/internal/rapid"
 	"accmos/internal/simresult"
 	"accmos/internal/slx"
@@ -242,6 +243,57 @@ func OptLevelFromInt(n int) (OptLevel, error) {
 	return OptDefault, fmt.Errorf("accmos: unsupported opt level -O%d (supported: 0, 1, 2)", n)
 }
 
+// PartitionsAuto asks the partitioner to pick the partition count from
+// GOMAXPROCS, bounded by a min-actors-per-partition threshold.
+const PartitionsAuto = -1
+
+// PartStats reports the partitioning decision behind one generated run.
+type PartStats struct {
+	// Requested is the partition count the options asked for (after
+	// auto resolution).
+	Requested int `json:"requested"`
+	// Usable is what the cut produced; 1 means the run was sequential.
+	Usable int `json:"usable"`
+	// CutEdges counts signals shipped between partitions each step.
+	CutEdges int `json:"cutEdges,omitempty"`
+	// Balance is maxPartitionWeight/idealWeight (1.0 = perfect).
+	Balance float64 `json:"balance,omitempty"`
+	// Declined records why a K-way request fell back to sequential.
+	Declined string `json:"declined,omitempty"`
+}
+
+// partitionPlan resolves Options.Partitions against the optimized
+// schedule. Nil when partitioning is off; a declined plan when the
+// request cannot be honoured (StopOnDiag needs the sequential
+// stop-flag protocol, and some graphs have no legal balanced cut).
+func partitionPlan(opts *Options, c *actors.Compiled) *partition.Plan {
+	k := opts.Partitions
+	if k == PartitionsAuto {
+		k = partition.AutoK(c)
+	}
+	if k < 2 && opts.Partitions != PartitionsAuto {
+		return nil
+	}
+	if opts.StopOnDiag != "" {
+		return &partition.Plan{Requested: k, Usable: 1, Declined: "stop-on-diag runs are sequential"}
+	}
+	return partition.Build(c, k)
+}
+
+// partStats renders a partition plan for the public Result.
+func partStats(pp *partition.Plan) *PartStats {
+	if pp == nil {
+		return nil
+	}
+	return &PartStats{
+		Requested: pp.Requested,
+		Usable:    pp.Usable,
+		CutEdges:  pp.CutEdges,
+		Balance:   pp.Balance,
+		Declined:  pp.Declined,
+	}
+}
+
 // OptPassStat records how many sites one optimizer pass rewrote.
 type OptPassStat = opt.PassStat
 
@@ -295,6 +347,17 @@ type Options struct {
 	// passes keep output hashes, coverage bitmaps and diagnosis counts
 	// byte-identical to an O0 run.
 	OptLevel OptLevel
+
+	// Partitions requests intra-model parallelism from the generated
+	// engine: the scheduled actor graph is cut into this many balanced
+	// contiguous sub-graphs and the step loop pipelines across one
+	// goroutine per partition (0 or 1 = sequential, the default;
+	// PartitionsAuto picks from GOMAXPROCS). Results are bit-identical
+	// to a sequential build; the request is declined — recorded on
+	// Result.Part — when the graph has no usable cut or the run uses
+	// StopOnDiag. Only the generated engine parallelizes; the in-process
+	// engines ignore this.
+	Partitions int
 
 	// WorkDir keeps generated sources and binaries (default: the
 	// process-wide build cache, so repeated calls on the same model and
@@ -418,6 +481,11 @@ type Result struct {
 	// results that never went through prepare).
 	Opt *OptStats
 
+	// Part reports the partitioning decision (nil when partitioning was
+	// not requested or the engine does not partition). A declined
+	// request still runs — sequentially — with the reason recorded.
+	Part *PartStats
+
 	// ArtifactHash is the content-hash key of the generated program
 	// (codegen.Program.Hash): the build-cache key of the binary this run
 	// executed. A fleet coordinator uses it to learn which nodes hold
@@ -480,7 +548,8 @@ func GenerateSource(m *Model, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
+	pp := partitionPlan(&opts, or.Compiled)
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or, pp))
 	if err != nil {
 		return "", err
 	}
@@ -500,7 +569,8 @@ func ProgramHash(m *Model, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
+	pp := partitionPlan(&opts, or.Compiled)
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or, pp))
 	if err != nil {
 		return "", err
 	}
@@ -568,8 +638,9 @@ func optStats(opts *Options, or *opt.Result) *OptStats {
 	}
 }
 
-func codegenOptions(opts Options, tcs *TestCases, or *opt.Result) codegen.Options {
+func codegenOptions(opts Options, tcs *TestCases, or *opt.Result, pp *partition.Plan) codegen.Options {
 	return codegen.Options{
+		Partition:         pp,
 		Coverage:          opts.Coverage,
 		Diagnose:          opts.Diagnose,
 		Monitor:           opts.Monitor,
@@ -609,7 +680,8 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
+	pp := partitionPlan(&opts, or.Compiled)
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or, pp))
 	if err != nil {
 		return nil, err
 	}
@@ -640,7 +712,7 @@ func SimulateContext(ctx context.Context, m *Model, opts Options) (*Result, erro
 		return nil, err
 	}
 	res.CompileNanos = compileTime.Nanoseconds()
-	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, WorkerReuse: reused, Opt: optStats(&opts, or), ArtifactHash: prog.Hash()}, nil
+	return &Result{Results: res, layout: prog.Layout, CacheHit: hit, WorkerReuse: reused, Opt: optStats(&opts, or), Part: partStats(pp), ArtifactHash: prog.Hash()}, nil
 }
 
 // buildProgram compiles prog honouring the WorkDir contract: a pinned
@@ -715,7 +787,8 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 	if err != nil {
 		return nil, err
 	}
-	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or))
+	pp := partitionPlan(&opts, or.Compiled)
+	prog, err := codegen.Generate(or.Compiled, codegenOptions(opts, tcs, or, pp))
 	if err != nil {
 		return nil, err
 	}
@@ -742,7 +815,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 	// request per seed. Progress still streams, but each heartbeat
 	// aggregates over a whole batch's lanes.
 	if !opts.DisableBatch && opts.Budget == 0 {
-		return sweepBatch(ctx, m, &opts, or, prog, bin, compileTime, cacheHit, seedXors, workers, pool)
+		return sweepBatch(ctx, m, &opts, or, pp, prog, bin, compileTime, cacheHit, seedXors, workers, pool)
 	}
 
 	sw := &SweepResult{layout: prog.Layout, merged: prog.Layout.NewRaw()}
@@ -815,7 +888,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 						continue
 					}
 				}
-				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, WorkerReuse: reused, Opt: optStats(&opts, or), ArtifactHash: prog.Hash()}
+				runs[i] = &Result{Results: res, layout: prog.Layout, CacheHit: cacheHit, WorkerReuse: reused, Opt: optStats(&opts, or), Part: partStats(pp), ArtifactHash: prog.Hash()}
 			}
 		}(w)
 	}
@@ -845,7 +918,7 @@ func SweepContext(ctx context.Context, m *Model, opts Options, seedXors []uint64
 // available, a single spawn otherwise. Per-lane results land in their
 // seed's Runs slot and coverage is OR-merged under the sweep mutex, so
 // Runs order and merged coverage match per-run execution exactly.
-func sweepBatch(ctx context.Context, m *Model, opts *Options, or *opt.Result, prog *codegen.Program, bin string, compileTime time.Duration, cacheHit bool, seedXors []uint64, workers int, pool *WorkerPool) (*SweepResult, error) {
+func sweepBatch(ctx context.Context, m *Model, opts *Options, or *opt.Result, pp *partition.Plan, prog *codegen.Program, bin string, compileTime time.Duration, cacheHit bool, seedXors []uint64, workers int, pool *WorkerPool) (*SweepResult, error) {
 	// Below this many lanes per request, framing overhead eats the
 	// batching win; prefer fewer, fuller batches over maximal fan-out.
 	const minBatchLanes = 8

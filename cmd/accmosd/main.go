@@ -60,6 +60,7 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		maxBody      = flag.Int64("max-body", 8<<20, "max submission body bytes")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-drain bound on SIGTERM; afterwards remaining jobs are canceled")
+		partitions   = flag.Int("partitions", 0, "default goroutine-partition request for jobs that do not set partitions (0 or 1 = sequential, N >= 2 = N-way pipelined step loop, -1 = auto from GOMAXPROCS)")
 		optLevel     = flag.Int("opt", 1, "default optimization level for jobs that do not set optLevel (0 = off, 1 = constant folding + CSE + dead-actor elimination, 2 = O1 + expression fusion, invariant hoisting, storage narrowing)")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
@@ -82,16 +83,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "accmosd:", err)
 		os.Exit(2)
 	}
+	if *partitions < accmos.PartitionsAuto {
+		fmt.Fprintf(os.Stderr, "accmosd: invalid -partitions %d (want 0, 1, N >= 2 or -1 for auto)\n", *partitions)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheEntries:    *cacheEntries,
-		JobTimeout:      *jobTimeout,
-		PoolWorkers:     *poolWorkers,
-		RetryAfter:      *retryAfter,
-		MaxBodyBytes:    *maxBody,
-		DefaultOptLevel: defaultOpt,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		JobTimeout:        *jobTimeout,
+		PoolWorkers:       *poolWorkers,
+		RetryAfter:        *retryAfter,
+		MaxBodyBytes:      *maxBody,
+		DefaultOptLevel:   defaultOpt,
+		DefaultPartitions: *partitions,
 	}
 	var logger *slog.Logger
 	if !*quiet {
@@ -114,7 +120,7 @@ func main() {
 			addr: *addr, storeDir: *storeDir,
 			tenantQuota: *tenantQuota, tenantBurst: *tenantBurst,
 			deadAfter: *deadAfter, spillLoad: *spillLoad,
-			defaultOpt: defaultOpt, jobTimeout: *jobTimeout,
+			defaultOpt: defaultOpt, partitions: *partitions, jobTimeout: *jobTimeout,
 			maxBody: *maxBody, logger: logger,
 		})
 		return
@@ -195,6 +201,7 @@ type coordinatorOpts struct {
 	deadAfter   time.Duration
 	spillLoad   int
 	defaultOpt  accmos.OptLevel
+	partitions  int
 	jobTimeout  time.Duration
 	maxBody     int64
 	logger      *slog.Logger
@@ -205,15 +212,16 @@ type coordinatorOpts struct {
 // the next start, and dispatched jobs finish on their runners.
 func runCoordinator(o coordinatorOpts) {
 	coord, err := fleet.NewCoordinator(fleet.Config{
-		StoreDir:        o.storeDir,
-		TenantRate:      o.tenantQuota,
-		TenantBurst:     o.tenantBurst,
-		DeadAfter:       o.deadAfter,
-		SpillLoad:       o.spillLoad,
-		DefaultOptLevel: o.defaultOpt,
-		JobTimeout:      o.jobTimeout,
-		MaxBodyBytes:    o.maxBody,
-		Logger:          o.logger.With("component", "coordinator"),
+		StoreDir:          o.storeDir,
+		TenantRate:        o.tenantQuota,
+		TenantBurst:       o.tenantBurst,
+		DeadAfter:         o.deadAfter,
+		SpillLoad:         o.spillLoad,
+		DefaultOptLevel:   o.defaultOpt,
+		DefaultPartitions: o.partitions,
+		JobTimeout:        o.jobTimeout,
+		MaxBodyBytes:      o.maxBody,
+		Logger:            o.logger.With("component", "coordinator"),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "accmosd:", err)

@@ -1,0 +1,129 @@
+package benchmodels
+
+import (
+	"fmt"
+
+	"accmos/internal/model"
+	"accmos/internal/types"
+)
+
+// Partition-sensitive benchmark shapes. Both are compute-heavy enough
+// that a goroutine-pipelined step loop has real work to overlap, and
+// both schedule as contiguous per-chain runs (the topo-sort tie-break is
+// alphabetical, and each chain's names sort together), so the partition
+// cutter finds legal, balanced boundaries with few crossing signals:
+//
+//   - PARTL "longlanes": a few very deep transcendental chains joined
+//     only at the end — cutting between chains ships just the finished
+//     lane tails.
+//   - PARTW "widefan": many medium chains with independent outports —
+//     boundaries exist between every chain, so any K divides evenly.
+//
+// The chains rotate through host-compiler-opaque libm calls (tanh, sin,
+// cos), so per-actor cost is real at every opt level and O1/O2 cannot
+// fold the work away.
+
+// partLChains/partLDepth size PARTL: 4 lanes x 120 actors ≈ 480
+// heavyweight actors, enough for a 4-way cut above the auto-K
+// min-actors threshold.
+const (
+	partLChains = 4
+	partLDepth  = 120
+	partWChains = 16
+	partWDepth  = 30
+)
+
+// PartNames returns the partition benchmark shapes in suite order.
+func PartNames() []string { return []string{"PARTL", "PARTW"} }
+
+// PartDescription returns the one-line functionality string of a
+// partition benchmark shape.
+func PartDescription(name string) string {
+	switch name {
+	case "PARTL":
+		return "Few deep transcendental lanes joined late (pipelined partitions)"
+	case "PARTW":
+		return "Many medium independent chains fanned wide (balanced partitions)"
+	}
+	return ""
+}
+
+// BuildPart constructs the named partition benchmark shape.
+func BuildPart(name string) (*model.Model, error) {
+	switch name {
+	case "PARTL":
+		return PartLongLanes(), nil
+	case "PARTW":
+		return PartWideFan(), nil
+	}
+	return nil, fmt.Errorf("benchmodels: unknown partition shape %q (have %v)", name, PartNames())
+}
+
+// MustBuildPart is BuildPart for tests and benchmarks.
+func MustBuildPart(name string) *model.Model {
+	m, err := BuildPart(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// partChain grows one transcendental chain of the given depth from src,
+// rotating libm operators, and returns the tail actor name.
+func partChain(b *model.Builder, stem, src string, depth int) string {
+	ops := []string{"tanh", "sin", "cos"}
+	prev := src
+	for d := 0; d < depth; d++ {
+		n := fmt.Sprintf("%s_%03d", stem, d)
+		b.Add(n, "Math", 1, 1, model.WithOperator(ops[d%len(ops)]))
+		b.Connect(prev, 0, n, 0)
+		prev = n
+	}
+	return prev
+}
+
+// PartLongLanes builds PARTL: partLChains deep lanes from independent
+// inports, summed once at the very end. The only inter-lane edges are
+// the lane tails into the final Sum, so a K-way cut between lanes ships
+// K-1 signals per boundary at most.
+func PartLongLanes() *model.Model {
+	b := model.NewBuilder("PARTL")
+	tails := make([]string, partLChains)
+	for c := 0; c < partLChains; c++ {
+		// Chain-prefixed names keep each lane contiguous in the
+		// alphabetical topo tie-break, so lane boundaries cut only tails.
+		in := fmt.Sprintf("L%d_0in", c)
+		b.Add(in, "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", fmt.Sprint(c+1)))
+		tails[c] = partChain(b, fmt.Sprintf("L%d", c), in, partLDepth)
+	}
+	op := ""
+	for range tails {
+		op += "+"
+	}
+	b.Add("ZJoin", "Sum", partLChains, 1, model.WithOperator(op))
+	for c, tail := range tails {
+		b.Connect(tail, 0, "ZJoin", c)
+	}
+	b.Add("ZOut", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Connect("ZJoin", 0, "ZOut", 0)
+	return b.MustBuild()
+}
+
+// PartWideFan builds PARTW: partWChains medium chains, each with its own
+// outport — no cross-chain edges at all, so every inter-chain boundary
+// is legal and cuts only the signals the refiner cannot avoid (none).
+func PartWideFan() *model.Model {
+	b := model.NewBuilder("PARTW")
+	for c := 0; c < partWChains; c++ {
+		// Chain-prefixed names (inport sorts first, outport last within
+		// the chain) make every chain a contiguous schedule block with no
+		// edges leaving it.
+		in := fmt.Sprintf("W%02d_0in", c)
+		b.Add(in, "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", fmt.Sprint(c+1)))
+		tail := partChain(b, fmt.Sprintf("W%02d", c), in, partWDepth)
+		out := fmt.Sprintf("W%02d_zout", c)
+		b.Add(out, "Outport", 1, 0, model.WithParam("Port", fmt.Sprint(c+1)))
+		b.Connect(tail, 0, out, 0)
+	}
+	return b.MustBuild()
+}

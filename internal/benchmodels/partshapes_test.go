@@ -1,0 +1,41 @@
+package benchmodels
+
+import (
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/opt/partition"
+)
+
+// The partition shapes exist to exercise the cutter: both must accept
+// 2- and 4-way cuts with near-ideal balance, or the partition benchmark
+// measures nothing.
+func TestPartShapesCut(t *testing.T) {
+	for _, name := range PartNames() {
+		m := MustBuildPart(name)
+		if PartDescription(name) == "" {
+			t.Errorf("%s has no description", name)
+		}
+		c, err := actors.Compile(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range []int{2, 4} {
+			p := partition.Build(c, k)
+			if p.Usable != k {
+				t.Errorf("%s %d-way: usable %d (%s)", name, k, p.Usable, p.Declined)
+				continue
+			}
+			if p.Balance > 1.3 {
+				t.Errorf("%s %d-way: balance %.2f too skewed", name, k, p.Balance)
+			}
+			t.Logf("%s %d-way: cut %d, balance %.2f", name, k, p.CutEdges, p.Balance)
+		}
+	}
+}
+
+func TestBuildPartUnknown(t *testing.T) {
+	if _, err := BuildPart("NOPE"); err == nil {
+		t.Fatal("unknown shape must error")
+	}
+}

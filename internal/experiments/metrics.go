@@ -58,6 +58,14 @@ type MetricRow struct {
 	Respawns  int64   `json:"respawns,omitempty"`
 	Speedup   float64 `json:"speedup,omitempty"`
 	SpeedupOK bool    `json:"speedupOK,omitempty"`
+	// Partition fields, set on "partition" experiment rows: the pipeline
+	// width this row ran at (1 = sequential baseline), the number of
+	// signals crossing a cut boundary, and the cut's max/mean cost
+	// balance. Speedup is sequential-over-partitioned; the TOTAL row's
+	// SpeedupOK verdict is vacuous when the document's cpus field is 1.
+	Partitions int     `json:"partitions,omitempty"`
+	CutEdges   int     `json:"cutEdges,omitempty"`
+	Balance    float64 `json:"balance,omitempty"`
 	// Fleet fields, set on "fleet" experiment rows: runner count, the
 	// job mix's routing counters, and retries off dead runners (zero on a
 	// healthy run). WallNanos is the whole mix's makespan; Speedup is
@@ -239,6 +247,25 @@ func (m *Metrics) AddBatch(rows []BatchRow) {
 			CompileNanos: r.Compile.Nanoseconds(),
 			HashOK:       &ok,
 			Mode:         r.Mode, Runs: r.Runs,
+			Speedup: r.Speedup, SpeedupOK: r.SpeedupOK,
+		})
+	}
+}
+
+// AddPartition appends one row per (shape, width) from the pipelined
+// step-loop benchmark, plus the aggregate TOTAL gate row. HashOK carries
+// the row's instrumented equivalence verdict; the speedup half of the
+// TOTAL verdict is vacuous when the document's cpus field is 1.
+func (m *Metrics) AddPartition(rows []PartitionRow) {
+	for _, r := range rows {
+		ok := r.EquivOK
+		m.Rows = append(m.Rows, MetricRow{
+			Experiment: "partition", Model: r.Model, Engine: "AccMoS",
+			Steps: r.Steps, WallNanos: r.Wall.Nanoseconds(),
+			StepsPerSec:  stepsPerSec(r.Steps, r.Wall),
+			CompileNanos: r.Compile.Nanoseconds(),
+			HashOK:       &ok,
+			Partitions:   r.Partitions, CutEdges: r.CutEdges, Balance: r.Balance,
 			Speedup: r.Speedup, SpeedupOK: r.SpeedupOK,
 		})
 	}

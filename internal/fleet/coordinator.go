@@ -45,7 +45,10 @@ type Config struct {
 	// the accmosd flags of the same name. They apply at the coordinator
 	// so rejection happens before any network hop.
 	DefaultOptLevel accmos.OptLevel
-	JobTimeout      time.Duration
+	// DefaultPartitions is the partition request for submissions that do
+	// not set partitions (0 = sequential, -1 = auto on the runner).
+	DefaultPartitions int
+	JobTimeout        time.Duration
 	// MaxBodyBytes bounds a submission body (default 8 MiB).
 	MaxBodyBytes int64
 	// RetainJobs bounds finished job records kept queryable (default 4096).
@@ -258,7 +261,7 @@ func (c *Coordinator) recover(p PendingJob) {
 		retries:     p.Retries,
 		submittedAt: time.Now(),
 	}
-	if spec, _, err := server.SpecFromRequest(p.Req, c.cfg.DefaultOptLevel, c.cfg.JobTimeout); err == nil {
+	if spec, _, err := server.SpecFromRequest(p.Req, c.cfg.DefaultOptLevel, c.cfg.DefaultPartitions, c.cfg.JobTimeout); err == nil {
 		if key, err := server.ProgramKey(spec); err == nil {
 			j.key = key
 		}
@@ -334,7 +337,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Admit here — same path as a standalone accmosd — so a rejection
 	// costs no dispatch, and compute the program's content hash, which
 	// is both the routing key and the artifact handle.
-	spec, _, err := server.SpecFromRequest(req, c.cfg.DefaultOptLevel, c.cfg.JobTimeout)
+	spec, _, err := server.SpecFromRequest(req, c.cfg.DefaultOptLevel, c.cfg.DefaultPartitions, c.cfg.JobTimeout)
 	if err != nil {
 		c.metrics.jobs.With("rejected").Inc()
 		if ae, ok := err.(*server.AdmissionError); ok {

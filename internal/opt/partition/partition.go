@@ -1,0 +1,382 @@
+// Package partition cuts a scheduled actor graph into K balanced
+// contiguous sub-graphs for goroutine-pipelined code generation — the
+// SDF-partitioning approach of Fakih et al. (arXiv:1701.04217) adapted
+// to AccMoS's static schedule: partition boundaries are fixed at compile
+// time, so partitioned execution stays bit-identical to sequential.
+//
+// The schedule (actors.Compiled.Order) is already one valid topological
+// order of the feedthrough graph, so any contiguous segmentation of it
+// moves data strictly forward across partitions — except for the edges
+// the scheduler deliberately dropped (inputs of stateful actors, which
+// may point forward in schedule order) and data-store couplings (a read
+// and a write of one store address the same global). Those become hard
+// boundary constraints: a boundary is legal only when no state edge
+// points backward across it and no data store has accessors on both
+// sides. Within the legal boundary set, segmentation balances the
+// per-partition compute weight (a per-actor cost model: transcendental
+// math ≫ division ≫ add/mul, scaled by signal width) and then refines
+// each boundary toward the legal position that cuts the fewest signal
+// edges without giving up balance.
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"accmos/internal/actors"
+)
+
+// MinActorsPerPartition is the auto-K threshold: a partition below this
+// many actors pays more in per-step handoff than it wins in parallelism.
+const MinActorsPerPartition = 48
+
+// balanceSlack is how far (relative) a refined boundary may degrade the
+// heavier neighbour segment in exchange for a smaller signal cut.
+const balanceSlack = 1.15
+
+// Plan is one partitioning decision for a scheduled model.
+type Plan struct {
+	// Requested is the partition count the caller asked for.
+	Requested int
+	// Usable is the partition count the cut produced (1 = sequential;
+	// serial dependency structure or hard constraints can make a K-way
+	// request collapse).
+	Usable int
+	// Assign maps schedule index -> partition (len == len(c.Order));
+	// values are contiguous and non-decreasing. Nil when Usable < 2.
+	Assign []int
+	// Weights is the modelled compute weight per partition.
+	Weights []int64
+	// CutEdges counts signal edges whose producer and consumer landed in
+	// different partitions (each is a value shipped between goroutines).
+	CutEdges int
+	// Balance is maxWeight/idealWeight: 1.0 is a perfect cut.
+	Balance float64
+	// Declined is a human-readable reason when partitioning fell back to
+	// sequential ("" when Usable >= 2).
+	Declined string
+}
+
+// AutoK picks a partition count from GOMAXPROCS bounded by the
+// min-actors-per-partition threshold (at least 1).
+func AutoK(c *actors.Compiled) int {
+	k := runtime.GOMAXPROCS(0)
+	if max := len(c.Order) / MinActorsPerPartition; k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Build partitions the scheduled graph into at most k contiguous
+// segments. It never fails: when the requested cut is impossible the
+// returned plan records Usable == 1 and the reason.
+func Build(c *actors.Compiled, k int) *Plan {
+	p := &Plan{Requested: k, Usable: 1}
+	n := len(c.Order)
+	if k < 2 {
+		p.Declined = "fewer than 2 partitions requested"
+		return p
+	}
+	if n < 2*k {
+		p.Declined = fmt.Sprintf("%d actors cannot fill %d partitions", n, k)
+		return p
+	}
+
+	w := weights(c)
+	legal := legalBoundaries(c)
+	nLegal := 0
+	for _, ok := range legal {
+		if ok {
+			nLegal++
+		}
+	}
+	if nLegal == 0 {
+		p.Declined = "state edges and data-store couplings leave no legal cut point"
+		return p
+	}
+
+	total := int64(0)
+	for _, wi := range w {
+		total += wi
+	}
+
+	// Greedy balanced segmentation: close segment s at the first legal
+	// boundary once the prefix weight reaches s/k of the total.
+	var bounds []int
+	cum := int64(0)
+	for i := 0; i < n-1 && len(bounds) < k-1; i++ {
+		cum += w[i]
+		if float64(cum) >= float64(total)*float64(len(bounds)+1)/float64(k) && legal[i] {
+			bounds = append(bounds, i)
+		}
+	}
+	if len(bounds) == 0 {
+		p.Declined = "no legal boundary near any balance point"
+		return p
+	}
+
+	bounds = refineBounds(c, w, legal, bounds, total)
+
+	p.Usable = len(bounds) + 1
+	p.Assign = assignFrom(bounds, n)
+	p.Weights = segmentWeights(w, bounds, n)
+	p.CutEdges = cutEdges(c, p.Assign)
+	maxW := int64(0)
+	for _, sw := range p.Weights {
+		if sw > maxW {
+			maxW = sw
+		}
+	}
+	if total > 0 {
+		p.Balance = float64(maxW) * float64(p.Usable) / float64(total)
+	}
+	if p.Usable < 2 {
+		p.Assign = nil
+		p.Declined = "cut produced a single usable partition"
+	}
+	return p
+}
+
+// Summary renders the plan for CLI/daemon reporting.
+func (p *Plan) Summary() string {
+	if p == nil {
+		return ""
+	}
+	if p.Usable < 2 {
+		return fmt.Sprintf("requested %d, sequential (%s)", p.Requested, p.Declined)
+	}
+	return fmt.Sprintf("requested %d, usable %d, cut %d signals, balance %.2f",
+		p.Requested, p.Usable, p.CutEdges, p.Balance)
+}
+
+// weights models per-actor compute cost: transcendental math dominates,
+// then division/sqrt/lookup, then plain arithmetic; vector actors scale
+// by width. Pure-routing and codeless actors weigh nothing.
+func weights(c *actors.Compiled) []int64 {
+	w := make([]int64, len(c.Order))
+	for i, info := range c.Order {
+		w[i] = costOf(info)
+	}
+	return w
+}
+
+func costOf(info *actors.Info) int64 {
+	var base int64
+	switch info.Actor.Type {
+	case "Math":
+		switch info.Operator {
+		case "reciprocal":
+			base = 4
+		default: // sin/cos/tan/exp/log/tanh/... all land in libm
+			base = 8
+		}
+	case "Sqrt", "Polynomial", "Atan2", "SineWave", "SignalGenerator", "RandomNumber":
+		base = 8
+	case "PIDController":
+		base = 6
+	case "Lookup1D":
+		base = 6
+	case "Product":
+		if strings.ContainsRune(info.Operator, '/') {
+			base = 4
+		} else {
+			base = 2
+		}
+	case "Mod", "DiscreteFilter", "DiscreteDerivative", "RateLimiter", "MovingAverage",
+		"DotProduct", "SumOfElements", "ProductOfElements", "Integrator", "FirstOrderLag":
+		base = 3
+	case "Outport", "Terminator", "DataStoreMemory", "Ground", "Constant", "Inport":
+		base = 0
+	default:
+		base = 1
+	}
+	width := int64(info.OutWidth())
+	if width < 1 {
+		width = 1
+	}
+	return base * width
+}
+
+// legalBoundaries marks each cut position (after schedule index b) legal
+// unless a dropped state edge points backward across it or a data store
+// has accessors on both sides.
+func legalBoundaries(c *actors.Compiled) []bool {
+	n := len(c.Order)
+	if n < 2 {
+		return nil
+	}
+	legal := make([]bool, n-1)
+	for i := range legal {
+		legal[i] = true
+	}
+	forbid := func(lo, hi int) { // boundaries in [lo, hi) become illegal
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for b := lo; b < hi; b++ {
+			legal[b] = false
+		}
+	}
+	// Backward edges: the scheduler drops edges into stateful actors, so
+	// a stateful consumer can precede its driver. Its end-of-step update
+	// needs the driver's same-step value, which a later pipeline stage
+	// has not produced yet — both must share a partition.
+	for i, info := range c.Order {
+		for _, src := range info.InSrc {
+			if src.Actor == "" {
+				continue
+			}
+			if drv := c.ByName[src.Actor]; drv != nil && drv.Index > i {
+				forbid(i, drv.Index)
+			}
+		}
+	}
+	// Data stores: every read and write of one store addresses the same
+	// global in step order; splitting them across pipeline stages would
+	// race. Pin all accessors of a store into one segment.
+	stores := map[string][2]int{}
+	for i, info := range c.Order {
+		switch info.Actor.Type {
+		case "DataStoreRead", "DataStoreWrite":
+			name := actors.StoreName(info)
+			if span, ok := stores[name]; ok {
+				if i < span[0] {
+					span[0] = i
+				}
+				if i > span[1] {
+					span[1] = i
+				}
+				stores[name] = span
+			} else {
+				stores[name] = [2]int{i, i}
+			}
+		}
+	}
+	for _, span := range stores {
+		forbid(span[0], span[1])
+	}
+	return legal
+}
+
+// refineBounds nudges each boundary toward the legal position (between
+// its neighbours) that cuts the fewest signal edges, accepting only
+// moves that keep both adjacent segments within balanceSlack of the
+// ideal weight. Deterministic: boundaries are scanned left to right and
+// ties prefer the earliest position.
+func refineBounds(c *actors.Compiled, w []int64, legal []bool, bounds []int, total int64) []int {
+	n := len(w)
+	k := len(bounds) + 1
+	ideal := float64(total) / float64(k)
+	prefix := make([]int64, n+1)
+	for i, wi := range w {
+		prefix[i+1] = prefix[i] + wi
+	}
+	segOK := func(lo, hi int) bool { // segment covering [lo, hi] inclusive
+		return float64(prefix[hi+1]-prefix[lo]) <= ideal*balanceSlack
+	}
+	for bi := range bounds {
+		lo := 0
+		if bi > 0 {
+			lo = bounds[bi-1] + 1
+		}
+		hi := n - 2
+		if bi < len(bounds)-1 {
+			hi = bounds[bi+1] - 1
+		}
+		best, bestCut := bounds[bi], crossingEdges(c, bounds[bi])
+		for b := lo; b <= hi; b++ {
+			if !legal[b] || b == bounds[bi] {
+				continue
+			}
+			segLo := lo
+			segHi := n - 1
+			if bi < len(bounds)-1 {
+				segHi = bounds[bi+1]
+			}
+			if !segOK(segLo, b) || !segOK(b+1, segHi) {
+				continue
+			}
+			if cut := crossingEdges(c, b); cut < bestCut {
+				best, bestCut = b, cut
+			}
+		}
+		bounds[bi] = best
+	}
+	return bounds
+}
+
+// crossingEdges counts signal edges spanning the boundary after index b.
+func crossingEdges(c *actors.Compiled, b int) int {
+	cut := 0
+	for i, info := range c.Order {
+		for _, src := range info.InSrc {
+			if src.Actor == "" {
+				continue
+			}
+			if drv := c.ByName[src.Actor]; drv != nil && drv.Index <= b && b < i {
+				cut++
+			}
+		}
+		if info.Gated() {
+			if en := c.ByName[info.EnabledBy.Actor]; en != nil && en.Index <= b && b < i {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+func assignFrom(bounds []int, n int) []int {
+	assign := make([]int, n)
+	part := 0
+	next := 0
+	for i := 0; i < n; i++ {
+		assign[i] = part
+		if next < len(bounds) && i == bounds[next] {
+			part++
+			next++
+		}
+	}
+	return assign
+}
+
+func segmentWeights(w []int64, bounds []int, n int) []int64 {
+	out := make([]int64, len(bounds)+1)
+	seg := 0
+	for i := 0; i < n; i++ {
+		out[seg] += w[i]
+		if seg < len(bounds) && i == bounds[seg] {
+			seg++
+		}
+	}
+	return out
+}
+
+// cutEdges counts signal edges whose endpoints landed in different
+// partitions under assign.
+func cutEdges(c *actors.Compiled, assign []int) int {
+	cut := 0
+	for i, info := range c.Order {
+		for _, src := range info.InSrc {
+			if src.Actor == "" {
+				continue
+			}
+			if drv := c.ByName[src.Actor]; drv != nil && assign[drv.Index] != assign[i] {
+				cut++
+			}
+		}
+		if info.Gated() {
+			if en := c.ByName[info.EnabledBy.Actor]; en != nil && assign[en.Index] != assign[i] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,206 @@
+package partition_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"accmos/internal/actors"
+	"accmos/internal/model"
+	"accmos/internal/opt/partition"
+	"accmos/internal/types"
+)
+
+func compile(t *testing.T, m *model.Model) *actors.Compiled {
+	t.Helper()
+	c, err := actors.Compile(m)
+	if err != nil {
+		t.Fatalf("compile %s: %v", m.Name, err)
+	}
+	return c
+}
+
+// wideModel builds nChains independent Inport -> Math^depth -> Outport
+// chains: plenty of legal boundaries and weight everywhere.
+func wideModel(t *testing.T, nChains, depth int) *actors.Compiled {
+	t.Helper()
+	b := model.NewBuilder("WIDE")
+	for ci := 0; ci < nChains; ci++ {
+		in := fmt.Sprintf("In%d", ci)
+		b.Add(in, "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", fmt.Sprint(ci+1)))
+		prev := in
+		for d := 0; d < depth; d++ {
+			name := fmt.Sprintf("M%d_%d", ci, d)
+			b.Add(name, "Math", 1, 1, model.WithOperator("tanh"))
+			b.Wire(prev, name, 0)
+			prev = name
+		}
+		out := fmt.Sprintf("Out%d", ci)
+		b.Add(out, "Outport", 1, 0, model.WithParam("Port", fmt.Sprint(ci+1)))
+		b.Wire(prev, out, 0)
+	}
+	return compile(t, b.MustBuild())
+}
+
+func checkPlanShape(t *testing.T, c *actors.Compiled, p *partition.Plan) {
+	t.Helper()
+	if p.Usable < 2 {
+		return
+	}
+	if len(p.Assign) != len(c.Order) {
+		t.Fatalf("Assign len %d, want %d", len(p.Assign), len(c.Order))
+	}
+	prev := 0
+	for i, a := range p.Assign {
+		if a < prev || a > prev+1 {
+			t.Fatalf("Assign not contiguous non-decreasing at %d: %d after %d", i, a, prev)
+		}
+		prev = a
+	}
+	if prev != p.Usable-1 {
+		t.Fatalf("Assign tops out at %d, want %d partitions", prev+1, p.Usable)
+	}
+	if len(p.Weights) != p.Usable {
+		t.Fatalf("Weights len %d, want %d", len(p.Weights), p.Usable)
+	}
+	for i, w := range p.Weights {
+		if w <= 0 {
+			t.Fatalf("partition %d has weight %d", i, w)
+		}
+	}
+	if p.Balance < 1.0 {
+		t.Fatalf("Balance %.3f < 1.0", p.Balance)
+	}
+}
+
+func TestBuildBalancedCut(t *testing.T) {
+	c := wideModel(t, 8, 6)
+	for _, k := range []int{2, 3, 4} {
+		p := partition.Build(c, k)
+		if p.Usable != k {
+			t.Fatalf("k=%d: usable %d (declined: %s)", k, p.Usable, p.Declined)
+		}
+		checkPlanShape(t, c, p)
+		if p.Balance > 1.5 {
+			t.Errorf("k=%d: balance %.3f too skewed for a uniform model", k, p.Balance)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	c := wideModel(t, 6, 5)
+	a := partition.Build(c, 4)
+	b := partition.Build(c, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two builds differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBuildDeclinesTinyOrSequential(t *testing.T) {
+	c := wideModel(t, 1, 2)
+	for _, k := range []int{0, 1} {
+		p := partition.Build(c, k)
+		if p.Usable != 1 || p.Declined == "" {
+			t.Fatalf("k=%d: want declined sequential plan, got %+v", k, p)
+		}
+	}
+	p := partition.Build(c, 8)
+	if p.Usable != 1 || p.Declined == "" {
+		t.Fatalf("tiny model: want declined plan, got %+v", p)
+	}
+}
+
+// A UnitDelay scheduled before its driver creates a backward state edge;
+// the delay and its driver must land in one partition.
+func TestStatefulPinnedTogether(t *testing.T) {
+	b := model.NewBuilder("PIN")
+	b.Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	// Feedback loop: Sum = In + Delay(Sum); the delay breaks the cycle, so
+	// the schedule places it before Sum and its input edge points forward.
+	b.Add("Del", "UnitDelay", 1, 1)
+	b.Add("Fb", "Sum", 2, 1, model.WithOperator("++"))
+	b.Wire("In", "Fb", 0)
+	b.Wire("Del", "Fb", 1)
+	b.Wire("Fb", "Del", 0)
+	prev := "Fb"
+	for d := 0; d < 12; d++ {
+		name := fmt.Sprintf("M%d", d)
+		b.Add(name, "Math", 1, 1, model.WithOperator("exp"))
+		b.Wire(prev, name, 0)
+		prev = name
+	}
+	b.Add("Out", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Wire(prev, "Out", 0)
+	c := compile(t, b.MustBuild())
+
+	p := partition.Build(c, 2)
+	if p.Usable < 2 {
+		t.Skipf("model too serial to cut: %s", p.Declined)
+	}
+	checkPlanShape(t, c, p)
+	del := c.ByName["Del"].Index
+	fb := c.ByName["Fb"].Index
+	if p.Assign[del] != p.Assign[fb] {
+		t.Fatalf("state edge split: Del in %d, Fb in %d", p.Assign[del], p.Assign[fb])
+	}
+}
+
+// All accessors of one data store must share a partition.
+func TestDataStorePinnedTogether(t *testing.T) {
+	b := model.NewBuilder("DSPIN")
+	b.Add("In", "Inport", 0, 1, model.WithOutKind(types.F64), model.WithParam("Port", "1"))
+	b.Add("Mem", "DataStoreMemory", 0, 0, model.WithParam("Store", "acc"))
+	b.Add("Rd", "DataStoreRead", 0, 1, model.WithParam("Store", "acc"), model.WithOutKind(types.F64))
+	prev := "Rd"
+	for d := 0; d < 10; d++ {
+		name := fmt.Sprintf("M%d", d)
+		b.Add(name, "Math", 1, 1, model.WithOperator("sin"))
+		b.Wire(prev, name, 0)
+		prev = name
+	}
+	b.Add("Mix", "Sum", 2, 1, model.WithOperator("++"))
+	b.Wire("In", "Mix", 0)
+	b.Wire(prev, "Mix", 1)
+	b.Add("Wr", "DataStoreWrite", 1, 0, model.WithParam("Store", "acc"))
+	b.Wire("Mix", "Wr", 0)
+	b.Add("Out", "Outport", 1, 0, model.WithParam("Port", "1"))
+	b.Wire("Mix", "Out", 0)
+	c := compile(t, b.MustBuild())
+
+	p := partition.Build(c, 2)
+	if p.Usable < 2 {
+		t.Skipf("model too serial to cut: %s", p.Declined)
+	}
+	rd := c.ByName["Rd"].Index
+	wr := c.ByName["Wr"].Index
+	if p.Assign[rd] != p.Assign[wr] {
+		t.Fatalf("data store split: Rd in %d, Wr in %d", p.Assign[rd], p.Assign[wr])
+	}
+}
+
+func TestAutoK(t *testing.T) {
+	small := wideModel(t, 1, 4)
+	if k := partition.AutoK(small); k != 1 {
+		t.Fatalf("AutoK on %d actors = %d, want 1", len(small.Order), k)
+	}
+	big := wideModel(t, 16, 20)
+	k := partition.AutoK(big)
+	if k < 1 {
+		t.Fatalf("AutoK = %d", k)
+	}
+	if max := len(big.Order) / partition.MinActorsPerPartition; k > max && max >= 1 {
+		t.Fatalf("AutoK = %d exceeds actors/threshold = %d", k, max)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := wideModel(t, 8, 6)
+	p := partition.Build(c, 2)
+	if s := p.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+	var nilPlan *partition.Plan
+	if s := nilPlan.Summary(); s != "" {
+		t.Fatalf("nil summary %q", s)
+	}
+}

@@ -27,7 +27,7 @@ func (e *AdmissionError) Error() string { return e.Msg }
 // accmosd and the fleet coordinator, so a model admitted by the
 // coordinator is never rejected by the runner it lands on. The returned
 // findings are the full advisory list recorded on the job.
-func SpecFromRequest(req SubmitRequest, defaultOpt accmos.OptLevel, jobTimeout time.Duration) (JobSpec, []lint.Finding, error) {
+func SpecFromRequest(req SubmitRequest, defaultOpt accmos.OptLevel, defaultPartitions int, jobTimeout time.Duration) (JobSpec, []lint.Finding, error) {
 	if req.Model == "" {
 		return JobSpec{}, nil, &AdmissionError{Msg: "submission has no model document"}
 	}
@@ -56,6 +56,7 @@ func SpecFromRequest(req SubmitRequest, defaultOpt accmos.OptLevel, jobTimeout t
 		Coverage:   req.Coverage,
 		Diagnose:   req.Diagnose,
 		OptLevel:   defaultOpt,
+		Partitions: defaultPartitions,
 		Seed:       req.Seed,
 		Lo:         req.Lo,
 		Hi:         req.Hi,
@@ -71,6 +72,12 @@ func SpecFromRequest(req SubmitRequest, defaultOpt accmos.OptLevel, jobTimeout t
 			return JobSpec{}, findings, &AdmissionError{Msg: fmt.Sprintf("optLevel: %v", err)}
 		}
 		spec.OptLevel = lv
+	}
+	if req.Partitions != nil {
+		if *req.Partitions < accmos.PartitionsAuto {
+			return JobSpec{}, findings, &AdmissionError{Msg: fmt.Sprintf("partitions: invalid count %d (want 0, 1, N >= 2 or -1 for auto)", *req.Partitions)}
+		}
+		spec.Partitions = *req.Partitions
 	}
 	if req.HeartbeatMS > 0 {
 		spec.Heartbeat = time.Duration(req.HeartbeatMS) * time.Millisecond

@@ -26,6 +26,7 @@ type JobSpec struct {
 	Coverage   bool
 	Diagnose   bool
 	OptLevel   accmos.OptLevel
+	Partitions int
 	Seed       uint64
 	Lo, Hi     float64
 	SweepSeeds []uint64
@@ -52,6 +53,9 @@ type Outcome struct {
 	Merged    *coverage.Report
 	// Opt reports what the optimizing middle-end did.
 	Opt *accmos.OptStats
+	// Part reports the partitioning decision behind the generated run
+	// (nil when partitioning was never requested).
+	Part *accmos.PartStats
 	// ArtifactHash is the content-hash key of the compiled program — the
 	// build-cache key a fleet coordinator uses to track which nodes hold
 	// which binaries.
@@ -119,6 +123,7 @@ func (j *job) view() JobView {
 		v.Batched = o.Batched
 		v.MergedCoverage = o.Merged
 		v.Opt = o.Opt
+		v.Part = o.Part
 		v.WorkerReuse = o.WorkerReuse
 		v.ArtifactHash = o.ArtifactHash
 	}

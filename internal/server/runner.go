@@ -27,6 +27,7 @@ func specOptions(spec JobSpec, cache *accmos.BuildCache, pool *accmos.WorkerPool
 		Coverage:      spec.Coverage,
 		Diagnose:      spec.Diagnose,
 		OptLevel:      spec.OptLevel,
+		Partitions:    spec.Partitions,
 		Timeout:       spec.Timeout,
 		Cache:         cache,
 		Pool:          pool,
@@ -80,6 +81,7 @@ func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 			if len(sw.Runs) > 0 && sw.Runs[0] != nil {
 				out.CacheHit = sw.Runs[0].CacheHit
 				out.Opt = sw.Runs[0].Opt
+				out.Part = sw.Runs[0].Part
 				out.Batched = sw.Runs[0].Batched
 				out.ArtifactHash = sw.Runs[0].ArtifactHash
 			}
@@ -92,7 +94,7 @@ func PipelineRunner(cache *accmos.BuildCache, pool *accmos.WorkerPool) Runner {
 		}
 		out := &Outcome{
 			Results: res.Results, CacheHit: res.CacheHit, WorkerReuse: res.WorkerReuse,
-			Opt: res.Opt, ArtifactHash: res.ArtifactHash,
+			Opt: res.Opt, Part: res.Part, ArtifactHash: res.ArtifactHash,
 		}
 		if spec.Coverage {
 			rep := res.CoverageReport()

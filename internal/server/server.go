@@ -52,6 +52,10 @@ type Config struct {
 	// submissions that do not choose one (zero value = the facade
 	// default, O1).
 	DefaultOptLevel accmos.OptLevel
+
+	// DefaultPartitions is the partition request applied to submissions
+	// that do not set partitions themselves (0 = sequential, -1 = auto).
+	DefaultPartitions int
 	// RetainJobs bounds how many finished job records stay queryable
 	// (default 4096, oldest evicted first).
 	RetainJobs int
@@ -320,6 +324,7 @@ func (s *Server) finishLocked(j *job, state JobState, errMsg string, tr *accmos.
 	}
 	if j.outcome != nil {
 		s.metrics.recordOpt(j.outcome.Opt)
+		s.metrics.recordPart(j.outcome.Part)
 	}
 	switch state {
 	case JobDone:
@@ -472,7 +477,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	spec, findings, err := SpecFromRequest(req, s.cfg.DefaultOptLevel, s.cfg.JobTimeout)
+	spec, findings, err := SpecFromRequest(req, s.cfg.DefaultOptLevel, s.cfg.DefaultPartitions, s.cfg.JobTimeout)
 	if err != nil {
 		var adm *AdmissionError
 		if errors.As(err, &adm) && len(adm.Lint) > 0 {
@@ -701,6 +706,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Cache:         cacheView(s.cache.Stats()),
 		WorkerPool:    s.poolView(),
 		Opt:           s.metrics.optTotals(),
+		Part:          s.metrics.partTotals(),
 		Phases:        s.metrics.phaseStats(),
 	}
 	writeJSON(w, http.StatusOK, view)
